@@ -1,0 +1,50 @@
+"""A5 — ablation: Horner-form vs naive polynomial evaluation
+(paper Section 5.1: "we rearranged all polynomials in Horner form to
+reduce the number of multiplications").
+
+This is the one benchmark where *wall-clock* matters (prediction runs
+on the real critical path), so pytest-benchmark times the Horner
+evaluator directly and the table reports operation counts."""
+
+import timeit
+
+from repro.core.horner import (
+    HornerPolynomial,
+    horner_mult_count,
+    naive_evaluate,
+    naive_mult_count,
+)
+from repro.evaluation import format_table
+
+from common import decoder_for, write_result
+
+
+def render() -> str:
+    model = decoder_for("GTX 560").model_for("4:2:2")
+    rows = []
+    for name, poly in (
+        ("THuffPerPixel(d)", model.huff_rate_fit),
+        ("PCPU(w,h)", model.cpu_simd_fit),
+        ("PGPU(w,h)", model.gpu_fit),
+        ("Tdisp(w,h)", model.disp_fit),
+    ):
+        h = HornerPolynomial(poly)
+        hm, nm = horner_mult_count(h), naive_mult_count(poly)
+        args = (0.2,) if poly.n_vars == 1 else (1024.0, 768.0)
+        t_h = timeit.timeit(lambda: h.evaluate(*args), number=2000) / 2000
+        t_n = timeit.timeit(lambda: naive_evaluate(poly, *args),
+                            number=2000) / 2000
+        rows.append([name, str(poly.degree), str(hm), str(nm),
+                     f"{t_h * 1e6:.2f}", f"{t_n * 1e6:.2f}"])
+        assert hm <= nm
+    return format_table(
+        ["Polynomial", "Degree", "Horner mults", "Naive mults",
+         "Horner (us)", "Naive (us)"],
+        rows, title="Ablation A5: Horner-form evaluation of the closed forms")
+
+
+def test_abl_horner(benchmark):
+    model = decoder_for("GTX 560").model_for("4:2:2")
+    h = HornerPolynomial(model.gpu_fit)
+    benchmark(lambda: h.evaluate(1024.0, 768.0))
+    write_result("abl_horner", render())

@@ -1,0 +1,54 @@
+"""A7 — extension ablation: restart-marker parallel Huffman decoding.
+
+The paper's Amdahl ceiling is set by sequential Huffman decoding
+(Eq 19).  With DRI restart markers, entropy decoding parallelizes across
+segments on the CPU cores (repro.jpeg.parallel_huffman).  This bench
+quantifies how much of the ceiling that recovers — i.e. what the paper's
+"future work" would buy — as a function of core count."""
+
+from functools import lru_cache
+
+from repro.data import synthetic_photo
+from repro.evaluation import format_table
+from repro.jpeg import EncoderSettings, encode_jpeg, parse_jpeg
+from repro.jpeg.decoder import component_tables_from_info
+from repro.jpeg.parallel_huffman import ParallelEntropyDecoder
+
+from common import write_result
+
+
+@lru_cache(maxsize=1)
+def restart_image():
+    rgb = synthetic_photo(256, 256, seed=41, detail=0.6)
+    data = encode_jpeg(rgb, EncoderSettings(quality=85, subsampling="4:2:2",
+                                            restart_interval=8))
+    return data
+
+
+def render() -> str:
+    data = restart_image()
+    info = parse_jpeg(data)
+    dec = ParallelEntropyDecoder(info.geometry,
+                                 component_tables_from_info(info),
+                                 info.restart_interval)
+    rows = []
+    speedups = {}
+    for cores in (1, 2, 4, 8):
+        r = dec.decode(info.entropy_data, cores=cores)
+        speedups[cores] = r.speedup
+        rows.append([str(cores), f"{r.sequential_us / 1e3:.3f}",
+                     f"{r.parallel_us / 1e3:.3f}", f"{r.speedup:.2f}x",
+                     str(len(r.segments))])
+    assert abs(speedups[1] - 1.0) < 1e-9
+    assert speedups[4] > speedups[2] > 1.3
+    assert speedups[8] <= 8.0
+    return format_table(
+        ["Cores", "Sequential (ms)", "Parallel (ms)", "Speedup", "Segments"],
+        rows,
+        title=("Ablation A7 (extension): restart-segment parallel Huffman "
+               "decoding, 256x256 4:2:2, DRI=8"))
+
+
+def test_abl_parallel_huffman(benchmark):
+    out = benchmark(render)
+    write_result("abl_parallel_huffman", out)

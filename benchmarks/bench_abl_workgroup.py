@@ -1,0 +1,25 @@
+"""A4 — ablation: OpenCL work-group size sweep, 4 to 32 MCUs
+(paper Section 5.1's profiling step)."""
+
+from repro.core.profiling import profile_platform
+from repro.evaluation import format_table, platforms
+
+from common import write_result
+
+
+def render() -> str:
+    parts = []
+    for plat in platforms.ALL_PLATFORMS:
+        report = profile_platform(plat, "4:2:2", full_report=True)
+        rows = [[str(m), f"{t / 1e3:.3f}" if t != float("inf") else "infeasible"]
+                for m, t in sorted(report.workgroup_sweep.items())]
+        best = report.model.workgroup_blocks // 4
+        parts.append(format_table(
+            ["Work-group (MCUs)", "PGPU 2048^2 (ms)"], rows,
+            title=f"Ablation A4 [{plat.name}]: WG sweep (selected: {best} MCUs)"))
+    return "\n\n".join(parts)
+
+
+def test_abl_workgroup(benchmark):
+    out = benchmark(render)
+    write_result("abl_workgroup", out)

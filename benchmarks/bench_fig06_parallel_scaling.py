@@ -1,0 +1,61 @@
+"""F6 — Figure 6: the parallel phase scales linearly with image size.
+
+SIMD (CPU) and GPU parallel-phase times vs. pixels on the GTX 560
+machine, for 4:2:2 and 4:4:4, with a linear-fit R^2 printed per series.
+The paper's claim is linearity — that is what the assertion checks.
+"""
+
+import numpy as np
+
+from repro.core import DecodeMode
+from repro.evaluation import format_table
+
+from common import decoder_for, virtual_sweep, write_result
+
+
+def collect_series(subsampling: str):
+    dec = decoder_for("GTX 560")
+    rows = []
+    for prep in virtual_sweep(subsampling):
+        simd = dec.decode(prep, DecodeMode.SIMD)
+        gpu = dec.decode(prep, DecodeMode.GPU)
+        simd_par = simd.total_us - simd.breakdown["huffman"]
+        b = gpu.breakdown
+        gpu_par = b.get("kernel", 0) + b.get("write", 0) + b.get("read", 0)
+        rows.append((prep.geometry.width * prep.geometry.height,
+                     simd_par / 1e3, gpu_par / 1e3))
+    return rows
+
+
+def r_squared(x, y):
+    x, y = np.asarray(x, float), np.asarray(y, float)
+    coef = np.polyfit(x, y, 1)
+    pred = np.polyval(coef, x)
+    ss_res = ((y - pred) ** 2).sum()
+    ss_tot = ((y - y.mean()) ** 2).sum()
+    return 1 - ss_res / ss_tot
+
+
+def render() -> str:
+    parts = []
+    for mode in ("4:2:2", "4:4:4"):
+        rows = collect_series(mode)
+        px = [r[0] for r in rows]
+        r2_simd = r_squared(px, [r[1] for r in rows])
+        r2_gpu = r_squared(px, [r[2] for r in rows])
+        table = format_table(
+            ["Pixels", "SIMD (ms)", "GPU (ms)"],
+            [[str(p), f"{s:.3f}", f"{g:.3f}"] for p, s, g in rows],
+            title=(f"Figure 6 [{mode}]: parallel-phase time vs pixels, "
+                   f"GTX 560  (linear R^2: SIMD={r2_simd:.5f}, "
+                   f"GPU={r2_gpu:.5f})"),
+        )
+        parts.append(table)
+        assert r2_simd > 0.999, "SIMD parallel phase must scale linearly"
+        assert r2_gpu > 0.995, "GPU parallel phase must scale linearly"
+    return "\n\n".join(parts)
+
+
+def test_fig06(benchmark):
+    out = benchmark(render)
+    write_result("fig06_parallel_scaling", out)

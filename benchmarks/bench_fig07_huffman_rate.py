@@ -1,0 +1,51 @@
+"""F7 — Figure 7: Huffman decoding rate (ns/pixel) vs entropy density,
+with the best-fit line the performance model uses (Eq 4)."""
+
+import numpy as np
+
+from repro.core import DecodeMode, PreparedImage
+from repro.evaluation import format_table
+
+from common import decoder_for, write_result
+
+DENSITIES = (0.02, 0.05, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45)
+SIDE = 1024
+
+
+def collect():
+    dec = decoder_for("GTX 560")
+    rows = []
+    for d in DENSITIES:
+        prep = PreparedImage.virtual(SIDE, SIDE, "4:2:2", d)
+        res = dec.decode(prep, DecodeMode.SIMD)
+        rate = res.breakdown["huffman"] * 1e3 / (SIDE * SIDE)  # ns/pixel
+        rows.append((d, rate))
+    return rows
+
+
+def render() -> str:
+    rows = collect()
+    d = np.array([r[0] for r in rows])
+    rate = np.array([r[1] for r in rows])
+    slope, intercept = np.polyfit(d, rate, 1)
+    model = decoder_for("GTX 560").model_for("4:2:2")
+    model_rates = [model.t_huff(SIDE, SIDE, x) * 1e3 / (SIDE * SIDE)
+                   for x in d]
+    table = format_table(
+        ["Density (B/px)", "Rate (ns/px)", "Model fit (ns/px)"],
+        [[f"{a:.2f}", f"{b:.3f}", f"{c:.3f}"]
+         for a, b, c in zip(d, rate, model_rates)],
+        title=(f"Figure 7: Huffman rate vs entropy density, GTX 560 "
+               f"(fit: rate = {intercept:.3f} + {slope:.3f} * d)"),
+    )
+    # the paper's observation: a linear relationship in the 1-6 ns band
+    assert rate.min() > 0.5 and rate.max() < 7.0
+    assert abs(np.corrcoef(d, rate)[0, 1]) > 0.999
+    # the fitted model must agree with the measurements it was trained on
+    assert np.allclose(model_rates, rate, rtol=0.05)
+    return table
+
+
+def test_fig07(benchmark):
+    out = benchmark(render)
+    write_result("fig07_huffman_rate", out)

@@ -1,0 +1,32 @@
+"""F9 — Figure 9: execution-time breakdown of sequential CPU, SIMD and
+GPU modes on a 2048x2048 4:2:2 image, normalized to the SIMD total,
+for all three machines.  Checks the paper's Section 6.1 observations:
+GPU helps on GTX 560/680 but *hurts* on GT 430."""
+
+from repro.core import DecodeMode, PreparedImage
+from repro.evaluation import breakdown_for, format_breakdown, platforms
+
+from common import write_result
+
+
+def render() -> str:
+    prep = PreparedImage.virtual(2048, 2048, "4:2:2", 0.22)
+    parts = []
+    totals = {}
+    for plat in platforms.ALL_PLATFORMS:
+        bd = breakdown_for(plat, prep)
+        parts.append(format_breakdown(
+            bd, title=f"Figure 9 [{plat.name}]: normalized to SIMD total"))
+        totals[plat.name] = {m: v["total"] for m, v in bd.items()}
+    # paper shapes: sequential ~2x SIMD; GPU < SIMD on 560/680, > on 430
+    for name, t in totals.items():
+        assert 1.7 < t[DecodeMode.SEQUENTIAL] < 2.4, name
+    assert totals["GTX 560"][DecodeMode.GPU] < 0.75
+    assert totals["GTX 680"][DecodeMode.GPU] < 0.70
+    assert totals["GT 430"][DecodeMode.GPU] > 1.10
+    return "\n\n".join(parts)
+
+
+def test_fig09(benchmark):
+    out = benchmark(render)
+    write_result("fig09_breakdown", out)

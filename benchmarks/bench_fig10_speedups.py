@@ -1,0 +1,47 @@
+"""F10 — Figure 10: speedup over SIMD vs image size for the four
+GPU-involving modes on all three machines (4:4:4, as the paper plots)."""
+
+from repro.core import DecodeMode
+from repro.core.modes import EVALUATED_MODES
+from repro.evaluation import format_table, platforms
+
+from common import decoder_for, virtual_sweep, write_result
+
+
+def collect(platform_name: str):
+    dec = decoder_for(platform_name)
+    rows = []
+    for prep in virtual_sweep("4:4:4"):
+        times = {m: dec.decode(prep, m).total_us
+                 for m in (DecodeMode.SIMD,) + EVALUATED_MODES}
+        simd = times[DecodeMode.SIMD]
+        rows.append((prep.geometry.width * prep.geometry.height,
+                     [simd / times[m] for m in EVALUATED_MODES]))
+    return rows
+
+
+def render() -> str:
+    parts = []
+    final = {}
+    for plat in platforms.ALL_PLATFORMS:
+        rows = collect(plat.name)
+        table = format_table(
+            ["Pixels"] + [m.value.upper() for m in EVALUATED_MODES],
+            [[str(px)] + [f"{s:.2f}" for s in sps] for px, sps in rows],
+            title=f"Figure 10 [{plat.name}]: speedup over SIMD vs pixels (4:4:4)",
+        )
+        parts.append(table)
+        final[plat.name] = dict(zip(EVALUATED_MODES, rows[-1][1]))
+    # shape checks at the largest size
+    for name, sp in final.items():
+        assert sp[DecodeMode.PPS] >= sp[DecodeMode.SPS] * 0.98, name
+        assert sp[DecodeMode.PIPELINE] >= sp[DecodeMode.GPU] * 0.98, name
+        assert sp[DecodeMode.PPS] > 1.0, name
+    assert final["GT 430"][DecodeMode.GPU] < 1.0       # weak GPU loses alone
+    assert final["GTX 680"][DecodeMode.PPS] > 1.8
+    return "\n\n".join(parts)
+
+
+def test_fig10(benchmark):
+    out = benchmark(render)
+    write_result("fig10_speedups", out)

@@ -1,0 +1,29 @@
+"""F11 — Figure 11: PPS speedup as a percentage of the theoretically
+attainable maximum (Ttotal/THuff, Eq 19) on the GTX 680, vs image size.
+
+The paper reports stabilization around 88% with a 95% peak, and lower
+percentages for small images (few pipeline chunks)."""
+
+from repro.evaluation import amdahl_series, format_series, platforms
+
+from common import virtual_sweep, write_result
+
+
+def render() -> str:
+    series = amdahl_series(platforms.GTX680, virtual_sweep("4:4:4"))
+    table = format_series(
+        series, ["Pixels", "% of max speedup"],
+        title="Figure 11: PPS vs theoretical bound, GTX 680 (4:4:4)",
+        fmt="{:.1f}",
+    )
+    pcts = [pct for _, pct in series]
+    large = pcts[len(pcts) // 2:]
+    assert all(p <= 100.0 + 1e-6 for p in pcts)
+    assert min(large) > 70.0, "large images should approach the bound"
+    assert pcts[0] <= max(large) + 1e-9, "small images lag the bound"
+    return table
+
+
+def test_fig11(benchmark):
+    out = benchmark(render)
+    write_result("fig11_amdahl", out)

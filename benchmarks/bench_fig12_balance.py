@@ -1,0 +1,39 @@
+"""F12 — Figure 12: CPU vs GPU busy time during the parallel execution
+of SPS and PPS on all three machines — the load-balance evidence.
+
+The paper's claim: "GPU and CPU shared similar execution times
+indicating well-balanced loads."  On machines where the partitioner
+sends (nearly) everything to one device, balance is trivially absent,
+so the assertion targets the weak-GPU machine where both devices get
+substantial work."""
+
+from repro.core import DecodeMode
+from repro.evaluation import balance_series, format_table, platforms
+
+from common import virtual_sweep, write_result
+
+
+def render() -> str:
+    parts = []
+    for plat in platforms.ALL_PLATFORMS:
+        series = balance_series(plat, virtual_sweep("4:2:2"))
+        rows = []
+        for mode in (DecodeMode.SPS, DecodeMode.PPS):
+            for px, cpu_us, gpu_us in series[mode]:
+                rows.append([mode.value.upper(), str(px),
+                             f"{cpu_us / 1e3:.3f}", f"{gpu_us / 1e3:.3f}"])
+        parts.append(format_table(
+            ["Mode", "Pixels", "CPU time (ms)", "GPU time (ms)"],
+            rows, title=f"Figure 12 [{plat.name}]: parallel-execution balance"))
+        if plat.name == "GT 430":
+            # both devices loaded, same order of magnitude (SPS, largest)
+            px, cpu_us, gpu_us = series[DecodeMode.SPS][-1]
+            assert cpu_us > 0 and gpu_us > 0
+            ratio = cpu_us / gpu_us
+            assert 0.3 < ratio < 3.0, f"unbalanced: {ratio:.2f}"
+    return "\n\n".join(parts)
+
+
+def test_fig12(benchmark):
+    out = benchmark(render)
+    write_result("fig12_balance", out)

@@ -1,0 +1,18 @@
+"""T1 — Table 1: hardware specifications of the three machines."""
+
+from repro.evaluation import format_table, table1_rows
+
+from common import write_result
+
+
+def render_table1() -> str:
+    rows = table1_rows()
+    headers = list(rows[0])
+    return format_table(headers, [[r[h] for h in headers] for r in rows],
+                        title="Table 1: Hardware Specifications")
+
+
+def test_table1(benchmark):
+    out = benchmark(render_table1)
+    write_result("table1_platforms", out)
+    assert "GTX 680" in out

@@ -1,0 +1,32 @@
+"""T2 — Table 2: average speedup (± coefficient of variation) over SIMD
+for 4:2:2 images, per machine — measured over a *real* encoded corpus
+whose per-row entropy offsets drive the simulated Huffman stage."""
+
+from repro.core import DecodeMode
+from repro.evaluation import format_speedup_table, measure_corpus, platforms, summarize_speedups
+
+from common import real_corpus, write_result
+
+
+def render() -> str:
+    corpus = list(real_corpus("4:2:2"))
+    summaries = {}
+    for plat in platforms.ALL_PLATFORMS:
+        ms = measure_corpus(plat, corpus)
+        summaries[plat.name] = summarize_speedups(ms)
+    out = format_speedup_table(
+        summaries, "Table 2: speedup over SIMD, 4:2:2 subsampling")
+    # paper shape: PPS best on every machine; GPU-only < 1 on GT 430
+    for name, s in summaries.items():
+        best = max(s.values(), key=lambda v: v.mean)
+        assert s[DecodeMode.PPS].mean >= best.mean * 0.97, name
+    assert summaries["GT 430"][DecodeMode.GPU].mean < 1.0
+    assert summaries["GT 430"][DecodeMode.PPS].mean > 1.0
+    assert (summaries["GTX 680"][DecodeMode.PPS].mean
+            >= summaries["GT 430"][DecodeMode.PPS].mean)
+    return out
+
+
+def test_table2(benchmark):
+    out = benchmark(render)
+    write_result("table2_speedup_422", out)

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make `python -m pytest benchmarks/`
+work from the repo root and echo result tables."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The offline profiling step (paper Section 5.1), end to end:
+
+1. profile a CPU-GPU combination over a (w, h, density) training grid,
+2. inspect the work-group sweep and chunk-size selection,
+3. fit the polynomial closed forms (AIC-selected degrees),
+4. save the model to JSON and verify predictions against fresh
+   measurements (the paper's "new set of images that does not share any
+   images with the training set").
+
+Run:  python examples/offline_profiling.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import DecodeMode, HeterogeneousDecoder, PerformanceModel, PreparedImage
+from repro.core.profiling import profile_platform
+from repro.evaluation import format_table, platforms
+
+
+def main() -> None:
+    plat = platforms.GTX560
+    print(f"profiling {plat} ...")
+    report = profile_platform(plat, "4:2:2", full_report=True)
+    model = report.model
+
+    print(f"\ntraining corpus: {len(report.records)} virtual images")
+    print("work-group sweep (PGPU on 2048x2048):")
+    for mcus, t in sorted(report.workgroup_sweep.items()):
+        mark = " <- selected" if mcus * 4 == model.workgroup_blocks else ""
+        print(f"  {mcus:>2} MCUs: {t / 1e3:8.3f} ms{mark}")
+    print(f"pipeline chunk size: {model.chunk_mcu_rows} MCU rows "
+          f"({model.chunk_mcu_rows * 8} pixel rows)")
+
+    print("\nfitted closed forms (AIC-selected degree):")
+    for name, poly in (
+        ("THuffPerPixel(d)", model.huff_rate_fit),
+        ("PCPU(w,h) SIMD", model.cpu_simd_fit),
+        ("PCPU(w,h) seq", model.cpu_seq_fit),
+        ("PGPU(w,h)", model.gpu_fit),
+        ("Tdisp(w,h)", model.disp_fit),
+    ):
+        print(f"  {name:<18} degree {poly.degree}, "
+              f"{poly.n_params} terms, RSS {poly.rss:.3e}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "gtx560_422.json"
+        model.save(path)
+        reloaded = PerformanceModel.load(path)
+        print(f"\nsaved + reloaded model from {path.name} "
+              f"({path.stat().st_size} bytes)")
+
+    # verify against a disjoint evaluation set
+    decoder = HeterogeneousDecoder.for_platform(plat)
+    rows = []
+    for (w, h, d) in ((640, 480, 0.10), (1280, 720, 0.22), (1920, 1080, 0.33)):
+        prep = PreparedImage.virtual(w, h, "4:2:2", d)
+        measured = decoder.decode(prep, DecodeMode.SIMD).total_us
+        predicted = reloaded.total_cpu(w, h, d)
+        rows.append([f"{w}x{h}", f"{d:.2f}", f"{measured / 1e3:.3f}",
+                     f"{predicted / 1e3:.3f}",
+                     f"{100 * abs(predicted - measured) / measured:.2f}%"])
+    print()
+    print(format_table(
+        ["Image", "Density", "Measured (ms)", "Predicted (ms)", "Error"],
+        rows, title="SIMD-mode prediction on unseen images"))
+
+
+if __name__ == "__main__":
+    main()

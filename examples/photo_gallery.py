@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Photo-gallery workload: the use case the paper's introduction
+motivates (browsers and photo apps decoding many JPEGs).
+
+Decodes a mixed gallery (different sizes, detail levels and subsampling
+modes) on all three Table-1 machines and prints per-machine mean
+speedups over libjpeg-turbo's SIMD baseline.
+
+Run:  python examples/photo_gallery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DecodeMode, HeterogeneousDecoder
+from repro.core.modes import EVALUATED_MODES
+from repro.data import synthetic_detail, synthetic_photo, synthetic_smooth
+from repro.evaluation import format_table, platforms
+from repro.jpeg import EncoderSettings, encode_jpeg
+
+GALLERY = [
+    ("portrait", synthetic_photo, (480, 360), "4:2:2", 0.5),
+    ("landscape", synthetic_photo, (360, 640), "4:2:2", 0.7),
+    ("screenshot", synthetic_smooth, (400, 400), "4:4:4", None),
+    ("texture", synthetic_detail, (320, 320), "4:2:2", None),
+    ("thumbnail", synthetic_photo, (160, 160), "4:2:2", 0.4),
+]
+
+
+def build_gallery() -> list[tuple[str, bytes]]:
+    images = []
+    for name, gen, (h, w), mode, detail in GALLERY:
+        kwargs = {"detail": detail} if detail is not None else {}
+        rgb = gen(h, w, seed=len(name), **kwargs)
+        data = encode_jpeg(rgb, EncoderSettings(quality=85, subsampling=mode))
+        images.append((name, data))
+        print(f"  {name:<11} {w}x{h} {mode} -> {len(data):>7} bytes")
+    return images
+
+
+def main() -> None:
+    print("building gallery:")
+    gallery = build_gallery()
+
+    for plat in platforms.ALL_PLATFORMS:
+        decoder = HeterogeneousDecoder.for_platform(plat)
+        rows = []
+        sums = {m: 0.0 for m in (DecodeMode.SIMD,) + EVALUATED_MODES}
+        for name, data in gallery:
+            prepared = decoder.prepare(data)
+            times = {m: decoder.decode(prepared, m).total_us
+                     for m in sums}
+            for m in sums:
+                sums[m] += times[m]
+            rows.append(
+                [name]
+                + [f"{times[DecodeMode.SIMD] / times[m]:.2f}x"
+                   for m in EVALUATED_MODES])
+        rows.append(
+            ["GALLERY TOTAL"]
+            + [f"{sums[DecodeMode.SIMD] / sums[m]:.2f}x"
+               for m in EVALUATED_MODES])
+        print()
+        print(format_table(
+            ["Image"] + [m.value.upper() for m in EVALUATED_MODES],
+            rows, title=f"{plat} — speedup over SIMD"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so that editable
+installs work on environments whose setuptools lacks PEP 660 support
+(no `wheel` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflows the library supports:
+
+- ``info FILE.jpg``            — parse and print header facts + density
+- ``decode FILE.jpg OUT.ppm``  — decode to a binary PPM (P6)
+- ``synth OUT.jpg``            — generate + encode a synthetic image
+- ``profile``                  — run offline profiling, save model JSON
+- ``evaluate``                 — all-mode simulated timings for one file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .jpeg import parse_jpeg
+
+    info = parse_jpeg(Path(args.file).read_bytes())
+    print(f"file:          {args.file}")
+    print(f"dimensions:    {info.width} x {info.height}")
+    print(f"subsampling:   {info.subsampling_mode}")
+    print(f"file size:     {info.file_size} bytes")
+    print(f"entropy data:  {len(info.entropy_data)} bytes")
+    print(f"density (Eq3): {info.file_density:.4f} bytes/pixel")
+    print(f"restart intvl: {info.restart_interval or 'none'}")
+    geo = info.geometry
+    print(f"MCU grid:      {geo.mcus_per_row} x {geo.mcu_rows} "
+          f"({geo.mcu_width}x{geo.mcu_height} px each)")
+    return 0
+
+
+def _write_ppm(path: Path, rgb: np.ndarray) -> None:
+    h, w = rgb.shape[:2]
+    with open(path, "wb") as f:
+        f.write(f"P6\n{w} {h}\n255\n".encode())
+        f.write(np.ascontiguousarray(rgb).tobytes())
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    data = Path(args.file).read_bytes()
+    if args.mode == "reference":
+        from .jpeg import decode_jpeg
+
+        rgb = decode_jpeg(data).rgb
+    else:
+        from .core import HeterogeneousDecoder
+        from .evaluation import platforms
+
+        plat = {p.name: p for p in platforms.ALL_PLATFORMS}[args.platform]
+        decoder = HeterogeneousDecoder.for_platform(plat)
+        result = decoder.decode(data, args.mode)
+        rgb = result.rgb
+        print(f"simulated {result.mode.value} decode: "
+              f"{result.total_time_ms:.3f} ms")
+    _write_ppm(Path(args.output), rgb)
+    print(f"wrote {args.output} ({rgb.shape[1]}x{rgb.shape[0]})")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from .data import GENERATORS
+    from .jpeg import EncoderSettings, encode_jpeg
+
+    gen = GENERATORS[args.kind]
+    kwargs = {"detail": args.detail} if args.kind == "photo" else {}
+    rgb = gen(args.height, args.width, seed=args.seed, **kwargs)
+    data = encode_jpeg(rgb, EncoderSettings(
+        quality=args.quality, subsampling=args.subsampling,
+        restart_interval=args.restart_interval))
+    Path(args.output).write_bytes(data)
+    print(f"wrote {args.output}: {args.width}x{args.height} "
+          f"{args.subsampling} q{args.quality}, {len(data)} bytes")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .core.profiling import profile_platform
+    from .evaluation import platforms
+
+    plat = {p.name: p for p in platforms.ALL_PLATFORMS}[args.platform]
+    model = profile_platform(plat, args.subsampling)
+    model.save(args.output)
+    print(f"profiled {plat.name} ({args.subsampling}); model -> {args.output}")
+    print(f"  work-group: {model.workgroup_blocks} blocks, "
+          f"chunk: {model.chunk_mcu_rows} MCU rows")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .core import DecodeMode, HeterogeneousDecoder
+    from .evaluation import platforms
+
+    data = Path(args.file).read_bytes()
+    plat = {p.name: p for p in platforms.ALL_PLATFORMS}[args.platform]
+    decoder = HeterogeneousDecoder.for_platform(plat)
+    prepared = decoder.prepare(data)
+    print(f"{args.file} on {plat}:")
+    simd_us = None
+    for mode in DecodeMode:
+        result = decoder.decode(prepared, mode)
+        if mode is DecodeMode.SIMD:
+            simd_us = result.total_us
+        speed = f"{simd_us / result.total_us:5.2f}x" if simd_us else "     -"
+        print(f"  {mode.value:<10} {result.total_time_ms:9.3f} ms  {speed}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heterogeneous JPEG decompression (PMAM'14 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="print JPEG header facts")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("decode", help="decode a JPEG to PPM")
+    p.add_argument("file")
+    p.add_argument("output")
+    p.add_argument("--mode", default="reference",
+                   choices=["reference", "sequential", "simd", "gpu",
+                            "pipeline", "sps", "pps", "auto"])
+    p.add_argument("--platform", default="GTX 560",
+                   choices=["GT 430", "GTX 560", "GTX 680"])
+    p.set_defaults(func=_cmd_decode)
+
+    p = sub.add_parser("synth", help="generate a synthetic JPEG")
+    p.add_argument("output")
+    p.add_argument("--kind", default="photo",
+                   choices=["photo", "smooth", "detail", "skewed"])
+    p.add_argument("--width", type=int, default=640)
+    p.add_argument("--height", type=int, default=480)
+    p.add_argument("--quality", type=int, default=85)
+    p.add_argument("--subsampling", default="4:2:2",
+                   choices=["4:4:4", "4:2:2", "4:2:0"])
+    p.add_argument("--detail", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--restart-interval", type=int, default=0)
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("profile", help="offline-profile a platform")
+    p.add_argument("--platform", default="GTX 560",
+                   choices=["GT 430", "GTX 560", "GTX 680"])
+    p.add_argument("--subsampling", default="4:2:2",
+                   choices=["4:4:4", "4:2:2"])
+    p.add_argument("--output", default="model.json")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("evaluate", help="all-mode simulated timings")
+    p.add_argument("file")
+    p.add_argument("--platform", default="GTX 560",
+                   choices=["GT 430", "GTX 560", "GTX 680"])
+    p.set_defaults(func=_cmd_evaluate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

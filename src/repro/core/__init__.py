@@ -1,0 +1,65 @@
+"""The paper's contribution: performance model, dynamic partitioning and
+pipelined heterogeneous execution."""
+
+from .amdahl import max_speedup, parallel_fraction, percent_of_max
+from .decoder import HeterogeneousDecoder, clear_model_cache
+from .executors import (
+    DecodeResult,
+    ExecutionConfig,
+    PreparedImage,
+    cpu_parallel_span,
+)
+from .horner import HornerPolynomial, naive_evaluate
+from .modes import EVALUATED_MODES, DecodeMode
+from .newton import newton_solve, round_rows_to_mcu
+from .partition import (
+    PartitionDecision,
+    corrected_density,
+    partition_pps,
+    partition_sps,
+    repartition_pps,
+)
+from .perfmodel import PerformanceModel
+from .platform import Platform
+from .profiling import (
+    ProfilingReport,
+    TrainingImage,
+    default_training_grid,
+    profile_platform,
+)
+from .regression import PolynomialModel, fit_best_polynomial, fit_polynomial
+from .timeline import Span, Timeline
+
+__all__ = [
+    "DecodeMode",
+    "DecodeResult",
+    "EVALUATED_MODES",
+    "ExecutionConfig",
+    "HeterogeneousDecoder",
+    "HornerPolynomial",
+    "PartitionDecision",
+    "PerformanceModel",
+    "Platform",
+    "PolynomialModel",
+    "PreparedImage",
+    "ProfilingReport",
+    "Span",
+    "Timeline",
+    "TrainingImage",
+    "clear_model_cache",
+    "corrected_density",
+    "cpu_parallel_span",
+    "default_training_grid",
+    "fit_best_polynomial",
+    "fit_polynomial",
+    "max_speedup",
+    "naive_evaluate",
+    "newton_solve",
+    "parallel_fraction",
+    "partition_pps",
+    "partition_sps",
+    "percent_of_max",
+    "profile_platform",
+    "repartition_pps",
+    "round_rows_to_mcu",
+]

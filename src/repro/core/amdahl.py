@@ -1,0 +1,37 @@
+"""Amdahl's-law speedup bound (paper Section 6.2, Equations 18-19).
+
+The only truly sequential stage is Huffman decoding, so with infinitely
+many processors the best attainable speedup over the SIMD baseline is
+``Ttotal(SIMD) / THuff`` (Eq 19).  Figure 11 reports the fraction of
+that bound PPS achieves.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+
+
+def max_speedup(total_time: float, sequential_time: float) -> float:
+    """Eq 18/19: bound given the sequential portion's absolute time."""
+    if total_time <= 0:
+        raise ModelError("total time must be positive")
+    if sequential_time <= 0:
+        raise ModelError("sequential portion must be positive")
+    if sequential_time > total_time:
+        raise ModelError("sequential portion exceeds total time")
+    return total_time / sequential_time
+
+
+def parallel_fraction(total_time: float, sequential_time: float) -> float:
+    """P of Eq 18: the parallelizable fraction of the program."""
+    max_speedup(total_time, sequential_time)  # validates inputs
+    return 1.0 - sequential_time / total_time
+
+
+def percent_of_max(actual_speedup: float, total_time: float,
+                   sequential_time: float) -> float:
+    """Figure 11's y-axis: achieved speedup / attainable bound * 100."""
+    bound = max_speedup(total_time, sequential_time)
+    if actual_speedup < 0:
+        raise ModelError("speedup cannot be negative")
+    return 100.0 * actual_speedup / bound

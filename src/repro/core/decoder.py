@@ -1,0 +1,147 @@
+"""Public decoder facade: :class:`HeterogeneousDecoder`.
+
+Ties the whole system together the way the paper's runtime does: given a
+platform (CPU + GPU), it lazily profiles the platform per subsampling
+mode (offline step, cached), then decodes images under any of the six
+execution modes — or picks the predicted-fastest mode automatically from
+the fitted closed forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import JpegUnsupportedError, ReproError
+from ..jpeg.markers import parse_jpeg
+from ..kernels.program import GpuProgramOptions
+from .executors import EXECUTORS, DecodeResult, ExecutionConfig, PreparedImage
+from .modes import DecodeMode
+from .perfmodel import PerformanceModel
+from .platform import Platform
+from .profiling import profile_platform
+
+#: Process-wide model cache: profiling is "required only once for a given
+#: CPU-GPU combination" (Section 5) — keyed by (platform, subsampling).
+_MODEL_CACHE: dict[tuple[str, str], PerformanceModel] = {}
+
+
+def clear_model_cache() -> None:
+    """Drop all cached performance models (tests use this)."""
+    _MODEL_CACHE.clear()
+
+
+@dataclass
+class HeterogeneousDecoder:
+    """JPEG decoder for one CPU-GPU platform.
+
+    Parameters
+    ----------
+    platform : the CPU+GPU pair to decode on.
+    gpu_options : kernel-level knobs (merging, vectorization, work-group
+        size); profiling may override the work-group size with its sweep
+        winner.
+    models : pre-fitted performance models keyed by subsampling; missing
+        entries are profiled on first use and cached process-wide.
+    """
+
+    platform: Platform
+    gpu_options: GpuProgramOptions = field(default_factory=GpuProgramOptions)
+    models: dict[str, PerformanceModel] = field(default_factory=dict)
+    fancy_upsampling: bool = True
+    repartition: bool = True
+
+    @classmethod
+    def for_platform(cls, platform: Platform, **kwargs) -> "HeterogeneousDecoder":
+        """Construct with default options for *platform*."""
+        return cls(platform=platform, **kwargs)
+
+    # -- model management --------------------------------------------------
+
+    def model_for(self, subsampling: str) -> PerformanceModel:
+        """Fetch (or lazily fit) the performance model for a mode."""
+        if subsampling in self.models:
+            return self.models[subsampling]
+        key = (self.platform.name, subsampling)
+        if key not in _MODEL_CACHE:
+            _MODEL_CACHE[key] = profile_platform(
+                self.platform, subsampling, gpu_options=self.gpu_options)
+        self.models[subsampling] = _MODEL_CACHE[key]
+        return self.models[subsampling]
+
+    # -- decoding ------------------------------------------------------------
+
+    def prepare(self, data: bytes) -> PreparedImage:
+        """Parse and entropy-decode once; reusable across modes."""
+        return PreparedImage.from_bytes(data)
+
+    def _config(self, prepared: PreparedImage) -> ExecutionConfig:
+        mode = prepared.geometry.mode
+        model = None
+        if mode in ("4:4:4", "4:2:2"):
+            model = self.model_for(mode)
+            options = replace(self.gpu_options,
+                              workgroup_blocks=model.workgroup_blocks)
+        else:
+            options = self.gpu_options
+        return ExecutionConfig(
+            platform=self.platform, model=model, gpu_options=options,
+            repartition=self.repartition,
+            fancy_upsampling=self.fancy_upsampling,
+        )
+
+    def choose_mode(self, prepared: PreparedImage) -> DecodeMode:
+        """Pick the predicted-fastest mode from the closed forms."""
+        geo = prepared.geometry
+        if geo.mode not in ("4:4:4", "4:2:2"):
+            return DecodeMode.SIMD
+        model = self.model_for(geo.mode)
+        w, h, d = geo.width, geo.height, prepared.density
+        t_huff = model.t_huff(w, h, d)
+        predictions = {
+            DecodeMode.SIMD: t_huff + model.p_cpu(w, h),
+            DecodeMode.GPU: t_huff + model.p_gpu(w, h) + model.t_dispatch(w, h),
+            # pipelined GPU hides kernels behind Huffman except the last chunk
+            DecodeMode.PIPELINE: t_huff + model.p_gpu(
+                w, min(h, model.chunk_mcu_rows * geo.mcu_height)),
+        }
+        # PPS is bounded below by the Huffman time plus the balanced tail;
+        # predict via the PPS balance equation's CPU side.
+        from .partition import partition_pps
+
+        decision = partition_pps(model, w, h, d,
+                                 model.chunk_mcu_rows * geo.mcu_height,
+                                 geo.mcu_height)
+        predictions[DecodeMode.PPS] = (
+            t_huff + model.p_cpu(w, decision.cpu_rows)
+            + model.t_dispatch(w, decision.gpu_rows))
+        return min(predictions, key=predictions.get)
+
+    def decode(self, data: bytes | PreparedImage,
+               mode: DecodeMode | str = "auto") -> DecodeResult:
+        """Decode under *mode* ("auto" picks the predicted-fastest).
+
+        Returns a :class:`DecodeResult` with real pixels, the simulated
+        timeline, and the partition decision for SPS/PPS.
+        """
+        prepared = data if isinstance(data, PreparedImage) else self.prepare(data)
+        if mode == "auto":
+            mode = self.choose_mode(prepared)
+        mode = DecodeMode(mode)
+        if mode.uses_gpu and prepared.geometry.mode not in ("4:4:4", "4:2:2"):
+            raise JpegUnsupportedError(
+                f"{mode.value} mode supports 4:4:4/4:2:2 (the paper's "
+                f"scope); got {prepared.geometry.mode}"
+            )
+        config = self._config(prepared)
+        try:
+            return EXECUTORS[mode](config, prepared)
+        except KeyError:
+            raise ReproError(f"unknown decode mode {mode!r}") from None
+
+    def decode_all_modes(self, data: bytes | PreparedImage,
+                         modes: tuple[DecodeMode, ...] | None = None
+                         ) -> dict[DecodeMode, DecodeResult]:
+        """Decode once per mode, sharing the entropy-decode work."""
+        prepared = data if isinstance(data, PreparedImage) else self.prepare(data)
+        modes = modes or tuple(DecodeMode)
+        return {m: self.decode(prepared, m) for m in modes}

@@ -1,0 +1,45 @@
+"""The six decoder execution modes evaluated in the paper (Section 6)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DecodeMode(str, Enum):
+    """Execution modes, in the paper's naming.
+
+    - SEQUENTIAL: libjpeg-turbo's plain C path, one CPU thread.
+    - SIMD: libjpeg-turbo's SIMD path — the paper's main yardstick.
+    - GPU: Huffman on the CPU, then one GPU pass over the whole image.
+    - PIPELINE: Huffman chunks streamed to the GPU as they decode
+      (Section 4.5, "pipelined GPU").
+    - SPS: simple partitioning scheme — full Huffman, then the parallel
+      phase split between CPU and GPU by Newton's method (Section 5.2.1).
+    - PPS: pipelined partitioning scheme — GPU chunks overlap Huffman,
+      re-partitioning corrects the split before the last chunk
+      (Section 5.2.2).
+    """
+
+    SEQUENTIAL = "sequential"
+    SIMD = "simd"
+    GPU = "gpu"
+    PIPELINE = "pipeline"
+    SPS = "sps"
+    PPS = "pps"
+
+    @property
+    def uses_gpu(self) -> bool:
+        return self not in (DecodeMode.SEQUENTIAL, DecodeMode.SIMD)
+
+    @property
+    def is_partitioned(self) -> bool:
+        """True for the heterogeneous (CPU+GPU cooperative) modes."""
+        return self in (DecodeMode.SPS, DecodeMode.PPS)
+
+    @property
+    def is_pipelined(self) -> bool:
+        return self in (DecodeMode.PIPELINE, DecodeMode.PPS)
+
+
+#: The four modes Figure 10 / Tables 2-3 report speedups for.
+EVALUATED_MODES = (DecodeMode.GPU, DecodeMode.PIPELINE, DecodeMode.SPS, DecodeMode.PPS)

@@ -1,0 +1,98 @@
+"""Newton's method for the partition balance equation (Section 5.2, Eq 11).
+
+The partitioners need the root of ``f(x) = 0`` where x is the number of
+pixel rows assigned to the CPU.  Newton iteration with a numerical
+derivative converges in a couple of steps on these near-linear closed
+forms; when an iterate escapes [lo, hi] or the derivative degenerates,
+we fall back to bisection (robustness the paper doesn't need to discuss
+but an implementation does).  Results are clamped and rounded to whole
+MCU rows, per libjpeg-turbo's decoding convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import PartitionError
+
+
+@dataclass(frozen=True)
+class RootResult:
+    """Outcome of a root solve."""
+
+    x: float
+    iterations: int
+    converged: bool
+    residual: float
+
+
+def newton_solve(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    x0: float | None = None,
+    tol: float = 1e-3,
+    max_iter: int = 40,
+    derivative_step: float | None = None,
+) -> RootResult:
+    """Find x in [lo, hi] with f(x) ~ 0; Newton with bisection fallback.
+
+    ``f`` need not bracket a root: monotone closed forms whose root lies
+    outside the interval clamp to the nearer endpoint (all work goes to
+    one device — exactly what should happen on wildly mismatched
+    hardware).
+    """
+    if hi <= lo:
+        raise PartitionError(f"empty search interval [{lo}, {hi}]")
+    step = derivative_step if derivative_step is not None else max((hi - lo) * 1e-4, 1e-6)
+
+    f_lo, f_hi = f(lo), f(hi)
+    if f_lo == 0.0:
+        return RootResult(lo, 0, True, 0.0)
+    if f_hi == 0.0:
+        return RootResult(hi, 0, True, 0.0)
+    # no sign change: the balanced point lies outside; clamp to the
+    # endpoint with the smaller |f| (paper's "larger partition to the CPU"
+    # behaviour on GT 430 comes from here)
+    if f_lo * f_hi > 0:
+        x = lo if abs(f_lo) < abs(f_hi) else hi
+        return RootResult(x, 0, False, f(x))
+
+    x = x0 if x0 is not None else 0.5 * (lo + hi)
+    x = min(max(x, lo), hi)
+    blo, bhi = lo, hi  # maintained bisection bracket
+
+    for it in range(1, max_iter + 1):
+        fx = f(x)
+        if abs(fx) <= tol:
+            return RootResult(x, it, True, fx)
+        # update the bracket
+        if fx * f_lo < 0:
+            bhi = x
+        else:
+            blo, f_lo = x, fx
+        d = (f(x + step) - f(x - step)) / (2.0 * step)
+        if d == 0.0 or not (abs(d) > 0):  # degenerate or NaN derivative
+            x_new = 0.5 * (blo + bhi)
+        else:
+            x_new = x - fx / d            # Eq 11
+            if not (blo <= x_new <= bhi):
+                x_new = 0.5 * (blo + bhi)
+        if abs(x_new - x) < tol * 1e-3:
+            return RootResult(x_new, it, True, f(x_new))
+        x = x_new
+    return RootResult(x, max_iter, abs(f(x)) <= tol * 10, f(x))
+
+
+def round_rows_to_mcu(rows: float, mcu_height: int, total_rows: int) -> int:
+    """Clamp to [0, total] and round to the nearest MCU-row multiple.
+
+    "Variable x is rounded to the nearest value evenly divisible by the
+    number of rows in an MCU" (Section 5.2).
+    """
+    if mcu_height <= 0:
+        raise PartitionError("MCU height must be positive")
+    rows = min(max(rows, 0.0), float(total_rows))
+    snapped = int(round(rows / mcu_height)) * mcu_height
+    return min(max(snapped, 0), total_rows)

@@ -1,0 +1,156 @@
+"""Dynamic partitioning schemes (paper Section 5.2).
+
+Both schemes split the image horizontally: the *top* ``h - x`` pixel rows
+go to the GPU, the *bottom* ``x`` rows to the CPU, with x chosen so both
+devices finish together.  SPS balances only the parallel phase (Eq 10);
+PPS additionally accounts for pipelined Huffman chunks (Eq 15) and
+corrects itself mid-decode via re-partitioning (Eq 16/17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PartitionError
+from .newton import RootResult, newton_solve, round_rows_to_mcu
+from .perfmodel import PerformanceModel
+
+
+@dataclass(frozen=True)
+class PartitionDecision:
+    """The outcome of one balance solve."""
+
+    cpu_rows: int          # pixel rows assigned to the CPU (bottom)
+    gpu_rows: int          # pixel rows assigned to the GPU (top)
+    x_unrounded: float     # Newton's continuous solution
+    iterations: int
+    converged: bool
+    predicted_cpu_us: float = 0.0
+    predicted_gpu_us: float = 0.0
+
+    @property
+    def total_rows(self) -> int:
+        return self.cpu_rows + self.gpu_rows
+
+
+def partition_sps(model: PerformanceModel, width: int, height: int,
+                  mcu_height: int) -> PartitionDecision:
+    """Simple partitioning scheme (Section 5.2.1).
+
+    Balance Eq 10: ``f(x) = Tdisp(w, h-x) + PCPU(w, x) - PGPU(w, h-x)``,
+    solved with Newton's method (Eq 11) and rounded to MCU rows.
+    """
+    if height < mcu_height:
+        raise PartitionError("image shorter than one MCU row")
+
+    def f(x: float) -> float:
+        return (model.t_dispatch(width, int(height - x))
+                + model.p_cpu(width, int(x))
+                - model.p_gpu(width, int(height - x)))
+
+    res = newton_solve(f, 0.0, float(height))
+    x = round_rows_to_mcu(res.x, mcu_height, height)
+    return PartitionDecision(
+        cpu_rows=x, gpu_rows=height - x, x_unrounded=res.x,
+        iterations=res.iterations, converged=res.converged,
+        predicted_cpu_us=model.p_cpu(width, x)
+        + model.t_dispatch(width, height - x),
+        predicted_gpu_us=model.p_gpu(width, height - x),
+    )
+
+
+def partition_pps(model: PerformanceModel, width: int, height: int,
+                  density: float, chunk_pixel_rows: int,
+                  mcu_height: int) -> PartitionDecision:
+    """Pipelined partitioning scheme, initial solve (Section 5.2.2).
+
+    Balance Eq 15: the GPU-side total starts after the first chunk's
+    Huffman decode, so the CPU side carries the Huffman time of all but
+    the first chunk: ``f(x) = THuff(w, h-c, d) + PCPU(w, x)
+    + Tdisp(w, h-x) - PGPU(w, h-x)``.
+
+    One refinement over the printed equation: when the chunk size is not
+    smaller than the GPU partition itself (small images), the GPU's
+    first chunk is the whole partition, so the effective c is
+    ``min(c, h - x)`` — otherwise the equation would credit the GPU with
+    overlap that cannot happen and starve the CPU.
+    """
+    if height < mcu_height:
+        raise PartitionError("image shorter than one MCU row")
+    c = min(chunk_pixel_rows, height)
+
+    def f(x: float) -> float:
+        c_eff = min(c, height - x)
+        return (model.t_huff(width, int(height - c_eff), density)
+                + model.p_cpu(width, int(x))
+                + model.t_dispatch(width, int(height - x))
+                - model.p_gpu(width, int(height - x)))
+
+    res = newton_solve(f, 0.0, float(height))
+    x = round_rows_to_mcu(res.x, mcu_height, height)
+    return PartitionDecision(
+        cpu_rows=x, gpu_rows=height - x, x_unrounded=res.x,
+        iterations=res.iterations, converged=res.converged,
+        predicted_cpu_us=model.t_huff(width, height, density)
+        + model.p_cpu(width, x) + model.t_dispatch(width, height - x),
+        predicted_gpu_us=model.t_huff(width, c, density)
+        + model.p_gpu(width, height - x),
+    )
+
+
+def corrected_density(estimated_total_huff_us: float,
+                      consumed_huff_us: float,
+                      remaining_rows: int, total_rows: int,
+                      density: float) -> float:
+    """Eq 17: scale the density by observed/predicted Huffman progress.
+
+    ``d' = (remaining_time_ratio / remaining_height_ratio) * d`` — when
+    the remaining share of the predicted time exceeds the remaining share
+    of the image, detail is back-loaded and the GPU deserves more rows.
+    """
+    if estimated_total_huff_us <= 0 or total_rows <= 0:
+        raise PartitionError("degenerate totals in density correction")
+    remaining_time = max(estimated_total_huff_us - consumed_huff_us, 0.0)
+    time_ratio = remaining_time / estimated_total_huff_us
+    height_ratio = remaining_rows / total_rows
+    if height_ratio <= 0:
+        return density
+    return max(0.0, time_ratio / height_ratio * density)
+
+
+def repartition_pps(model: PerformanceModel, width: int,
+                    remaining_rows: int, corrected_d: float,
+                    gpu_backlog_us: float, mcu_height: int) -> PartitionDecision:
+    """Re-partitioning before the last GPU chunk (Eq 16).
+
+    ``remaining_rows`` (h') covers the last GPU chunk plus the CPU
+    partition; the split is re-solved with the corrected density and the
+    GPU's unfinished backlog (TprevGPU) charged to the GPU side.
+
+    Accounting note: from the re-partition instant, the CPU finishes at
+    ``THuff(h') + PCPU(x') + Tdisp`` and the GPU at ``THuff(h'-x')
+    + PGPU(h'-x') + backlog`` (its last chunk cannot start before its own
+    rows are entropy-decoded).  The Huffman time of the GPU chunk cancels
+    across the difference, leaving ``THuff(x')`` on the CPU side — the
+    printed Eq 16's ``THuff(h')`` is the same balance when several chunks
+    remain but over-feeds the GPU in the single-chunk case.
+    """
+    if remaining_rows <= 0:
+        raise PartitionError("nothing left to re-partition")
+
+    def f(x: float) -> float:
+        return (model.t_dispatch(width, int(remaining_rows - x))
+                + model.t_huff(width, int(x), corrected_d)
+                + model.p_cpu(width, int(x))
+                - model.p_gpu(width, int(remaining_rows - x))
+                - gpu_backlog_us)
+
+    res = newton_solve(f, 0.0, float(remaining_rows))
+    x = round_rows_to_mcu(res.x, mcu_height, remaining_rows)
+    return PartitionDecision(
+        cpu_rows=x, gpu_rows=remaining_rows - x, x_unrounded=res.x,
+        iterations=res.iterations, converged=res.converged,
+        predicted_cpu_us=model.t_huff(width, remaining_rows, corrected_d)
+        + model.p_cpu(width, x),
+        predicted_gpu_us=gpu_backlog_us + model.p_gpu(width, remaining_rows - x),
+    )

@@ -1,0 +1,126 @@
+"""The performance model (paper Section 5.1, Equations 3-7).
+
+Closed forms, fitted offline per CPU-GPU combination and subsampling
+mode, with image width, height and entropy density as the only inputs:
+
+- ``THuffPerPixel(d)``: Huffman decoding rate (us/pixel) vs. density —
+  the Figure 7 relationship; ``THuff = THuffPerPixel(d) * w * h`` (Eq 4).
+- ``PCPU(w, h)``: CPU parallel phase (SIMD path), Figure 6 left.
+- ``PCPUseq(w, h)``: same for the plain sequential path.
+- ``PGPU(w, h)``: GPU parallel phase *including* both PCIe transfers
+  (Eq 7: ``PGPU = Ow + Tkernel + Or``), Figure 6 right.
+- ``Tdisp(w, h)``: host-side OpenCL dispatch overhead.
+
+All polynomials are evaluated in Horner form at run time (Section 5.1's
+optimization); density uses Eq 3: ``d = file_size / (w * h)``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ModelError
+from .horner import HornerPolynomial
+from .regression import PolynomialModel
+
+
+@dataclass
+class PerformanceModel:
+    """Fitted closed forms for one (platform, subsampling) pair."""
+
+    platform_name: str
+    subsampling: str
+    huff_rate_fit: PolynomialModel    # f(density) -> us/pixel
+    cpu_simd_fit: PolynomialModel             # f(w, h) -> us
+    cpu_seq_fit: PolynomialModel              # f(w, h) -> us
+    gpu_fit: PolynomialModel                  # f(w, h) -> us (Ow + kernel + Or)
+    disp_fit: PolynomialModel                 # f(w, h) -> us
+    chunk_mcu_rows: int = 8                 # Section 4.5 profiling output
+    workgroup_blocks: int = 16              # Section 5.1 WG-size sweep output
+    _horner: dict = field(default_factory=dict, repr=False)
+
+    def _h(self, name: str, model: PolynomialModel) -> HornerPolynomial:
+        if name not in self._horner:
+            self._horner[name] = HornerPolynomial(model)
+        return self._horner[name]
+
+    # -- closed-form evaluations (all return simulated microseconds) -------
+
+    def t_huff(self, width: int, height: int, density: float) -> float:
+        """Eq 4: whole-image (or sub-image) Huffman decode time."""
+        if height <= 0 or width <= 0:
+            return 0.0
+        rate = self._h("huff", self.huff_rate_fit).evaluate(density)
+        return max(0.0, rate * width * height)
+
+    def p_cpu(self, width: int, rows: int, simd: bool = True) -> float:
+        """CPU parallel phase over *rows* pixel rows."""
+        if rows <= 0:
+            return 0.0
+        model = self.cpu_simd_fit if simd else self.cpu_seq_fit
+        name = "cpu_simd" if simd else "cpu_seq"
+        return max(0.0, self._h(name, model).evaluate(width, rows))
+
+    def p_gpu(self, width: int, rows: int) -> float:
+        """GPU parallel phase (transfers included) over *rows* pixel rows."""
+        if rows <= 0:
+            return 0.0
+        return max(0.0, self._h("gpu", self.gpu_fit).evaluate(width, rows))
+
+    def t_dispatch(self, width: int, rows: int) -> float:
+        """Host-side dispatch overhead for a GPU execution of *rows*."""
+        if rows <= 0:
+            return 0.0
+        return max(0.0, self._h("disp", self.disp_fit).evaluate(width, rows))
+
+    # -- totals (Eq 5, Eq 6) -------------------------------------------------
+
+    def total_cpu(self, width: int, height: int, density: float,
+                  simd: bool = True) -> float:
+        """Eq 5: Ttotal = THuff + PCPU."""
+        return self.t_huff(width, height, density) + self.p_cpu(width, height, simd)
+
+    def total_gpu(self, width: int, height: int, density: float) -> float:
+        """Eq 6: Ttotal = THuff + PGPU."""
+        return self.t_huff(width, height, density) + self.p_gpu(width, height)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "platform_name": self.platform_name,
+            "subsampling": self.subsampling,
+            "huff_rate_fit": self.huff_rate_fit.to_dict(),
+            "cpu_simd_fit": self.cpu_simd_fit.to_dict(),
+            "cpu_seq_fit": self.cpu_seq_fit.to_dict(),
+            "gpu_fit": self.gpu_fit.to_dict(),
+            "disp_fit": self.disp_fit.to_dict(),
+            "chunk_mcu_rows": self.chunk_mcu_rows,
+            "workgroup_blocks": self.workgroup_blocks,
+        }
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PerformanceModel":
+        try:
+            return cls(
+                platform_name=d["platform_name"],
+                subsampling=d["subsampling"],
+                huff_rate_fit=PolynomialModel.from_dict(d["huff_rate_fit"]),
+                cpu_simd_fit=PolynomialModel.from_dict(d["cpu_simd_fit"]),
+                cpu_seq_fit=PolynomialModel.from_dict(d["cpu_seq_fit"]),
+                gpu_fit=PolynomialModel.from_dict(d["gpu_fit"]),
+                disp_fit=PolynomialModel.from_dict(d["disp_fit"]),
+                chunk_mcu_rows=int(d.get("chunk_mcu_rows", 8)),
+                workgroup_blocks=int(d.get("workgroup_blocks", 16)),
+            )
+        except KeyError as exc:
+            raise ModelError(f"missing field in model file: {exc}") from exc
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PerformanceModel":
+        return cls.from_dict(json.loads(Path(path).read_text()))

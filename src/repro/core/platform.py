@@ -1,0 +1,21 @@
+"""A heterogeneous platform: one CPU paired with one GPU (Table 1 rows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import CPUDeviceSpec, GPUDeviceSpec
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One CPU-GPU combination, the unit the paper profiles offline."""
+
+    name: str
+    cpu: CPUDeviceSpec
+    gpu: GPUDeviceSpec
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.cpu.name} ({self.cpu.cores} cores @ "
+                f"{self.cpu.clock_ghz} GHz) + {self.gpu.name} "
+                f"({self.gpu.cores} cores @ {self.gpu.core_clock_mhz} MHz)")

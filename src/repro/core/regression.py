@@ -1,0 +1,177 @@
+"""Multivariate polynomial regression with AIC model selection (Section 5.1).
+
+The paper fits each decoding phase with polynomials "up to a degree of
+seven" and picks the best fit "by comparing Akaike information criteria".
+This module implements exactly that: a monomial design matrix over any
+number of variables, ordinary least squares, and degree selection by AIC
+(with the small-sample correction available, since training grids can be
+modest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+from ..errors import ModelError
+
+#: The paper's maximum fitted degree.
+MAX_DEGREE = 7
+
+
+def monomial_exponents(n_vars: int, degree: int) -> list[tuple[int, ...]]:
+    """All exponent tuples of total degree <= *degree* over *n_vars*
+    variables, constant term first, graded-lexicographic order."""
+    if n_vars <= 0:
+        raise ModelError("need at least one variable")
+    if degree < 0:
+        raise ModelError("degree must be non-negative")
+    exps: list[tuple[int, ...]] = []
+    for total in range(degree + 1):
+        for combo in combinations_with_replacement(range(n_vars), total):
+            e = [0] * n_vars
+            for v in combo:
+                e[v] += 1
+            exps.append(tuple(e))
+    return exps
+
+
+def design_matrix(x: np.ndarray, exponents: list[tuple[int, ...]]) -> np.ndarray:
+    """Evaluate the monomial basis at rows of *x* ((n, k) array)."""
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    n, k = x.shape
+    cols = np.empty((n, len(exponents)), dtype=np.float64)
+    for j, exp in enumerate(exponents):
+        col = np.ones(n)
+        for v, p in enumerate(exp):
+            if p:
+                col = col * x[:, v] ** p
+        cols[:, j] = col
+    return cols
+
+
+@dataclass
+class PolynomialModel:
+    """A fitted multivariate polynomial: sum_j c_j * prod_v x_v^e_jv."""
+
+    n_vars: int
+    degree: int
+    exponents: list[tuple[int, ...]]
+    coefficients: np.ndarray
+    rss: float = 0.0
+    n_samples: int = 0
+    scale: np.ndarray = field(default_factory=lambda: np.array([1.0]))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate at rows of *x*; accepts (k,) or (n, k)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64)) / self.scale
+        return design_matrix(x, self.exponents) @ self.coefficients
+
+    def predict_one(self, *values: float) -> float:
+        """Scalar convenience evaluation."""
+        return float(self.predict(np.array(values))[0])
+
+    @property
+    def n_params(self) -> int:
+        return len(self.coefficients)
+
+    def aic(self) -> float:
+        """Akaike information criterion of the fit (Gaussian residuals)."""
+        return aic_score(self.rss, self.n_samples, self.n_params)
+
+    # -- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "n_vars": self.n_vars,
+            "degree": self.degree,
+            "exponents": [list(e) for e in self.exponents],
+            "coefficients": self.coefficients.tolist(),
+            "rss": self.rss,
+            "n_samples": self.n_samples,
+            "scale": self.scale.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PolynomialModel":
+        return cls(
+            n_vars=int(d["n_vars"]),
+            degree=int(d["degree"]),
+            exponents=[tuple(e) for e in d["exponents"]],
+            coefficients=np.asarray(d["coefficients"], dtype=np.float64),
+            rss=float(d["rss"]),
+            n_samples=int(d["n_samples"]),
+            scale=np.asarray(d.get("scale", [1.0] * int(d["n_vars"]))),
+        )
+
+
+def aic_score(rss: float, n: int, k: int, corrected: bool = True) -> float:
+    """AIC for a least-squares fit; AICc correction when n/k is small."""
+    if n <= 0:
+        raise ModelError("AIC needs at least one sample")
+    rss = max(rss, 1e-300)  # guard the log for (near-)exact fits
+    score = n * np.log(rss / n) + 2 * k
+    if corrected and n - k - 1 > 0:
+        score += 2.0 * k * (k + 1) / (n - k - 1)
+    return float(score)
+
+
+def fit_polynomial(x: np.ndarray, y: np.ndarray, degree: int) -> PolynomialModel:
+    """Least-squares fit of one fixed-degree polynomial.
+
+    Inputs are rescaled to unit order of magnitude before fitting so that
+    degree-7 monomials of pixel-scale inputs (w, h up to thousands) stay
+    numerically sane; the scale is stored and reapplied in predict().
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    if x.shape[0] != y.shape[0]:
+        raise ModelError("x and y sample counts differ")
+    if x.shape[0] < 1:
+        raise ModelError("cannot fit with zero samples")
+    scale = np.maximum(np.abs(x).max(axis=0), 1e-12)
+    xs = x / scale
+    exps = monomial_exponents(x.shape[1], degree)
+    if x.shape[0] < len(exps):
+        raise ModelError(
+            f"degree {degree} needs >= {len(exps)} samples, have {x.shape[0]}"
+        )
+    a = design_matrix(xs, exps)
+    coef, _, _, _ = np.linalg.lstsq(a, y, rcond=None)
+    resid = y - a @ coef
+    rss = float(resid @ resid)
+    return PolynomialModel(
+        n_vars=x.shape[1], degree=degree, exponents=exps,
+        coefficients=coef, rss=rss, n_samples=x.shape[0], scale=scale,
+    )
+
+
+def fit_best_polynomial(
+    x: np.ndarray, y: np.ndarray,
+    max_degree: int = MAX_DEGREE,
+    min_degree: int = 1,
+) -> PolynomialModel:
+    """Fit degrees min..max and return the AIC-best model (Section 5.1).
+
+    Degrees whose parameter count exceeds the sample count are skipped;
+    at least one degree must be feasible.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    best: PolynomialModel | None = None
+    best_aic = np.inf
+    for degree in range(min_degree, max_degree + 1):
+        try:
+            model = fit_polynomial(x, y, degree)
+        except ModelError:
+            continue
+        score = model.aic()
+        if score < best_aic:
+            best, best_aic = model, score
+    if best is None:
+        raise ModelError(
+            f"no degree in [{min_degree}, {max_degree}] is fittable with "
+            f"{x.shape[0]} samples"
+        )
+    return best

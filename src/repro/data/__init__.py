@@ -1,0 +1,32 @@
+"""Deterministic synthetic corpora (DESIGN.md substitution for the
+paper's photo corpora)."""
+
+from .corpus import (
+    CorpusImage,
+    CorpusSpec,
+    build_corpus,
+    size_sweep_corpus,
+    test_corpus,
+    training_corpus,
+)
+from .synth import (
+    GENERATORS,
+    synthetic_detail,
+    synthetic_photo,
+    synthetic_skewed,
+    synthetic_smooth,
+)
+
+__all__ = [
+    "CorpusImage",
+    "CorpusSpec",
+    "GENERATORS",
+    "build_corpus",
+    "size_sweep_corpus",
+    "synthetic_detail",
+    "synthetic_photo",
+    "synthetic_skewed",
+    "synthetic_smooth",
+    "test_corpus",
+    "training_corpus",
+]

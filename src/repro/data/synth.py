@@ -1,0 +1,124 @@
+"""Deterministic synthetic image generation (corpus substrate).
+
+The paper's corpora (imagecompression.info, CorpusNielsFrohling,
+self-taken photos) are not redistributable, but the performance model
+only cares about image *dimensions* and *entropy density*.  These
+generators span that space deterministically:
+
+- ``synthetic_photo``: octave-mixed filtered noise over smooth gradients
+  — photo-like spectra, mid densities;
+- ``synthetic_smooth``: gradients only — minimal entropy;
+- ``synthetic_detail``: high-frequency texture + edges — dense entropy;
+- ``synthetic_skewed``: detail concentrated in one horizontal band, for
+  exercising PPS re-partitioning (the paper's "entropy data is unlikely
+  to be evenly distributed in practice").
+
+All take a seed and are pure functions of their arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def _smooth_noise(rng: np.random.Generator, h: int, w: int,
+                  scale: int) -> np.ndarray:
+    """Low-frequency noise: coarse grid bilinearly upsampled to (h, w)."""
+    gh = max(2, h // scale + 2)
+    gw = max(2, w // scale + 2)
+    coarse = rng.normal(0.0, 1.0, (gh, gw))
+    ys = np.linspace(0, gh - 1.001, h)
+    xs = np.linspace(0, gw - 1.001, w)
+    y0 = ys.astype(int)
+    x0 = xs.astype(int)
+    fy = (ys - y0)[:, None]
+    fx = (xs - x0)[None, :]
+    c00 = coarse[y0][:, x0]
+    c01 = coarse[y0][:, x0 + 1]
+    c10 = coarse[y0 + 1][:, x0]
+    c11 = coarse[y0 + 1][:, x0 + 1]
+    return (c00 * (1 - fy) * (1 - fx) + c01 * (1 - fy) * fx
+            + c10 * fy * (1 - fx) + c11 * fy * fx)
+
+
+def _to_uint8(field: np.ndarray) -> np.ndarray:
+    lo, hi = field.min(), field.max()
+    if hi - lo < 1e-12:
+        return np.full(field.shape, 128, dtype=np.uint8)
+    return (255.0 * (field - lo) / (hi - lo)).astype(np.uint8)
+
+
+def synthetic_photo(height: int, width: int, seed: int = 0,
+                    detail: float = 0.5) -> np.ndarray:
+    """Photo-like RGB image; ``detail`` in [0, 1] scales entropy density."""
+    if height <= 0 or width <= 0:
+        raise ReproError("image dimensions must be positive")
+    if not 0.0 <= detail <= 1.0:
+        raise ReproError("detail must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    base = 0.5 * np.sin(xx / max(width, 1) * 3.1) + 0.5 * np.cos(yy / max(height, 1) * 2.3)
+    channels = []
+    for c in range(3):
+        octaves = (
+            1.0 * _smooth_noise(rng, height, width, 64)
+            + 0.6 * _smooth_noise(rng, height, width, 16)
+            + detail * 0.8 * _smooth_noise(rng, height, width, 4)
+            + detail * 0.5 * rng.normal(0.0, 1.0, (height, width))
+        )
+        channels.append(_to_uint8(base + 0.8 * octaves + 0.1 * c))
+    return np.stack(channels, axis=-1)
+
+
+def synthetic_smooth(height: int, width: int, seed: int = 0) -> np.ndarray:
+    """Gradient-only image: near-minimal entropy density."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    a, b = rng.uniform(0.5, 2.0, 2)
+    r = _to_uint8(xx * a + yy * b)
+    g = _to_uint8(xx * b - yy * a)
+    bl = _to_uint8(np.hypot(xx - width / 2, yy - height / 2))
+    return np.stack([r, g, bl], axis=-1)
+
+
+def synthetic_detail(height: int, width: int, seed: int = 0) -> np.ndarray:
+    """Dense high-frequency texture: near-maximal entropy density."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 256, (height, width, 3))
+    # checker-ish structure keeps it compressible enough to be JPEG-like
+    yy, xx = np.mgrid[0:height, 0:width]
+    stripes = ((xx // 2 + yy // 3) % 5) * 40
+    return np.clip(base * 0.7 + stripes[..., None] * 0.5, 0, 255).astype(np.uint8)
+
+
+def synthetic_skewed(height: int, width: int, seed: int = 0,
+                     dense_fraction: float = 0.4,
+                     dense_at_top: bool = False) -> np.ndarray:
+    """Entropy concentrated in one horizontal band (bottom by default).
+
+    Exercises the PPS re-partitioning path: the uniform-density
+    assumption of Eq 4 mispredicts per-chunk Huffman times on such
+    images, and Eq 16/17 must correct the split.
+    """
+    if not 0.0 < dense_fraction < 1.0:
+        raise ReproError("dense_fraction must be in (0, 1)")
+    smooth = synthetic_smooth(height, width, seed)
+    detail = synthetic_detail(height, width, seed + 1)
+    cut = int(height * (dense_fraction if dense_at_top else 1.0 - dense_fraction))
+    out = smooth.copy()
+    if dense_at_top:
+        out[:cut] = detail[:cut]
+    else:
+        out[cut:] = detail[cut:]
+    return out
+
+
+#: Named generators, for corpus specs and CLI-ish example scripts.
+GENERATORS = {
+    "photo": synthetic_photo,
+    "smooth": synthetic_smooth,
+    "detail": synthetic_detail,
+    "skewed": synthetic_skewed,
+}

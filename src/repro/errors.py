@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class.  Substrate-specific errors subclass further so tests
+can assert the precise failure mode (e.g. a truncated bitstream vs. an
+ill-formed marker segment).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class JpegError(ReproError):
+    """Base class for JPEG codec errors."""
+
+
+class JpegFormatError(JpegError):
+    """The byte stream is not a well-formed baseline JFIF/JPEG file."""
+
+
+class JpegUnsupportedError(JpegError):
+    """Well-formed JPEG, but uses a feature outside baseline scope
+    (progressive scans, arithmetic coding, 12-bit precision, ...)."""
+
+
+class BitstreamError(JpegError):
+    """Bit-level I/O failure (truncated stream, over-read, bad stuffing)."""
+
+
+class HuffmanError(JpegError):
+    """Invalid Huffman table or undecodable code word."""
+
+
+class EntropyError(JpegError):
+    """Entropy-coded scan data is inconsistent (coefficient overrun,
+    bad restart marker sequence, ...)."""
+
+
+class GpuSimError(ReproError):
+    """Base class for the simulated-GPU substrate."""
+
+
+class DeviceError(GpuSimError):
+    """Invalid device specification or capability violation."""
+
+
+class QueueError(GpuSimError):
+    """Command-queue misuse (reading an incomplete event, double wait...)."""
+
+
+class KernelError(GpuSimError):
+    """Kernel launch geometry or argument error."""
+
+
+class ModelError(ReproError):
+    """Performance-model fitting or evaluation error."""
+
+
+class PartitionError(ReproError):
+    """Partitioning could not produce a valid work split."""
+
+
+class ProfilingError(ReproError):
+    """Offline profiling failed (empty corpus, degenerate fit inputs)."""

@@ -1,0 +1,43 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from . import platforms
+from .harness import (
+    ImageMeasurement,
+    SpeedupSummary,
+    amdahl_series,
+    balance_series,
+    breakdown_for,
+    measure_corpus,
+    prepare_corpus,
+    speedup_series,
+    summarize_speedups,
+)
+from .platforms import ALL_PLATFORMS, GT430, GTX560, GTX680, table1_rows
+from .tables import (
+    format_breakdown,
+    format_series,
+    format_speedup_table,
+    format_table,
+)
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "GT430",
+    "GTX560",
+    "GTX680",
+    "ImageMeasurement",
+    "SpeedupSummary",
+    "amdahl_series",
+    "balance_series",
+    "breakdown_for",
+    "format_breakdown",
+    "format_series",
+    "format_speedup_table",
+    "format_table",
+    "measure_corpus",
+    "platforms",
+    "prepare_corpus",
+    "speedup_series",
+    "summarize_speedups",
+    "table1_rows",
+]

@@ -1,0 +1,39 @@
+"""The three evaluation machines (paper Table 1)."""
+
+from __future__ import annotations
+
+from ..core.platform import Platform
+from ..gpusim.device import GT430 as _GT430_GPU
+from ..gpusim.device import GTX560TI as _GTX560_GPU
+from ..gpusim.device import GTX680 as _GTX680_GPU
+from ..gpusim.device import INTEL_I7_2600K, INTEL_I7_3770K
+
+#: "GT 430" machine: i7-2600K + GT 430 — the weak-GPU configuration.
+GT430 = Platform(name="GT 430", cpu=INTEL_I7_2600K, gpu=_GT430_GPU)
+
+#: "GTX 560" machine: i7-2600K + GTX 560Ti — the mid-range configuration.
+GTX560 = Platform(name="GTX 560", cpu=INTEL_I7_2600K, gpu=_GTX560_GPU)
+
+#: "GTX 680" machine: i7-3770K + GTX 680 — the high-end configuration.
+GTX680 = Platform(name="GTX 680", cpu=INTEL_I7_3770K, gpu=_GTX680_GPU)
+
+#: Table 1 order.
+ALL_PLATFORMS = (GT430, GTX560, GTX680)
+
+
+def table1_rows() -> list[dict[str, str]]:
+    """The hardware-specification table as printable rows."""
+    rows = []
+    for p in ALL_PLATFORMS:
+        rows.append({
+            "Machine name": p.name,
+            "CPU model": p.cpu.name,
+            "CPU frequency": f"{p.cpu.clock_ghz} GHz",
+            "No. of CPU cores": str(p.cpu.cores),
+            "GPU model": p.gpu.name,
+            "GPU core frequency": f"{p.gpu.core_clock_mhz:.0f} MHz",
+            "No. of GPU cores": str(p.gpu.cores),
+            "GPU memory size": f"{p.gpu.memory_mb} MB",
+            "Compute Capability": ".".join(map(str, p.gpu.compute_capability)),
+        })
+    return rows

@@ -1,0 +1,81 @@
+"""Paper-style text rendering of tables and figure series."""
+
+from __future__ import annotations
+
+from ..core.modes import DecodeMode
+from .harness import SpeedupSummary
+
+
+def format_table(headers: list[str], rows: list[list[str]],
+                 title: str = "") -> str:
+    """Plain-text table with aligned columns."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+_MODE_LABELS = {
+    DecodeMode.GPU: "GPU",
+    DecodeMode.PIPELINE: "Pipeline",
+    DecodeMode.SPS: "SPS",
+    DecodeMode.PPS: "PPS",
+    DecodeMode.SIMD: "SIMD",
+    DecodeMode.SEQUENTIAL: "Sequential",
+}
+
+
+def format_speedup_table(
+    summaries_by_platform: dict[str, dict[DecodeMode, SpeedupSummary]],
+    title: str,
+) -> str:
+    """Tables 2/3 layout: modes as rows, machines as columns."""
+    platforms = list(summaries_by_platform)
+    modes = list(next(iter(summaries_by_platform.values())))
+    headers = ["Mode"] + platforms
+    rows = []
+    for mode in modes:
+        row = [_MODE_LABELS.get(mode, mode.value)]
+        for p in platforms:
+            row.append(str(summaries_by_platform[p][mode]))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_series(series: list[tuple], headers: list[str],
+                  title: str = "", fmt: str = "{:.3f}") -> str:
+    """Figure data as a column table (pixels + one or more values)."""
+    rows = []
+    for tup in series:
+        row = [str(int(tup[0]))]
+        for v in tup[1:]:
+            row.append(fmt.format(v))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_breakdown(
+    breakdowns: dict[DecodeMode, dict[str, float]], title: str = ""
+) -> str:
+    """Figure 9 layout: stages as rows, modes as columns (SIMD-normalized)."""
+    modes = list(breakdowns)
+    stages = sorted({s for b in breakdowns.values() for s in b})
+    stages = [s for s in stages if s != "total"] + ["total"]
+    headers = ["Stage"] + [_MODE_LABELS.get(m, m.value) for m in modes]
+    rows = []
+    for stage in stages:
+        row = [stage]
+        for m in modes:
+            v = breakdowns[m].get(stage)
+            row.append(f"{v:.3f}" if v is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

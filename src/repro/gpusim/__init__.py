@@ -1,0 +1,51 @@
+"""OpenCL-style simulated GPU substrate.
+
+Real math on NumPy buffers, simulated time from a calibrated cost model.
+See DESIGN.md §2 for why this substitution preserves the paper's
+scheduling behaviour.
+"""
+
+from .calibrate import (
+    SEQUENTIAL_COSTS,
+    SIMD_COSTS,
+    cpu_parallel_time_us,
+    huffman_time_us,
+)
+from .device import (
+    GT430,
+    GTX560TI,
+    GTX680,
+    INTEL_I7_2600K,
+    INTEL_I7_3770K,
+    CPUDeviceSpec,
+    GPUDeviceSpec,
+)
+from .kernel import KernelLaunch, SimKernel, kernel_time_us
+from .memory import DeviceBuffer, MemoryTraffic, PinnedHostBuffer
+from .ndrange import NDRange, occupancy
+from .queue import DISPATCH_OVERHEAD_US, CommandQueue, Event
+
+__all__ = [
+    "CommandQueue",
+    "CPUDeviceSpec",
+    "DeviceBuffer",
+    "DISPATCH_OVERHEAD_US",
+    "Event",
+    "GPUDeviceSpec",
+    "GT430",
+    "GTX560TI",
+    "GTX680",
+    "INTEL_I7_2600K",
+    "INTEL_I7_3770K",
+    "KernelLaunch",
+    "MemoryTraffic",
+    "NDRange",
+    "PinnedHostBuffer",
+    "SEQUENTIAL_COSTS",
+    "SIMD_COSTS",
+    "SimKernel",
+    "cpu_parallel_time_us",
+    "huffman_time_us",
+    "kernel_time_us",
+    "occupancy",
+]

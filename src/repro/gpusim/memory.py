@@ -1,0 +1,89 @@
+"""Simulated device buffers and host<->device transfer accounting.
+
+Buffers hold *real* NumPy arrays (kernel math operates on them), while
+size/pinnedness feed the PCIe cost model.  The whole-image input and
+output buffers the re-engineered decoder introduces (paper Section 3)
+are allocated pinned, as the paper does for faster transfers (Eq. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import GpuSimError
+
+
+@dataclass
+class DeviceBuffer:
+    """A named device-global allocation backed by a host ndarray."""
+
+    name: str
+    array: np.ndarray | None = None
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.array is not None:
+            self.nbytes = int(self.array.nbytes)
+        if self.nbytes < 0:
+            raise GpuSimError("buffer size cannot be negative")
+
+    def write(self, data: np.ndarray) -> None:
+        """Host -> device copy (the data part; timing is the queue's job)."""
+        self.array = np.array(data, copy=True)
+        self.nbytes = int(self.array.nbytes)
+
+    def read(self) -> np.ndarray:
+        """Device -> host copy."""
+        if self.array is None:
+            raise GpuSimError(f"reading unwritten buffer {self.name!r}")
+        return np.array(self.array, copy=True)
+
+
+@dataclass
+class PinnedHostBuffer:
+    """Page-locked host allocation; transfers from it run at full PCIe rate."""
+
+    name: str
+    array: np.ndarray
+    pinned: bool = True
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+
+@dataclass
+class MemoryTraffic:
+    """Global-memory traffic of one kernel launch, for the cost model.
+
+    ``write_transactions`` matters for the vectorization ablation: the
+    paper's vec4 RGB stores cut store instructions 4x (Figure 4); a
+    scalar-store variant models as 4x the write transaction count with
+    the per-transaction overhead charged in the cost model.
+    """
+
+    global_read_bytes: int = 0
+    global_write_bytes: int = 0
+    local_bytes_per_group: int = 0
+    read_transactions: int = 0
+    write_transactions: int = 0
+    coalesced: bool = True
+
+    def __add__(self, other: "MemoryTraffic") -> "MemoryTraffic":
+        return MemoryTraffic(
+            global_read_bytes=self.global_read_bytes + other.global_read_bytes,
+            global_write_bytes=self.global_write_bytes + other.global_write_bytes,
+            local_bytes_per_group=max(
+                self.local_bytes_per_group, other.local_bytes_per_group
+            ),
+            read_transactions=self.read_transactions + other.read_transactions,
+            write_transactions=self.write_transactions + other.write_transactions,
+            coalesced=self.coalesced and other.coalesced,
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.global_read_bytes + self.global_write_bytes

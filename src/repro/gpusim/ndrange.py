@@ -1,0 +1,94 @@
+"""NDRange and work-group geometry for simulated kernel launches.
+
+Mirrors the OpenCL execution model the paper's kernels target: a global
+index space partitioned into work-groups, executed warp-wise.  The
+occupancy estimator follows the usual NVIDIA rules-of-thumb (limits from
+warps, registers and local memory per SM) and feeds the kernel cost
+model: a launch that cannot fill the machine loses throughput
+proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import KernelError
+from .device import GPUDeviceSpec
+
+#: Maximum resident warps per SM for the compute capabilities we model.
+_MAX_WARPS_PER_SM = {(2, 0): 48, (2, 1): 48, (3, 0): 64}
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """A 1-D launch geometry (the paper's kernels are 1-D over blocks)."""
+
+    global_size: int
+    local_size: int
+
+    def __post_init__(self) -> None:
+        if self.global_size <= 0 or self.local_size <= 0:
+            raise KernelError("NDRange sizes must be positive")
+        if self.global_size % self.local_size:
+            raise KernelError(
+                f"global size {self.global_size} not divisible by "
+                f"local size {self.local_size}"
+            )
+
+    @property
+    def num_groups(self) -> int:
+        return self.global_size // self.local_size
+
+    def warps_per_group(self, warp_size: int) -> int:
+        return -(-self.local_size // warp_size)
+
+    def total_warps(self, warp_size: int) -> int:
+        return self.num_groups * self.warps_per_group(warp_size)
+
+
+def occupancy(
+    ndrange: NDRange,
+    device: GPUDeviceSpec,
+    registers_per_item: int,
+    local_bytes_per_group: int,
+) -> float:
+    """Fraction of the device's resident-warp capacity this launch fills.
+
+    Combines three per-SM limits (warps, registers, local memory) with
+    the launch's total parallelism: a launch with fewer warps than the
+    machine can host is tail-limited regardless of per-SM resources.
+    """
+    if ndrange.local_size > device.max_workgroup_size:
+        raise KernelError(
+            f"work-group of {ndrange.local_size} exceeds device limit "
+            f"{device.max_workgroup_size}"
+        )
+    max_warps = _MAX_WARPS_PER_SM.get(device.compute_capability, 48)
+    wpg = ndrange.warps_per_group(device.warp_size)
+
+    groups_by_warps = max_warps // wpg
+    if registers_per_item > 0:
+        regs_per_group = registers_per_item * ndrange.local_size
+        groups_by_regs = device.registers_per_sm // max(regs_per_group, 1)
+    else:
+        groups_by_regs = groups_by_warps
+    if local_bytes_per_group > 0:
+        groups_by_local = int(
+            device.local_mem_per_sm_kb * 1024 // local_bytes_per_group
+        )
+    else:
+        groups_by_local = groups_by_warps
+
+    groups_per_sm = max(0, min(groups_by_warps, groups_by_regs, groups_by_local))
+    if groups_per_sm == 0:
+        raise KernelError(
+            "work-group exhausts per-SM resources "
+            f"(regs/item={registers_per_item}, local={local_bytes_per_group}B)"
+        )
+    resident_warps = groups_per_sm * wpg
+    per_sm_occ = resident_warps / max_warps
+
+    # tail effect: not enough groups to occupy every SM at that level
+    capacity_groups = groups_per_sm * device.sm_count
+    fill = min(1.0, ndrange.num_groups / capacity_groups)
+    return per_sm_occ * fill

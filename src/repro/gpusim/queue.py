@@ -1,0 +1,120 @@
+"""Asynchronous in-order command queue with simulated-time events.
+
+Reproduces the OpenCL semantics the paper's execution models rely on
+(Figures 5 and 8):
+
+- the *host* enqueues commands and continues immediately — each enqueue
+  charges only a dispatch overhead to the host clock;
+- the *device* executes commands in order on its own timeline;
+- every command yields an :class:`Event` carrying OpenCL-profiler-style
+  timestamps (queued / start / end, in simulated microseconds);
+- ``finish()`` joins the host to the device timeline.
+
+The executors drive one queue per decode and read the event list back as
+the GPU half of the Gantt timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import QueueError
+from .device import GPUDeviceSpec
+from .kernel import SimKernel, kernel_time_us
+
+#: Host-side cost of enqueueing any command (part of the paper's Tdisp).
+DISPATCH_OVERHEAD_US = 5.0
+
+
+@dataclass
+class Event:
+    """Completion event of one enqueued command (simulated clocks, us)."""
+
+    label: str
+    kind: str              # "write" | "kernel" | "read" | "marker"
+    queued_at: float
+    start: float
+    end: float
+    nbytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CommandQueue:
+    """In-order simulated command queue bound to one GPU device."""
+
+    device: GPUDeviceSpec
+    dispatch_overhead_us: float = DISPATCH_OVERHEAD_US
+    events: list[Event] = field(default_factory=list)
+    _device_free_at: float = 0.0
+
+    def _schedule(self, label: str, kind: str, host_time: float,
+                  duration_us: float, nbytes: int = 0) -> Event:
+        if duration_us < 0:
+            raise QueueError("negative command duration")
+        start = max(host_time, self._device_free_at)
+        end = start + duration_us
+        self._device_free_at = end
+        ev = Event(label=label, kind=kind, queued_at=host_time,
+                   start=start, end=end, nbytes=nbytes)
+        self.events.append(ev)
+        return ev
+
+    # -- commands -------------------------------------------------------
+    # Every enqueue_* returns (new_host_time, event): the host clock
+    # advances by the dispatch overhead only; the device runs async.
+
+    def enqueue_write(self, label: str, nbytes: int, host_time: float,
+                      pinned: bool = True) -> tuple[float, Event]:
+        """Host -> device transfer of *nbytes* (paper's Ow)."""
+        duration = self.device.transfer_time_us(nbytes, pinned)
+        ev = self._schedule(label, "write", host_time + self.dispatch_overhead_us,
+                            duration, nbytes)
+        return host_time + self.dispatch_overhead_us, ev
+
+    def enqueue_kernel(self, kernel: SimKernel, host_time: float,
+                       label: str | None = None,
+                       execute: bool = True, **args: Any) -> tuple[float, Event, Any]:
+        """Launch *kernel*; returns (host_time', event, kernel outputs)."""
+        launch = kernel.describe_launch(**args)
+        duration = kernel_time_us(launch, self.device)
+        ev = self._schedule(label or kernel.name, "kernel",
+                            host_time + self.dispatch_overhead_us, duration)
+        result = kernel.execute(**args) if execute else None
+        return host_time + self.dispatch_overhead_us, ev, result
+
+    def enqueue_read(self, label: str, nbytes: int, host_time: float,
+                     pinned: bool = True) -> tuple[float, Event]:
+        """Device -> host transfer of *nbytes* (paper's Or)."""
+        duration = self.device.transfer_time_us(nbytes, pinned)
+        ev = self._schedule(label, "read", host_time + self.dispatch_overhead_us,
+                            duration, nbytes)
+        return host_time + self.dispatch_overhead_us, ev
+
+    # -- synchronization --------------------------------------------------
+
+    def finish(self, host_time: float) -> float:
+        """Block the host until the device drains; returns the join time."""
+        return max(host_time, self._device_free_at)
+
+    @property
+    def device_free_at(self) -> float:
+        """When the device's in-order stream goes idle (current schedule)."""
+        return self._device_free_at
+
+    # -- profiling --------------------------------------------------------
+
+    def total_busy_us(self) -> float:
+        """Sum of device-busy time across all commands."""
+        return sum(e.duration for e in self.events)
+
+    def busy_between(self, t0: float, t1: float) -> float:
+        """Device-busy time clipped to window [t0, t1]."""
+        busy = 0.0
+        for e in self.events:
+            busy += max(0.0, min(e.end, t1) - max(e.start, t0))
+        return busy

@@ -1,0 +1,32 @@
+"""Baseline JPEG codec substrate (the reproduction's libjpeg-turbo analog).
+
+Public surface:
+
+- :func:`repro.jpeg.encode_jpeg` / :class:`repro.jpeg.EncoderSettings`
+- :func:`repro.jpeg.decode_jpeg` / :class:`repro.jpeg.DecodeOptions`
+- :func:`repro.jpeg.parse_jpeg` for header-only inspection
+- submodules for each decoding stage (bitstream, huffman, quantization,
+  dct/idct, sampling, color, blocks, entropy, markers)
+"""
+
+from .blocks import ImageGeometry
+from .decoder import (
+    DecodedImage,
+    DecodeOptions,
+    decode_jpeg,
+    decode_jpeg_rowwise,
+)
+from .encoder import EncoderSettings, encode_jpeg
+from .markers import JpegImageInfo, parse_jpeg
+
+__all__ = [
+    "DecodeOptions",
+    "DecodedImage",
+    "EncoderSettings",
+    "ImageGeometry",
+    "JpegImageInfo",
+    "decode_jpeg",
+    "decode_jpeg_rowwise",
+    "encode_jpeg",
+    "parse_jpeg",
+]

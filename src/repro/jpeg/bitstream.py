@@ -1,0 +1,189 @@
+"""Bit-level I/O for JPEG entropy-coded segments.
+
+JPEG writes entropy-coded data MSB-first and *byte-stuffs* the output: a
+literal 0xFF data byte is followed by a 0x00 so decoders can distinguish
+data from markers.  :class:`BitWriter` applies stuffing, :class:`BitReader`
+removes it and stops cleanly at a marker boundary.
+
+The reader keeps a small Python-int bit buffer which profiling showed to
+be the fastest pure-Python approach (the alternative — np.unpackbits on
+the whole stream — cannot handle stuffing removal incrementally).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BitstreamError
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a byte-stuffed JPEG bitstream."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._acc = 0          # bit accumulator, left-aligned within _nbits
+        self._nbits = 0        # number of valid bits in _acc
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the *nbits* low-order bits of *value*, MSB first."""
+        if nbits < 0 or nbits > 32:
+            raise BitstreamError(f"cannot write {nbits} bits at once")
+        if nbits == 0:
+            return
+        if value < 0 or value >= (1 << nbits):
+            raise BitstreamError(
+                f"value {value} does not fit in {nbits} bits"
+            )
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            byte = (self._acc >> self._nbits) & 0xFF
+            self._bytes.append(byte)
+            if byte == 0xFF:
+                self._bytes.append(0x00)  # byte stuffing
+        self._acc &= (1 << self._nbits) - 1
+
+    def flush(self) -> None:
+        """Pad the final partial byte with 1-bits (per the standard)."""
+        if self._nbits:
+            pad = 8 - self._nbits
+            self.write_bits((1 << pad) - 1, pad)
+
+    def getvalue(self) -> bytes:
+        """Return the stuffed bitstream written so far (without flushing)."""
+        return bytes(self._bytes)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written (excluding stuffed 0x00 bytes)."""
+        stuffed = self._bytes.count(0xFF)
+        return (len(self._bytes) - stuffed) * 8 + self._nbits
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte-stuffed entropy-coded segment.
+
+    The reader operates on a ``bytes``/``memoryview``/ndarray-of-uint8 and
+    treats any 0xFF byte followed by something other than 0x00 as a marker
+    boundary: reading past it raises :class:`BitstreamError` unless it is
+    a restart marker the caller explicitly consumes via
+    :meth:`skip_to_marker`.
+    """
+
+    def __init__(self, data: bytes | bytearray | memoryview | np.ndarray) -> None:
+        if isinstance(data, np.ndarray):
+            if data.dtype != np.uint8:
+                raise BitstreamError("ndarray bitstream must be uint8")
+            data = data.tobytes()
+        self._data = bytes(data)
+        self._pos = 0          # next byte index
+        self._acc = 0          # bit accumulator
+        self._nbits = 0        # bits available in accumulator
+        self._at_marker = False
+
+    # -- internal -----------------------------------------------------
+
+    def _fill(self, need: int) -> None:
+        """Pull bytes into the accumulator until *need* bits available."""
+        while self._nbits < need:
+            if self._pos >= len(self._data):
+                raise BitstreamError("bitstream exhausted")
+            byte = self._data[self._pos]
+            if byte == 0xFF:
+                nxt = self._data[self._pos + 1] if self._pos + 1 < len(self._data) else None
+                if nxt == 0x00:
+                    self._pos += 2  # stuffed byte: 0xFF is data
+                elif nxt is None:
+                    raise BitstreamError("truncated stream after 0xFF")
+                else:
+                    # A real marker. Per libjpeg behaviour, feed 0 bits so
+                    # a decoder that over-reads slightly still terminates;
+                    # record the condition for callers that care.
+                    self._at_marker = True
+                    self._acc = self._acc << 8
+                    self._nbits += 8
+                    continue
+            else:
+                self._pos += 1
+            self._acc = (self._acc << 8) | byte
+            self._nbits += 8
+
+    # -- public -------------------------------------------------------
+
+    def read_bits(self, nbits: int) -> int:
+        """Read and return *nbits* bits MSB-first as a non-negative int."""
+        if nbits < 0 or nbits > 32:
+            raise BitstreamError(f"cannot read {nbits} bits at once")
+        if nbits == 0:
+            return 0
+        self._fill(nbits)
+        self._nbits -= nbits
+        value = (self._acc >> self._nbits) & ((1 << nbits) - 1)
+        self._acc &= (1 << self._nbits) - 1
+        return value
+
+    def peek_bits(self, nbits: int) -> int:
+        """Return the next *nbits* bits without consuming them.
+
+        Short streams are zero-padded on the right, matching the behaviour
+        required for table-driven Huffman decoding at end of stream.
+        """
+        try:
+            self._fill(nbits)
+        except BitstreamError:
+            # zero-pad: decoder will consume only valid prefix bits
+            self._acc <<= max(0, nbits - self._nbits)
+            self._nbits = max(self._nbits, nbits)
+        return (self._acc >> (self._nbits - nbits)) & ((1 << nbits) - 1)
+
+    def skip_bits(self, nbits: int) -> None:
+        """Discard *nbits* bits (they must already be buffered by peek)."""
+        if nbits > self._nbits:
+            raise BitstreamError("skip beyond buffered bits")
+        self._nbits -= nbits
+        self._acc &= (1 << self._nbits) - 1
+
+    def align_to_byte(self) -> None:
+        """Discard bits up to the next byte boundary."""
+        self._nbits -= self._nbits % 8
+
+    @property
+    def hit_marker(self) -> bool:
+        """True once the reader has zero-fed past a marker boundary."""
+        return self._at_marker
+
+    @property
+    def byte_position(self) -> int:
+        """Index of the next unread byte in the underlying buffer
+        (not counting bits still in the accumulator)."""
+        return self._pos
+
+    def bits_consumed(self) -> int:
+        """Approximate count of payload bits consumed so far."""
+        return self._pos * 8 - self._nbits
+
+    def find_restart_marker(self) -> int:
+        """Byte-align, then consume an RSTn marker and return ``n``.
+
+        Raises :class:`BitstreamError` if the next marker is not RSTn.
+        """
+        # Drop buffered bits: restart markers are byte-aligned in the raw
+        # stream, and everything in the accumulator before them is padding.
+        self._acc = 0
+        self._nbits = 0
+        self._at_marker = False
+        data, n = self._data, len(self._data)
+        pos = self._pos
+        while pos + 1 < n:
+            if data[pos] == 0xFF and data[pos + 1] != 0x00:
+                marker = data[pos + 1]
+                if 0xD0 <= marker <= 0xD7:
+                    self._pos = pos + 2
+                    return marker - 0xD0
+                raise BitstreamError(
+                    f"expected restart marker, found 0xFF{marker:02X}"
+                )
+            pos += 1
+        raise BitstreamError("no restart marker before end of stream")

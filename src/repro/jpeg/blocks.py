@@ -1,0 +1,192 @@
+"""Block and MCU geometry (paper Section 2).
+
+JPEG processes 8x8 blocks grouped into minimum coded units (MCUs).  For
+4:4:4 an MCU is one block per component (8x8 pixels); for 4:2:2 it is two
+luma blocks plus one Cb and one Cr block (16x8 pixels); for 4:2:0 four
+luma blocks plus one of each chroma (16x16 pixels).
+
+This module computes all derived geometry from (width, height, mode) and
+converts between sample planes and block batches with edge-replication
+padding, fully vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..errors import JpegError
+from .constants import BLOCK_SIZE
+from .sampling import sampling_factors
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class ComponentGeometry:
+    """Geometry of one color component within the MCU grid."""
+
+    component_id: int          # 1 = Y, 2 = Cb, 3 = Cr (JFIF convention)
+    h_factor: int              # horizontal sampling factor
+    v_factor: int              # vertical sampling factor
+    width: int                 # subsampled sample width (unpadded)
+    height: int                # subsampled sample height (unpadded)
+    blocks_wide: int           # padded width in blocks across the MCU grid
+    blocks_high: int           # padded height in blocks across the MCU grid
+
+    @property
+    def padded_width(self) -> int:
+        return self.blocks_wide * BLOCK_SIZE
+
+    @property
+    def padded_height(self) -> int:
+        return self.blocks_high * BLOCK_SIZE
+
+    @property
+    def blocks_total(self) -> int:
+        return self.blocks_wide * self.blocks_high
+
+    @property
+    def blocks_per_mcu(self) -> int:
+        return self.h_factor * self.v_factor
+
+
+@dataclass(frozen=True)
+class ImageGeometry:
+    """Full MCU-grid geometry for an image (the decoder's coordinate system)."""
+
+    width: int
+    height: int
+    mode: str  # "4:4:4" | "4:2:2" | "4:2:0"
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise JpegError(
+                f"invalid image dimensions {self.width}x{self.height}"
+            )
+        sampling_factors(self.mode)  # validates the mode string
+
+    @cached_property
+    def luma_factors(self) -> tuple[int, int]:
+        return sampling_factors(self.mode)
+
+    @property
+    def mcu_width(self) -> int:
+        """MCU width in pixels (8 * Hmax)."""
+        return BLOCK_SIZE * self.luma_factors[0]
+
+    @property
+    def mcu_height(self) -> int:
+        """MCU height in pixels (8 * Vmax) — the row-partition granularity."""
+        return BLOCK_SIZE * self.luma_factors[1]
+
+    @property
+    def mcus_per_row(self) -> int:
+        return ceil_div(self.width, self.mcu_width)
+
+    @property
+    def mcu_rows(self) -> int:
+        return ceil_div(self.height, self.mcu_height)
+
+    @property
+    def total_mcus(self) -> int:
+        return self.mcus_per_row * self.mcu_rows
+
+    @cached_property
+    def components(self) -> tuple[ComponentGeometry, ComponentGeometry, ComponentGeometry]:
+        """(Y, Cb, Cr) geometries."""
+        hmax, vmax = self.luma_factors
+        y = ComponentGeometry(
+            component_id=1, h_factor=hmax, v_factor=vmax,
+            width=self.width, height=self.height,
+            blocks_wide=self.mcus_per_row * hmax,
+            blocks_high=self.mcu_rows * vmax,
+        )
+        cw = ceil_div(self.width, hmax)
+        ch = ceil_div(self.height, vmax)
+        cb = ComponentGeometry(
+            component_id=2, h_factor=1, v_factor=1,
+            width=cw, height=ch,
+            blocks_wide=self.mcus_per_row, blocks_high=self.mcu_rows,
+        )
+        cr = ComponentGeometry(
+            component_id=3, h_factor=1, v_factor=1,
+            width=cw, height=ch,
+            blocks_wide=self.mcus_per_row, blocks_high=self.mcu_rows,
+        )
+        return y, cb, cr
+
+    @property
+    def blocks_per_mcu(self) -> int:
+        """Total blocks in one MCU across all components."""
+        return sum(c.blocks_per_mcu for c in self.components)
+
+    def mcu_row_to_pixel_rows(self, mcu_row: int) -> tuple[int, int]:
+        """Pixel-row span [start, stop) covered by *mcu_row* (clamped)."""
+        start = mcu_row * self.mcu_height
+        stop = min(start + self.mcu_height, self.height)
+        return start, stop
+
+    def pixel_rows_to_mcu_rows(self, rows: int) -> int:
+        """Number of whole MCU rows needed to cover *rows* pixel rows."""
+        return ceil_div(rows, self.mcu_height)
+
+
+def plane_to_blocks(plane: np.ndarray, blocks_wide: int, blocks_high: int) -> np.ndarray:
+    """Split a sample plane into a (n, 8, 8) block batch, row-major.
+
+    The plane is padded to the full block grid by edge replication (the
+    JPEG convention that avoids ringing at the borders).
+    """
+    plane = np.asarray(plane)
+    h, w = plane.shape
+    ph, pw = blocks_high * BLOCK_SIZE, blocks_wide * BLOCK_SIZE
+    if h > ph or w > pw:
+        raise JpegError(
+            f"plane {h}x{w} exceeds block grid {ph}x{pw}"
+        )
+    if (h, w) != (ph, pw):
+        plane = np.pad(plane, ((0, ph - h), (0, pw - w)), mode="edge")
+    # (bh, 8, bw, 8) -> (bh, bw, 8, 8) -> (n, 8, 8); reshape keeps C order
+    tiled = plane.reshape(blocks_high, BLOCK_SIZE, blocks_wide, BLOCK_SIZE)
+    return tiled.transpose(0, 2, 1, 3).reshape(-1, BLOCK_SIZE, BLOCK_SIZE)
+
+
+def blocks_to_plane(
+    blocks: np.ndarray, blocks_wide: int, blocks_high: int,
+    width: int | None = None, height: int | None = None,
+) -> np.ndarray:
+    """Reassemble a (n, 8, 8) block batch into a plane, cropping padding."""
+    blocks = np.asarray(blocks)
+    n = blocks_wide * blocks_high
+    if blocks.shape[0] != n:
+        raise JpegError(
+            f"expected {n} blocks for a {blocks_high}x{blocks_wide} grid, "
+            f"got {blocks.shape[0]}"
+        )
+    grid = blocks.reshape(blocks_high, blocks_wide, BLOCK_SIZE, BLOCK_SIZE)
+    plane = grid.transpose(0, 2, 1, 3).reshape(
+        blocks_high * BLOCK_SIZE, blocks_wide * BLOCK_SIZE
+    )
+    if height is not None or width is not None:
+        plane = plane[: height or plane.shape[0], : width or plane.shape[1]]
+    return plane
+
+
+def mcu_interleave_order(geometry: ImageGeometry) -> list[tuple[int, int]]:
+    """Return the scan order of blocks within one MCU as
+    (component_index, block_index_within_component) pairs.
+
+    Per the standard, components are interleaved per MCU: all of component
+    0's blocks (row-major within the MCU), then component 1's, etc.
+    """
+    order: list[tuple[int, int]] = []
+    for ci, comp in enumerate(geometry.components):
+        for b in range(comp.blocks_per_mcu):
+            order.append((ci, b))
+    return order

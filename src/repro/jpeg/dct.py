@@ -1,0 +1,58 @@
+"""Forward DCT for the encoder substrate.
+
+The encoder only needs a correct, fast forward transform; the paper's
+interest is the *inverse* path (see :mod:`repro.jpeg.idct`).  We provide a
+textbook definition for testing and a vectorized matrix-product fast path
+(the 2D DCT factors as ``C @ X @ C.T``) used for whole-image batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import BLOCK_SIZE, LEVEL_SHIFT
+
+
+def dct_matrix(n: int = BLOCK_SIZE) -> np.ndarray:
+    """Return the orthonormal DCT-II matrix C with C @ C.T = I.
+
+    ``C[u, x] = c(u) * cos((2x+1) u pi / 2n)``, c(0)=sqrt(1/n),
+    c(u)=sqrt(2/n) otherwise.
+    """
+    x = np.arange(n)
+    u = x[:, None]
+    c = np.full(n, np.sqrt(2.0 / n))
+    c[0] = np.sqrt(1.0 / n)
+    return c[:, None] * np.cos((2 * x + 1) * u * np.pi / (2 * n))
+
+
+_C = dct_matrix()
+
+
+def fdct_2d_reference(block: np.ndarray) -> np.ndarray:
+    """Forward 2D DCT of one level-shifted block, direct O(n^4) definition.
+
+    Input is an (8, 8) array of samples in [0, 255]; the level shift is
+    applied here.  Output uses the JPEG normalization (DC = 8 * mean of
+    shifted samples when all frequencies share the orthonormal scale
+    factors of :func:`dct_matrix` times 8... concretely: the same scaling
+    as ``C @ X @ C.T`` multiplied by 1, matching :func:`fdct_2d_blocks`).
+    """
+    shifted = block.astype(np.float64) - LEVEL_SHIFT
+    return _C @ shifted @ _C.T
+
+
+def fdct_2d_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Vectorized forward DCT over a batch of blocks.
+
+    Parameters
+    ----------
+    blocks : (n, 8, 8) samples in [0, 255] (any real dtype).
+
+    Returns
+    -------
+    (n, 8, 8) float64 DCT coefficients (orthonormal scaling).
+    """
+    shifted = blocks.astype(np.float64) - LEVEL_SHIFT
+    # einsum keeps everything in one fused pass: C X C^T per block
+    return np.einsum("ux,nxy,vy->nuv", _C, shifted, _C, optimize=True)

@@ -1,0 +1,199 @@
+"""Reference sequential JPEG decoder (the "libjpeg" baseline).
+
+Mirrors the 2-tier controller structure of libjpeg-turbo (paper Figure 2):
+a *coefficient controller* owns entropy decoding + dequantization + IDCT,
+and a *postprocessing controller* owns upsampling + color conversion.
+Both operate over the whole-image buffers introduced by the
+re-engineering step (paper Section 3), while row-granular access remains
+available for the legacy row-by-row execution style.
+
+This module is the correctness oracle for every parallel execution mode:
+all executors must produce bit-identical RGB output to
+:func:`decode_jpeg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import JpegUnsupportedError
+from .blocks import ImageGeometry, blocks_to_plane
+from .color import ycbcr_to_rgb_float
+from .entropy import CoefficientBuffers, ComponentTables, EntropyDecoder
+from .idct import idct_2d_aan, idct_2d_blocks, samples_from_idct
+from .idct_int import idct_2d_islow
+from .markers import JpegImageInfo, parse_jpeg
+from .quantization import dequantize_blocks
+from .sampling import upsample_plane
+
+#: Pluggable IDCT methods, mirroring libjpeg's jpeg_idct_* selection
+#: ("aan" = jidctflt, "islow" = jidctint, "matrix" = orthonormal oracle).
+IDCT_METHODS = {
+    "aan": idct_2d_aan,
+    "matrix": idct_2d_blocks,
+    "islow": idct_2d_islow,
+}
+
+
+@dataclass
+class DecodeOptions:
+    """Decoder knobs (subset of libjpeg's djpeg options)."""
+
+    idct_method: str = "aan"
+    fancy_upsampling: bool = True
+
+
+@dataclass
+class DecodedImage:
+    """Decoder output: pixels plus the metadata the partitioner consumes."""
+
+    rgb: np.ndarray                 # (h, w, 3) uint8
+    info: JpegImageInfo
+    coefficients: CoefficientBuffers | None = None
+    row_byte_offsets: list[int] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        return self.info.width
+
+    @property
+    def height(self) -> int:
+        return self.info.height
+
+
+def component_tables_from_info(info: JpegImageInfo) -> list[ComponentTables]:
+    """Resolve the scan's per-component Huffman table pairs."""
+    tables = []
+    for sc in info.scan.components:
+        tables.append(
+            ComponentTables(
+                dc=info.dc_tables[sc.dc_table_id],
+                ac=info.ac_tables[sc.ac_table_id],
+            )
+        )
+    return tables
+
+
+def quant_tables_from_info(info: JpegImageInfo) -> list[np.ndarray]:
+    """Per-component quantization tables in frame-component order."""
+    return [
+        info.quant_tables[fc.quant_table_id].values
+        for fc in info.frame.components
+    ]
+
+
+class CoefficientController:
+    """Tier 1: entropy decode + dequantize + IDCT, over MCU-row spans."""
+
+    def __init__(self, info: JpegImageInfo, options: DecodeOptions) -> None:
+        if len(info.frame.components) != 3:
+            raise JpegUnsupportedError(
+                "only 3-component YCbCr baseline JPEGs are supported"
+            )
+        self.info = info
+        self.geometry = info.geometry
+        self.options = options
+        self._idct = IDCT_METHODS[options.idct_method]
+        self._quants = quant_tables_from_info(info)
+        self.entropy = EntropyDecoder(
+            self.geometry,
+            component_tables_from_info(info),
+            info.restart_interval,
+        )
+        self.entropy.start(info.entropy_data)
+
+    def decode_rows(self, nrows: int) -> int:
+        """Entropy-decode *nrows* more MCU rows; return total rows done."""
+        return self.entropy.decode_mcu_rows(nrows)
+
+    def idct_rows(self, mcu_row_start: int, mcu_row_stop: int) -> list[np.ndarray]:
+        """Dequantize + IDCT the span; returns per-component sample planes
+        (padded to the block grid within the span)."""
+        span = self.entropy.coefficients.rows_slice(mcu_row_start, mcu_row_stop)
+        planes = []
+        nrows = mcu_row_stop - mcu_row_start
+        for comp, coefs, quant in zip(
+            self.geometry.components, span.planes, self._quants
+        ):
+            deq = dequantize_blocks(coefs, quant)
+            spatial = self._idct(deq)
+            samples = samples_from_idct(spatial)
+            planes.append(
+                blocks_to_plane(
+                    samples, comp.blocks_wide, nrows * comp.v_factor
+                )
+            )
+        return planes
+
+
+class PostprocessingController:
+    """Tier 2: upsampling + color conversion over pixel-row spans."""
+
+    def __init__(self, geometry: ImageGeometry, options: DecodeOptions) -> None:
+        self.geometry = geometry
+        self.options = options
+
+    def process(self, planes: list[np.ndarray],
+                out_width: int, out_height: int) -> np.ndarray:
+        """Upsample chroma to luma resolution, convert, crop to size."""
+        mode = self.geometry.mode
+        y = planes[0][:out_height, :out_width]
+        cb = upsample_plane(planes[1], mode, self.options.fancy_upsampling)
+        cr = upsample_plane(planes[2], mode, self.options.fancy_upsampling)
+        cb = cb[:out_height, :out_width]
+        cr = cr[:out_height, :out_width]
+        return ycbcr_to_rgb_float(y, cb, cr)
+
+
+def decode_jpeg(data: bytes, options: DecodeOptions | None = None) -> DecodedImage:
+    """Decode baseline JFIF bytes to RGB — whole image, sequential."""
+    options = options or DecodeOptions()
+    info = parse_jpeg(data)
+    coef = CoefficientController(info, options)
+    post = PostprocessingController(coef.geometry, options)
+
+    geo = coef.geometry
+    coef.decode_rows(geo.mcu_rows)
+    planes = coef.idct_rows(0, geo.mcu_rows)
+    rgb = post.process(planes, info.width, info.height)
+    return DecodedImage(
+        rgb=rgb,
+        info=info,
+        coefficients=coef.entropy.coefficients,
+        row_byte_offsets=coef.entropy.row_byte_offsets,
+    )
+
+
+def decode_jpeg_rowwise(data: bytes, options: DecodeOptions | None = None,
+                        rows_per_step: int = 1) -> DecodedImage:
+    """Decode in MCU-row steps, the legacy libjpeg-turbo execution style.
+
+    Produces output identical to :func:`decode_jpeg`; exists to model (and
+    test) the row-granular path whose extra dependencies the paper's
+    Section 3 identifies as the obstacle to parallelism.
+    """
+    options = options or DecodeOptions()
+    info = parse_jpeg(data)
+    coef = CoefficientController(info, options)
+    post = PostprocessingController(coef.geometry, options)
+    geo = coef.geometry
+
+    rgb = np.empty((info.height, info.width, 3), dtype=np.uint8)
+    done = 0
+    while done < geo.mcu_rows:
+        step = min(rows_per_step, geo.mcu_rows - done)
+        coef.decode_rows(step)
+        planes = coef.idct_rows(done, done + step)
+        y0, y1 = geo.mcu_row_to_pixel_rows(done)[0], \
+            geo.mcu_row_to_pixel_rows(done + step - 1)[1]
+        h_span = y1 - y0
+        rgb[y0:y1] = post.process(planes, info.width, h_span)
+        done += step
+    return DecodedImage(
+        rgb=rgb,
+        info=info,
+        coefficients=coef.entropy.coefficients,
+        row_byte_offsets=coef.entropy.row_byte_offsets,
+    )

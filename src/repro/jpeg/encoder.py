@@ -1,0 +1,162 @@
+"""Baseline JPEG encoder (substrate for corpus generation).
+
+The paper evaluates *decoding*; we still need real JFIF byte streams with
+controllable entropy density, so this is a complete baseline encoder:
+RGB -> YCbCr -> subsample -> blocks -> FDCT -> quantize -> Huffman scan ->
+marker assembly.  Supports 4:4:4 / 4:2:2 / 4:2:0, quality scaling,
+restart intervals and optionally per-image optimized Huffman tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import JpegError
+from . import constants as C
+from .blocks import ImageGeometry, plane_to_blocks
+from .color import rgb_to_ycbcr_float
+from .dct import fdct_2d_blocks
+from .entropy import (
+    CoefficientBuffers,
+    ComponentTables,
+    EntropyEncoder,
+    collect_symbol_frequencies,
+)
+from .huffman import HuffmanSpec, spec_from_frequencies
+from .markers import (
+    FrameComponent,
+    HuffmanTableDef,
+    ScanComponent,
+    build_app0_jfif,
+    build_dht,
+    build_dqt,
+    build_dri,
+    build_sof0,
+    build_sos,
+)
+from .quantization import QuantTable, chrominance_table, luminance_table, quantize_blocks
+from .sampling import downsample_plane, sampling_factors
+
+
+@dataclass(frozen=True)
+class EncoderSettings:
+    """Encoder knobs, mirroring cjpeg's commonly used options."""
+
+    quality: int = 85
+    subsampling: str = "4:2:2"
+    restart_interval: int = 0          # MCUs between RSTn markers, 0 = off
+    optimize_huffman: bool = False     # per-image tables vs Annex-K tables
+    comment: bytes | None = None
+
+
+def _standard_tables() -> list[ComponentTables]:
+    """Annex-K "typical" tables: luma pair for Y, chroma pair for Cb/Cr."""
+    dc_l = HuffmanSpec(C.STD_DC_LUMINANCE_BITS, C.STD_DC_LUMINANCE_VALUES)
+    ac_l = HuffmanSpec(C.STD_AC_LUMINANCE_BITS, C.STD_AC_LUMINANCE_VALUES)
+    dc_c = HuffmanSpec(C.STD_DC_CHROMINANCE_BITS, C.STD_DC_CHROMINANCE_VALUES)
+    ac_c = HuffmanSpec(C.STD_AC_CHROMINANCE_BITS, C.STD_AC_CHROMINANCE_VALUES)
+    return [
+        ComponentTables(dc=dc_l, ac=ac_l),
+        ComponentTables(dc=dc_c, ac=ac_c),
+        ComponentTables(dc=dc_c, ac=ac_c),
+    ]
+
+
+def encode_coefficients(rgb: np.ndarray, settings: EncoderSettings) -> tuple[
+    ImageGeometry, CoefficientBuffers, QuantTable, QuantTable
+]:
+    """Front half of the encoder: RGB image -> quantized coefficients."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise JpegError(f"expected (h, w, 3) RGB input, got {rgb.shape}")
+    h, w = rgb.shape[:2]
+    geo = ImageGeometry(width=w, height=h, mode=settings.subsampling)
+
+    y, cb, cr = rgb_to_ycbcr_float(rgb)
+    cb = downsample_plane(cb, settings.subsampling)
+    cr = downsample_plane(cr, settings.subsampling)
+
+    lq = QuantTable(0, luminance_table(settings.quality))
+    cq = QuantTable(1, chrominance_table(settings.quality))
+
+    coeffs = CoefficientBuffers.empty(geo)
+    for ci, (plane, qt) in enumerate(((y, lq), (cb, cq), (cr, cq))):
+        comp = geo.components[ci]
+        blocks = plane_to_blocks(plane, comp.blocks_wide, comp.blocks_high)
+        raw = fdct_2d_blocks(blocks)
+        coeffs.planes[ci][:] = quantize_blocks(raw, qt.values)
+    return geo, coeffs, lq, cq
+
+
+def _optimized_tables(geo: ImageGeometry, coeffs: CoefficientBuffers,
+                      restart_interval: int = 0) -> list[ComponentTables]:
+    """Per-image Huffman tables; chroma components share one pair."""
+    dc_freqs, ac_freqs = collect_symbol_frequencies(geo, coeffs, restart_interval)
+    # merge the chroma components' statistics (libjpeg convention)
+    dc_chroma: dict[int, int] = {}
+    ac_chroma: dict[int, int] = {}
+    for d in dc_freqs[1:]:
+        for k, v in d.items():
+            dc_chroma[k] = dc_chroma.get(k, 0) + v
+    for d in ac_freqs[1:]:
+        for k, v in d.items():
+            ac_chroma[k] = ac_chroma.get(k, 0) + v
+    luma = ComponentTables(
+        dc=spec_from_frequencies(dc_freqs[0]),
+        ac=spec_from_frequencies(ac_freqs[0]),
+    )
+    chroma = ComponentTables(
+        dc=spec_from_frequencies(dc_chroma),
+        ac=spec_from_frequencies(ac_chroma),
+    )
+    return [luma, chroma, chroma]
+
+
+def encode_jpeg(rgb: np.ndarray, settings: EncoderSettings | None = None) -> bytes:
+    """Encode an (h, w, 3) uint8 RGB array to baseline JFIF bytes."""
+    settings = settings or EncoderSettings()
+    geo, coeffs, lq, cq = encode_coefficients(rgb, settings)
+    tables = (
+        _optimized_tables(geo, coeffs, settings.restart_interval)
+        if settings.optimize_huffman
+        else _standard_tables()
+    )
+
+    entropy = EntropyEncoder(geo, tables, settings.restart_interval)
+    scan_bytes = entropy.encode(coeffs)
+
+    hf, vf = sampling_factors(settings.subsampling)
+    frame_components = [
+        FrameComponent(component_id=1, h_factor=hf, v_factor=vf, quant_table_id=0),
+        FrameComponent(component_id=2, h_factor=1, v_factor=1, quant_table_id=1),
+        FrameComponent(component_id=3, h_factor=1, v_factor=1, quant_table_id=1),
+    ]
+    # chroma shares DHT slot 1 whether or not tables are optimized
+    dht_tables = [
+        HuffmanTableDef(0, 0, tables[0].dc),
+        HuffmanTableDef(1, 0, tables[0].ac),
+        HuffmanTableDef(0, 1, tables[1].dc),
+        HuffmanTableDef(1, 1, tables[1].ac),
+    ]
+    scan_components = [
+        ScanComponent(component_id=1, dc_table_id=0, ac_table_id=0),
+        ScanComponent(component_id=2, dc_table_id=1, ac_table_id=1),
+        ScanComponent(component_id=3, dc_table_id=1, ac_table_id=1),
+    ]
+
+    parts = [bytes([0xFF, C.SOI]), build_app0_jfif()]
+    if settings.comment:
+        from .markers import build_com
+
+        parts.append(build_com(settings.comment))
+    parts.append(build_dqt([lq, cq]))
+    parts.append(build_sof0(geo.width, geo.height, frame_components))
+    parts.append(build_dht(dht_tables))
+    if settings.restart_interval:
+        parts.append(build_dri(settings.restart_interval))
+    parts.append(build_sos(scan_components))
+    parts.append(scan_bytes)
+    parts.append(bytes([0xFF, C.EOI]))
+    return b"".join(parts)

@@ -1,0 +1,346 @@
+"""Entropy-coded scan encode/decode — the *sequential* stage of the paper.
+
+Baseline JPEG Huffman-codes each block as a DC size category (coded
+differentially against the previous block of the same component) plus AC
+(run, size) symbols with EOB/ZRL escapes.  Code words have variable
+length, so the start of a symbol is only known once the previous symbol
+is decoded — this is the data dependency that makes the stage sequential
+(paper Section 1).
+
+:class:`EntropyDecoder` is *restartable at MCU-row granularity*: the
+pipelined executors decode one horizontal chunk at a time and need to
+know how many compressed bytes each chunk consumed (that byte count
+drives the simulated Huffman time and the re-partitioning density
+correction of Eq. 16/17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import EntropyError
+from .bitstream import BitReader, BitWriter
+from .blocks import ImageGeometry
+from .constants import EOB_SYMBOL, ZIGZAG_ORDER, ZRL_SYMBOL
+from .huffman import (
+    HuffmanDecoder,
+    HuffmanEncoder,
+    HuffmanSpec,
+    encode_magnitude,
+    extend,
+    magnitude_category,
+)
+
+
+@dataclass
+class ComponentTables:
+    """Huffman table pair assigned to one scan component."""
+
+    dc: HuffmanSpec
+    ac: HuffmanSpec
+
+
+@dataclass
+class CoefficientBuffers:
+    """Per-component quantized coefficient batches in natural order.
+
+    ``planes[ci]`` has shape (blocks_high * blocks_wide, 8, 8) int16 with
+    blocks in row-major grid order — the layout of the whole-image buffer
+    the re-engineered libjpeg-turbo keeps below its legacy hierarchy
+    (paper Section 3).
+    """
+
+    geometry: ImageGeometry
+    planes: list[np.ndarray]
+
+    @classmethod
+    def empty(cls, geometry: ImageGeometry) -> "CoefficientBuffers":
+        planes = [
+            np.zeros((c.blocks_total, 8, 8), dtype=np.int16)
+            for c in geometry.components
+        ]
+        return cls(geometry=geometry, planes=planes)
+
+    def rows_slice(self, mcu_row_start: int, mcu_row_stop: int) -> "CoefficientBuffers":
+        """A view-based sub-buffer covering [mcu_row_start, mcu_row_stop)."""
+        sub_geo = self.geometry
+        planes = []
+        for comp, plane in zip(sub_geo.components, self.planes):
+            per_row = comp.blocks_wide * comp.v_factor
+            planes.append(plane[mcu_row_start * per_row: mcu_row_stop * per_row])
+        return CoefficientBuffers(geometry=sub_geo, planes=planes)
+
+
+class EntropyDecoder:
+    """Sequential Huffman decoding of one baseline scan.
+
+    Parameters
+    ----------
+    geometry : MCU-grid geometry of the frame.
+    tables : one :class:`ComponentTables` per component, scan order.
+    restart_interval : MCUs between restart markers (0 = none).
+    """
+
+    def __init__(
+        self,
+        geometry: ImageGeometry,
+        tables: list[ComponentTables],
+        restart_interval: int = 0,
+    ) -> None:
+        if len(tables) != len(geometry.components):
+            raise EntropyError(
+                f"{len(geometry.components)} components but "
+                f"{len(tables)} table pairs"
+            )
+        self.geometry = geometry
+        self.restart_interval = restart_interval
+        self._dc_decoders = [HuffmanDecoder(t.dc) for t in tables]
+        self._ac_decoders = [HuffmanDecoder(t.ac) for t in tables]
+        self._reader: BitReader | None = None
+        self._preds = [0] * len(tables)
+        self._mcus_done = 0
+        self._next_rst = 0
+        self._row_byte_offsets: list[int] = [0]
+        self.coefficients = CoefficientBuffers.empty(geometry)
+        self._rows_done = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self, entropy_data: bytes) -> None:
+        """Attach the raw scan bytes and reset all decoding state."""
+        self._reader = BitReader(entropy_data)
+        self._preds = [0] * len(self._preds)
+        self._mcus_done = 0
+        self._next_rst = 0
+        self._rows_done = 0
+        self._row_byte_offsets = [0]
+        self.coefficients = CoefficientBuffers.empty(self.geometry)
+
+    @property
+    def rows_decoded(self) -> int:
+        """Number of complete MCU rows decoded so far."""
+        return self._rows_done
+
+    @property
+    def finished(self) -> bool:
+        return self._rows_done >= self.geometry.mcu_rows
+
+    @property
+    def row_byte_offsets(self) -> list[int]:
+        """``row_byte_offsets[r]`` = compressed bytes consumed after *r*
+        complete MCU rows.  Drives chunk timing and Eq. (17)."""
+        return list(self._row_byte_offsets)
+
+    # -- core decode ------------------------------------------------------
+
+    def _decode_block(self, ci: int, out: np.ndarray) -> None:
+        """Decode one block into *out* (a flat view of 64 int16)."""
+        reader = self._reader
+        dc_sym = self._dc_decoders[ci].decode(reader)
+        if dc_sym > 11:
+            raise EntropyError(f"DC category {dc_sym} out of range")
+        diff = extend(reader.read_bits(dc_sym), dc_sym) if dc_sym else 0
+        self._preds[ci] += diff
+        out[0] = self._preds[ci]
+
+        ac = self._ac_decoders[ci]
+        zz = ZIGZAG_ORDER
+        k = 1
+        while k < 64:
+            sym = ac.decode(reader)
+            run, size = sym >> 4, sym & 0x0F
+            if size == 0:
+                if sym == EOB_SYMBOL:
+                    break
+                if sym == ZRL_SYMBOL:
+                    k += 16
+                    continue
+                raise EntropyError(f"bad AC symbol {sym:#x}")
+            k += run
+            if k > 63:
+                raise EntropyError("AC coefficient index overran the block")
+            out[zz[k]] = extend(reader.read_bits(size), size)
+            k += 1
+
+    def decode_mcu_rows(self, nrows: int) -> int:
+        """Decode up to *nrows* further MCU rows; return rows decoded.
+
+        This is the chunk-granular entry point the pipelined executors
+        call repeatedly (paper Section 4.5).
+        """
+        if self._reader is None:
+            raise EntropyError("start() must be called before decoding")
+        geo = self.geometry
+        comps = geo.components
+        target = min(self._rows_done + nrows, geo.mcu_rows)
+        planes = self.coefficients.planes
+        interval = self.restart_interval
+
+        while self._rows_done < target:
+            mrow = self._rows_done
+            for mcol in range(geo.mcus_per_row):
+                if interval and self._mcus_done and self._mcus_done % interval == 0:
+                    n = self._reader.find_restart_marker()
+                    if n != self._next_rst:
+                        raise EntropyError(
+                            f"restart marker out of sequence: RST{n}, "
+                            f"expected RST{self._next_rst}"
+                        )
+                    self._next_rst = (self._next_rst + 1) & 7
+                    self._preds = [0] * len(self._preds)
+                for ci, comp in enumerate(comps):
+                    for v in range(comp.v_factor):
+                        brow = mrow * comp.v_factor + v
+                        for h in range(comp.h_factor):
+                            bcol = mcol * comp.h_factor + h
+                            idx = brow * comp.blocks_wide + bcol
+                            self._decode_block(ci, planes[ci][idx].reshape(-1))
+                self._mcus_done += 1
+            self._rows_done += 1
+            self._row_byte_offsets.append(self._reader.byte_position)
+        return self._rows_done
+
+    def decode_all(self, entropy_data: bytes) -> CoefficientBuffers:
+        """Convenience: start + decode every MCU row."""
+        self.start(entropy_data)
+        self.decode_mcu_rows(self.geometry.mcu_rows)
+        return self.coefficients
+
+
+class EntropyEncoder:
+    """Huffman-encode quantized coefficient buffers into scan bytes."""
+
+    def __init__(
+        self,
+        geometry: ImageGeometry,
+        tables: list[ComponentTables],
+        restart_interval: int = 0,
+    ) -> None:
+        if len(tables) != len(geometry.components):
+            raise EntropyError("table/component count mismatch")
+        self.geometry = geometry
+        self.restart_interval = restart_interval
+        self._dc_encoders = [HuffmanEncoder(t.dc) for t in tables]
+        self._ac_encoders = [HuffmanEncoder(t.ac) for t in tables]
+
+    def _encode_block(self, ci: int, writer: BitWriter,
+                      coefs: np.ndarray, pred: int) -> int:
+        """Encode one block (flat natural-order int view); return new pred."""
+        dc = int(coefs[0])
+        diff = dc - pred
+        cat, bits, nbits = encode_magnitude(diff)
+        self._dc_encoders[ci].encode(writer, cat)
+        if nbits:
+            writer.write_bits(bits, nbits)
+
+        ac_enc = self._ac_encoders[ci]
+        zz = coefs[ZIGZAG_ORDER]
+        nz = np.nonzero(zz[1:])[0]
+        run_start = 1
+        for pos in nz + 1:
+            run = int(pos) - run_start
+            while run > 15:
+                ac_enc.encode(writer, ZRL_SYMBOL)
+                run -= 16
+            val = int(zz[pos])
+            cat, bits, nbits = encode_magnitude(val)
+            if cat > 10:
+                raise EntropyError(f"AC coefficient {val} too large to code")
+            ac_enc.encode(writer, (run << 4) | cat)
+            writer.write_bits(bits, nbits)
+            run_start = int(pos) + 1
+        if run_start <= 63:
+            ac_enc.encode(writer, EOB_SYMBOL)
+        return dc
+
+    def encode(self, coefficients: CoefficientBuffers) -> bytes:
+        """Serialize all MCUs; returns byte-stuffed scan data (no markers
+        except interleaved RSTn when a restart interval is configured)."""
+        geo = self.geometry
+        comps = geo.components
+        planes = coefficients.planes
+        writer = BitWriter()
+        preds = [0] * len(comps)
+        mcus_done = 0
+        next_rst = 0
+        out = bytearray()
+        interval = self.restart_interval
+
+        for mrow in range(geo.mcu_rows):
+            for mcol in range(geo.mcus_per_row):
+                if interval and mcus_done and mcus_done % interval == 0:
+                    writer.flush()
+                    out += writer.getvalue()
+                    out += bytes([0xFF, 0xD0 + next_rst])
+                    writer = BitWriter()
+                    next_rst = (next_rst + 1) & 7
+                    preds = [0] * len(comps)
+                for ci, comp in enumerate(comps):
+                    for v in range(comp.v_factor):
+                        brow = mrow * comp.v_factor + v
+                        for h in range(comp.h_factor):
+                            bcol = mcol * comp.h_factor + h
+                            idx = brow * comp.blocks_wide + bcol
+                            preds[ci] = self._encode_block(
+                                ci, writer, planes[ci][idx].reshape(-1), preds[ci]
+                            )
+                mcus_done += 1
+        writer.flush()
+        out += writer.getvalue()
+        return bytes(out)
+
+
+def collect_symbol_frequencies(
+    geometry: ImageGeometry,
+    coefficients: CoefficientBuffers,
+    restart_interval: int = 0,
+) -> tuple[list[dict[int, int]], list[dict[int, int]]]:
+    """Count DC and AC symbol frequencies per component.
+
+    Used to build optimized Huffman tables (the encoder's "-optimize"
+    mode).  The walk mirrors :meth:`EntropyEncoder.encode` exactly —
+    including MCU interleaving and DC-prediction resets at restart
+    markers — so the counted symbols are precisely the emitted ones.
+    """
+    ncomp = len(geometry.components)
+    dc_freqs: list[dict[int, int]] = [{} for _ in range(ncomp)]
+    ac_freqs: list[dict[int, int]] = [{} for _ in range(ncomp)]
+    preds = [0] * ncomp
+    mcus_done = 0
+    planes = coefficients.planes
+
+    def count_block(ci: int, coefs: np.ndarray) -> None:
+        dcf, acf = dc_freqs[ci], ac_freqs[ci]
+        dc = int(coefs[0])
+        cat = magnitude_category(dc - preds[ci])
+        preds[ci] = dc
+        dcf[cat] = dcf.get(cat, 0) + 1
+        zz = coefs[ZIGZAG_ORDER]
+        nzp = np.nonzero(zz[1:])[0]
+        run_start = 1
+        for pos in nzp + 1:
+            run = int(pos) - run_start
+            while run > 15:
+                acf[ZRL_SYMBOL] = acf.get(ZRL_SYMBOL, 0) + 1
+                run -= 16
+            sym = (run << 4) | magnitude_category(int(zz[pos]))
+            acf[sym] = acf.get(sym, 0) + 1
+            run_start = int(pos) + 1
+        if run_start <= 63:
+            acf[EOB_SYMBOL] = acf.get(EOB_SYMBOL, 0) + 1
+
+    for mrow in range(geometry.mcu_rows):
+        for mcol in range(geometry.mcus_per_row):
+            if restart_interval and mcus_done and mcus_done % restart_interval == 0:
+                preds = [0] * ncomp
+            for ci, comp in enumerate(geometry.components):
+                for v in range(comp.v_factor):
+                    brow = mrow * comp.v_factor + v
+                    for h in range(comp.h_factor):
+                        bcol = mcol * comp.h_factor + h
+                        idx = brow * comp.blocks_wide + bcol
+                        count_block(ci, planes[ci][idx].reshape(-1))
+            mcus_done += 1
+    return dc_freqs, ac_freqs

@@ -1,0 +1,254 @@
+"""Canonical Huffman coding for baseline JPEG.
+
+A JPEG Huffman table is transmitted as a (BITS, HUFFVAL) pair: BITS[i]
+counts the codes of length i+1, HUFFVAL lists symbol values by increasing
+code length.  Codes are assigned canonically (numerically increasing
+within a length, doubling between lengths).
+
+Decoding uses the classic two-level strategy libjpeg uses: a dense
+lookup table indexed by the next ``LOOKUP_BITS`` bits resolves short
+codes in one step; longer codes fall back to the MINCODE/MAXCODE walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import HuffmanError
+from .bitstream import BitReader, BitWriter
+
+#: Number of bits resolved by the first-level decode table.
+LOOKUP_BITS = 8
+
+#: Maximum JPEG Huffman code length.
+MAX_CODE_LENGTH = 16
+
+
+@dataclass(frozen=True)
+class HuffmanSpec:
+    """Transmitted form of a Huffman table: (BITS, HUFFVAL)."""
+
+    bits: tuple[int, ...]       # 16 counts, bits[i] = #codes of length i+1
+    values: tuple[int, ...]     # symbols in canonical order
+
+    def __post_init__(self) -> None:
+        if len(self.bits) != MAX_CODE_LENGTH:
+            raise HuffmanError("BITS must have exactly 16 entries")
+        if sum(self.bits) != len(self.values):
+            raise HuffmanError(
+                f"BITS sums to {sum(self.bits)} but {len(self.values)} "
+                "values supplied"
+            )
+        if sum(self.bits) == 0:
+            raise HuffmanError("empty Huffman table")
+        if len(set(self.values)) != len(self.values):
+            raise HuffmanError("duplicate symbols in Huffman table")
+        # Kraft inequality check: the canonical assignment must not overflow.
+        code = 0
+        for length in range(1, MAX_CODE_LENGTH + 1):
+            code += self.bits[length - 1]
+            if code > (1 << length):
+                raise HuffmanError("BITS describes an over-full code")
+            code <<= 1
+
+
+def spec_from_frequencies(freqs: dict[int, int]) -> HuffmanSpec:
+    """Build a JPEG-legal Huffman spec from symbol frequencies.
+
+    Follows the Annex-K procedure: build an optimal code, then limit code
+    lengths to 16 bits by moving symbols up the tree.  JPEG additionally
+    reserves the all-ones code, which the standard procedure guarantees by
+    adding a pseudo-symbol with frequency 1.
+    """
+    if not freqs:
+        raise HuffmanError("cannot build a table from no symbols")
+    if any(f <= 0 for f in freqs.values()):
+        raise HuffmanError("frequencies must be positive")
+
+    # Work arrays per Annex K.2: 257 slots, 256 is the reserved pseudo-symbol.
+    freq = np.zeros(257, dtype=np.int64)
+    for sym, f in freqs.items():
+        if not 0 <= sym <= 255:
+            raise HuffmanError(f"symbol {sym} out of byte range")
+        freq[sym] = f
+    freq[256] = 1  # reserve the all-ones code
+
+    codesize = np.zeros(257, dtype=np.int64)
+    others = np.full(257, -1, dtype=np.int64)
+
+    while True:
+        nz = np.nonzero(freq)[0]
+        if len(nz) == 1:
+            break
+        # find the two least-frequent symbols (ties -> larger index first,
+        # matching libjpeg's "smallest value of code size" bias)
+        order = nz[np.lexsort((-nz, freq[nz]))]
+        c1, c2 = int(order[0]), int(order[1])
+        freq[c1] += freq[c2]
+        freq[c2] = 0
+        codesize[c1] += 1
+        while others[c1] >= 0:
+            c1 = int(others[c1])
+            codesize[c1] += 1
+        others[c1] = c2
+        codesize[c2] += 1
+        while others[c2] >= 0:
+            c2 = int(others[c2])
+            codesize[c2] += 1
+
+    bits = np.zeros(33, dtype=np.int64)
+    for size in codesize[codesize > 0]:
+        bits[min(int(size), 32)] += 1
+
+    # Limit code lengths to 16 bits (Annex K.3 adjustment).
+    for i in range(32, 16, -1):
+        while bits[i] > 0:
+            j = i - 2
+            while bits[j] == 0:
+                j -= 1
+            bits[i] -= 2
+            bits[i - 1] += 1
+            bits[j + 1] += 2
+            bits[j] -= 1
+
+    # Remove the reserved pseudo-symbol from the longest non-empty length.
+    for i in range(16, 0, -1):
+        if bits[i] > 0:
+            bits[i] -= 1
+            break
+
+    # Sort symbols by (code size, symbol value); drop the pseudo-symbol.
+    syms = [s for s in range(256) if codesize[s] > 0]
+    syms.sort(key=lambda s: (codesize[s], s))
+    return HuffmanSpec(bits=tuple(int(b) for b in bits[1:17]), values=tuple(syms))
+
+
+@dataclass
+class HuffmanEncoder:
+    """Symbol -> (code, length) mapping derived from a spec."""
+
+    spec: HuffmanSpec
+    _codes: dict[int, tuple[int, int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._codes = {}
+        code = 0
+        k = 0
+        for length in range(1, MAX_CODE_LENGTH + 1):
+            for _ in range(self.spec.bits[length - 1]):
+                self._codes[self.spec.values[k]] = (code, length)
+                code += 1
+                k += 1
+            code <<= 1
+
+    def encode(self, writer: BitWriter, symbol: int) -> None:
+        """Write the code for *symbol* to *writer*."""
+        try:
+            code, length = self._codes[symbol]
+        except KeyError:
+            raise HuffmanError(f"symbol {symbol:#x} not in table") from None
+        writer.write_bits(code, length)
+
+    def code_for(self, symbol: int) -> tuple[int, int]:
+        """Return (code, length) for *symbol* (for tests/inspection)."""
+        if symbol not in self._codes:
+            raise HuffmanError(f"symbol {symbol:#x} not in table")
+        return self._codes[symbol]
+
+    def code_length(self, symbol: int) -> int:
+        """Length in bits of the code for *symbol*."""
+        return self.code_for(symbol)[1]
+
+    @property
+    def symbols(self) -> tuple[int, ...]:
+        return tuple(self._codes)
+
+
+class HuffmanDecoder:
+    """Table-driven decoder for one Huffman table.
+
+    ``lookup[p]`` for an 8-bit prefix p packs (length << 8 | symbol) when a
+    complete code of length <= 8 starts with p, else 0.  Longer codes use
+    MINCODE/MAXCODE/VALPTR arrays (F.2.2.3 of the standard).
+    """
+
+    def __init__(self, spec: HuffmanSpec) -> None:
+        self.spec = spec
+        enc = HuffmanEncoder(spec)
+
+        self._mincode = np.zeros(MAX_CODE_LENGTH + 1, dtype=np.int64)
+        self._maxcode = np.full(MAX_CODE_LENGTH + 1, -1, dtype=np.int64)
+        self._valptr = np.zeros(MAX_CODE_LENGTH + 1, dtype=np.int64)
+
+        code = 0
+        k = 0
+        for length in range(1, MAX_CODE_LENGTH + 1):
+            count = spec.bits[length - 1]
+            if count:
+                self._valptr[length] = k
+                self._mincode[length] = code
+                code += count
+                k += count
+                self._maxcode[length] = code - 1
+            code <<= 1
+
+        self._lookup = np.zeros(1 << LOOKUP_BITS, dtype=np.int32)
+        for symbol in enc.symbols:
+            c, length = enc.code_for(symbol)
+            if length <= LOOKUP_BITS:
+                shift = LOOKUP_BITS - length
+                base = c << shift
+                packed = (length << 8) | symbol
+                self._lookup[base: base + (1 << shift)] = packed
+
+    def decode(self, reader: BitReader) -> int:
+        """Decode and return the next symbol from *reader*."""
+        prefix = reader.peek_bits(LOOKUP_BITS)
+        packed = int(self._lookup[prefix])
+        if packed:
+            reader.skip_bits(packed >> 8)
+            return packed & 0xFF
+        # slow path: walk code lengths > LOOKUP_BITS
+        code = reader.read_bits(LOOKUP_BITS)
+        for length in range(LOOKUP_BITS + 1, MAX_CODE_LENGTH + 1):
+            code = (code << 1) | reader.read_bits(1)
+            if code <= self._maxcode[length]:
+                idx = self._valptr[length] + code - self._mincode[length]
+                return int(self.spec.values[int(idx)])
+        raise HuffmanError("undecodable Huffman code")
+
+
+# ---------------------------------------------------------------------------
+# Magnitude ("EXTEND") coding of DC differences and AC coefficients.
+# ---------------------------------------------------------------------------
+
+def magnitude_category(value: int) -> int:
+    """Return the JPEG size category SSSS of *value* (0 for 0)."""
+    return int(abs(value)).bit_length()
+
+
+def encode_magnitude(value: int) -> tuple[int, int, int]:
+    """Return (category, bits, nbits) for coding *value*'s magnitude.
+
+    Negative values are stored as the one's complement of their absolute
+    value over *category* bits, per the EXTEND procedure of the standard.
+    """
+    cat = magnitude_category(value)
+    if cat == 0:
+        return 0, 0, 0
+    if value < 0:
+        bits = value + (1 << cat) - 1
+    else:
+        bits = value
+    return cat, bits, cat
+
+
+def extend(bits: int, cat: int) -> int:
+    """Inverse of :func:`encode_magnitude` (the EXTEND procedure)."""
+    if cat == 0:
+        return 0
+    if bits < (1 << (cat - 1)):
+        return bits - (1 << cat) + 1
+    return bits

@@ -1,0 +1,153 @@
+"""Inverse DCT implementations (paper Section 4.1).
+
+Three interchangeable implementations, mirroring libjpeg's pluggable
+IDCT methods:
+
+``idct_2d_reference``
+    Direct evaluation of the paper's Eq. (1) column pass and Eq. (2) row
+    pass — the correctness oracle.
+
+``idct_2d_blocks``
+    Vectorized separable transform (``C.T @ X @ C``) over block batches —
+    the production CPU path ("SIMD mode" analog).
+
+``idct_2d_aan``
+    The AAN fast scaled IDCT (Arai/Agui/Nakajima, reference [26] in the
+    paper) exactly as structured in libjpeg's ``jidctflt.c``: dequantized
+    coefficients are pre-scaled by the AAN factors, then a 5-multiply
+    1D pass runs over columns and rows.  Vectorized over the batch
+    dimension, so the flowgraph code below operates on whole arrays.
+
+All functions accept (n, 8, 8) coefficient batches and return float64
+sample batches *without* level shift or clamping; see
+:func:`samples_from_idct` for the final stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import BLOCK_SIZE, LEVEL_SHIFT, MAX_SAMPLE
+from .dct import dct_matrix
+
+_C = dct_matrix()
+
+
+def idct_1d_reference(coeffs: np.ndarray) -> np.ndarray:
+    """1D IDCT of the paper's Eq. (1)/(2), on the last axis.
+
+    ``f(x) = sum_u C_u F(u) cos((2x+1) u pi / 2N)`` with C_0 = 1/sqrt(2),
+    C_u = 1 otherwise.  Note the paper's normalization omits the global
+    sqrt(2/N); we include it so that a round trip with the orthonormal
+    forward transform is the identity.
+    """
+    n = coeffs.shape[-1]
+    u = np.arange(n)
+    x = np.arange(n)
+    cu = np.where(u == 0, 1.0 / np.sqrt(2.0), 1.0)
+    basis = np.cos((2 * x[:, None] + 1) * u[None, :] * np.pi / (2 * n))
+    return np.sqrt(2.0 / n) * (coeffs * cu) @ basis.T
+
+
+def idct_2d_reference(block: np.ndarray) -> np.ndarray:
+    """2D IDCT of one block: column pass (Eq. 1) then row pass (Eq. 2)."""
+    block = np.asarray(block, dtype=np.float64)
+    cols = idct_1d_reference(block.T).T   # Eq. (1): IDCT down each column
+    return idct_1d_reference(cols)        # Eq. (2): IDCT along each row
+
+
+def idct_2d_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Vectorized separable IDCT over (n, 8, 8) batches: C.T @ X @ C."""
+    blocks = np.asarray(blocks, dtype=np.float64)
+    return np.einsum("xu,nuv,yv->nxy", _C.T, blocks, _C.T, optimize=True)
+
+
+# ---------------------------------------------------------------------------
+# AAN fast scaled IDCT (jidctflt.c structure, vectorized over batches).
+# ---------------------------------------------------------------------------
+
+def aan_scale_factors() -> np.ndarray:
+    """Per-coefficient AAN pre-scale matrix ``s[u] * s[v] / 8``.
+
+    libjpeg folds these into the dequantization table; we expose them so
+    the GPU IDCT kernel and the CPU path share one definition.
+    The 1D factors are ``s[0] = 1``, ``s[k] = cos(k pi / 16) * sqrt(2)``.
+    """
+    k = np.arange(BLOCK_SIZE)
+    s = np.cos(k * np.pi / 16.0) * np.sqrt(2.0)
+    s[0] = 1.0
+    return np.outer(s, s) / 8.0
+
+
+_AAN_SCALE = aan_scale_factors()
+
+_SQRT2 = 1.414213562
+_C2X2 = 1.847759065      # 2 * cos(pi/8)
+_C2MC6 = 1.082392200     # 2 * (cos(pi/8) - cos(3pi/8))
+_NC2PC6 = -2.613125930   # -2 * (cos(pi/8) + cos(3pi/8))
+
+
+def _aan_pass(data: np.ndarray) -> np.ndarray:
+    """One AAN 1D IDCT pass along axis -2 of an (n, 8, 8) batch.
+
+    Operating along axis -2 means this is the *column pass*; callers
+    transpose around it for the row pass.  Pure ndarray arithmetic so a
+    single call handles every column of every block at once.
+    """
+    in0, in1, in2, in3, in4, in5, in6, in7 = (data[..., i, :] for i in range(8))
+
+    # even part (phases 3, 5-3, 2)
+    tmp10 = in0 + in4
+    tmp11 = in0 - in4
+    tmp13 = in2 + in6
+    tmp12 = (in2 - in6) * _SQRT2 - tmp13
+    e0 = tmp10 + tmp13
+    e3 = tmp10 - tmp13
+    e1 = tmp11 + tmp12
+    e2 = tmp11 - tmp12
+
+    # odd part (phases 6, 5, 2)
+    z13 = in5 + in3
+    z10 = in5 - in3
+    z11 = in1 + in7
+    z12 = in1 - in7
+    o7 = z11 + z13
+    t11 = (z11 - z13) * _SQRT2
+    z5 = (z10 + z12) * _C2X2
+    t10 = _C2MC6 * z12 - z5
+    t12 = _NC2PC6 * z10 + z5
+    o6 = t12 - o7
+    o5 = t11 - o6
+    o4 = t10 + o5
+
+    out = np.empty_like(data)
+    out[..., 0, :] = e0 + o7
+    out[..., 7, :] = e0 - o7
+    out[..., 1, :] = e1 + o6
+    out[..., 6, :] = e1 - o6
+    out[..., 2, :] = e2 + o5
+    out[..., 5, :] = e2 - o5
+    out[..., 4, :] = e3 + o4
+    out[..., 3, :] = e3 - o4
+    return out
+
+
+def idct_2d_aan(blocks: np.ndarray) -> np.ndarray:
+    """AAN fast scaled IDCT over an (n, 8, 8) coefficient batch.
+
+    Accepts *unscaled* dequantized coefficients; the AAN pre-scale is
+    applied here.  Includes the sqrt(8)-per-axis normalization difference
+    against the orthonormal convention, so results match
+    :func:`idct_2d_blocks` to float precision.
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    scaled = blocks * _AAN_SCALE  # broadcast over the batch axis
+    cols = _aan_pass(scaled)                       # column pass, Eq. (1)
+    rows = _aan_pass(cols.swapaxes(-1, -2)).swapaxes(-1, -2)  # row pass, Eq. (2)
+    return rows
+
+
+def samples_from_idct(spatial: np.ndarray) -> np.ndarray:
+    """Level-shift and clamp IDCT output to uint8 samples."""
+    out = np.rint(spatial + LEVEL_SHIFT)
+    return np.clip(out, 0, MAX_SAMPLE).astype(np.uint8)

@@ -1,0 +1,110 @@
+"""Integer "islow" IDCT (libjpeg's jidctint.c, vectorized over batches).
+
+libjpeg selects IDCT implementations through function pointers (paper
+Section 3 discusses exactly this plugin seam); the slow-but-accurate
+integer method is the default.  We reproduce its fixed-point arithmetic
+(13-bit constants, PASS1_BITS=2 intermediate scaling) so the library
+offers the same sequential/SIMD choice surface as the original.
+
+The result differs from the float AAN path by at most ±1 sample level —
+the same relationship the two libjpeg methods have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import LEVEL_SHIFT, MAX_SAMPLE
+
+CONST_BITS = 13
+PASS1_BITS = 2
+
+_F_0_298631336 = 2446
+_F_0_390180644 = 3196
+_F_0_541196100 = 4433
+_F_0_765366865 = 6270
+_F_0_899976223 = 7373
+_F_1_175875602 = 9633
+_F_1_501321110 = 12299
+_F_1_847759065 = 15137
+_F_1_961570560 = 16069
+_F_2_053119869 = 16819
+_F_2_562915447 = 20995
+_F_3_072711026 = 25172
+
+
+def _descale(x: np.ndarray, n: int) -> np.ndarray:
+    """Right shift with round-half-up, the libjpeg DESCALE macro."""
+    return (x + (1 << (n - 1))) >> n
+
+
+def _pass(data: np.ndarray, shift_out: int, add: int) -> np.ndarray:
+    """One 1-D islow pass along axis -2 (column orientation).
+
+    ``shift_out`` is the final descale amount; ``add`` folds the level
+    shift into the rounding constant on the second pass (0 on the first).
+    """
+    in0, in1, in2, in3, in4, in5, in6, in7 = (
+        data[..., i, :].astype(np.int64) for i in range(8))
+
+    # even part
+    z2, z3 = in2, in6
+    z1 = (z2 + z3) * _F_0_541196100
+    tmp2 = z1 + z3 * (-_F_1_847759065)
+    tmp3 = z1 + z2 * _F_0_765366865
+    z2, z3 = in0, in4
+    tmp0 = (z2 + z3) << CONST_BITS
+    tmp1 = (z2 - z3) << CONST_BITS
+    t10 = tmp0 + tmp3
+    t13 = tmp0 - tmp3
+    t11 = tmp1 + tmp2
+    t12 = tmp1 - tmp2
+
+    # odd part
+    t0, t1, t2, t3 = in7, in5, in3, in1
+    z1 = t0 + t3
+    z2 = t1 + t2
+    z3 = t0 + t2
+    z4 = t1 + t3
+    z5 = (z3 + z4) * _F_1_175875602
+    t0 = t0 * _F_0_298631336
+    t1 = t1 * _F_2_053119869
+    t2 = t2 * _F_3_072711026
+    t3 = t3 * _F_1_501321110
+    z1 = z1 * (-_F_0_899976223)
+    z2 = z2 * (-_F_2_562915447)
+    z3 = z3 * (-_F_1_961570560) + z5
+    z4 = z4 * (-_F_0_390180644) + z5
+    t0 += z1 + z3
+    t1 += z2 + z4
+    t2 += z2 + z3
+    t3 += z1 + z4
+
+    out = np.empty_like(data, dtype=np.int64)
+    rows = (
+        (t10 + t3), (t11 + t2), (t12 + t1), (t13 + t0),
+        (t13 - t0), (t12 - t1), (t11 - t2), (t10 - t3),
+    )
+    for i, (plus_idx, val) in enumerate(zip(range(8), rows)):
+        out[..., plus_idx, :] = _descale(val + (add << shift_out), shift_out)
+    return out
+
+
+def idct_2d_islow(blocks: np.ndarray) -> np.ndarray:
+    """Integer islow IDCT over (n, 8, 8) dequantized coefficients.
+
+    Returns int64 spatial values *without* level shift (matching the
+    float paths' convention); feed to :func:`samples_from_idct_islow`.
+    """
+    blocks = np.asarray(blocks).astype(np.int64)
+    # pass 1: columns, results scaled up by PASS1_BITS
+    cols = _pass(blocks, CONST_BITS - PASS1_BITS, 0)
+    # pass 2: rows, remove the scaling plus the /8 of the transform
+    rows = _pass(cols.swapaxes(-1, -2), CONST_BITS + PASS1_BITS + 3, 0)
+    return rows.swapaxes(-1, -2)
+
+
+def samples_from_idct_islow(spatial: np.ndarray) -> np.ndarray:
+    """Level-shift and clamp integer IDCT output to uint8 samples."""
+    out = spatial + LEVEL_SHIFT
+    return np.clip(out, 0, MAX_SAMPLE).astype(np.uint8)

@@ -1,0 +1,368 @@
+"""JFIF/JPEG marker-segment parsing and serialization (paper Section 2).
+
+A JPEG file is a sequence of marker segments (SOI, APP0, DQT, SOF0, DHT,
+optional DRI, SOS) followed by the entropy-coded scan and EOI.  This
+module parses that structure into :class:`JpegImageInfo` — including the
+raw entropy-coded bytes, whose length drives the paper's entropy-density
+model (Eq. 3) — and provides the inverse serializers for the encoder.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import JpegFormatError, JpegUnsupportedError
+from . import constants as C
+from .blocks import ImageGeometry
+from .huffman import HuffmanSpec
+from .quantization import QuantTable, parse_dqt_payload
+
+
+@dataclass(frozen=True)
+class FrameComponent:
+    """One component entry of a SOF0 header."""
+
+    component_id: int
+    h_factor: int
+    v_factor: int
+    quant_table_id: int
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Parsed SOF0 (baseline DCT) header."""
+
+    precision: int
+    height: int
+    width: int
+    components: tuple[FrameComponent, ...]
+
+    @property
+    def subsampling_mode(self) -> str:
+        """Infer the JFIF subsampling notation from sampling factors."""
+        if len(self.components) == 1:
+            return "4:4:4"  # grayscale decodes like unsubsampled
+        luma = self.components[0]
+        chroma = self.components[1:]
+        if any(c.h_factor != 1 or c.v_factor != 1 for c in chroma):
+            raise JpegUnsupportedError(
+                "chroma sampling factors other than 1x1 are unsupported"
+            )
+        key = (luma.h_factor, luma.v_factor)
+        modes = {(1, 1): "4:4:4", (2, 1): "4:2:2", (2, 2): "4:2:0"}
+        if key not in modes:
+            raise JpegUnsupportedError(f"luma sampling factors {key} unsupported")
+        return modes[key]
+
+
+@dataclass(frozen=True)
+class ScanComponent:
+    """One component entry of a SOS header."""
+
+    component_id: int
+    dc_table_id: int
+    ac_table_id: int
+
+
+@dataclass(frozen=True)
+class ScanHeader:
+    """Parsed SOS header (baseline: Ss=0, Se=63, Ah=Al=0)."""
+
+    components: tuple[ScanComponent, ...]
+
+
+@dataclass(frozen=True)
+class HuffmanTableDef:
+    """One table from a DHT segment."""
+
+    table_class: int  # 0 = DC, 1 = AC
+    table_id: int
+    spec: HuffmanSpec
+
+
+@dataclass
+class JpegImageInfo:
+    """Everything parsed from a baseline JPEG file.
+
+    ``entropy_data`` holds the raw (still byte-stuffed) scan bytes; its
+    length is the paper's "entropy data size" and, divided by w*h, the
+    entropy density *d* of Eq. (3).
+    """
+
+    frame: FrameHeader
+    scan: ScanHeader
+    quant_tables: dict[int, QuantTable]
+    dc_tables: dict[int, HuffmanSpec]
+    ac_tables: dict[int, HuffmanSpec]
+    restart_interval: int
+    entropy_data: bytes
+    file_size: int
+    comments: list[bytes] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        return self.frame.width
+
+    @property
+    def height(self) -> int:
+        return self.frame.height
+
+    @property
+    def subsampling_mode(self) -> str:
+        return self.frame.subsampling_mode
+
+    @property
+    def geometry(self) -> ImageGeometry:
+        return ImageGeometry(self.width, self.height, self.subsampling_mode)
+
+    @property
+    def entropy_density(self) -> float:
+        """Entropy-coded bytes per pixel — the paper's approximation uses
+        file size; we expose both (see :attr:`file_density`)."""
+        return len(self.entropy_data) / float(self.width * self.height)
+
+    @property
+    def file_density(self) -> float:
+        """Eq. (3): d = ImageFileSize / (w * h)."""
+        return self.file_size / float(self.width * self.height)
+
+
+def _read_u16(data: bytes, pos: int) -> int:
+    if pos + 2 > len(data):
+        raise JpegFormatError("truncated length field")
+    return struct.unpack_from(">H", data, pos)[0]
+
+
+def parse_sof0_payload(payload: bytes) -> FrameHeader:
+    """Parse the payload of a SOF0 segment."""
+    if len(payload) < 6:
+        raise JpegFormatError("SOF0 payload too short")
+    precision, height, width, ncomp = struct.unpack_from(">BHHB", payload, 0)
+    if precision != 8:
+        raise JpegUnsupportedError(f"{precision}-bit precision unsupported")
+    if height == 0 or width == 0:
+        raise JpegFormatError("zero image dimension in SOF0")
+    if len(payload) != 6 + 3 * ncomp:
+        raise JpegFormatError("SOF0 component list length mismatch")
+    comps = []
+    for i in range(ncomp):
+        cid, hv, tq = struct.unpack_from(">BBB", payload, 6 + 3 * i)
+        comps.append(
+            FrameComponent(
+                component_id=cid, h_factor=hv >> 4, v_factor=hv & 0x0F,
+                quant_table_id=tq,
+            )
+        )
+    return FrameHeader(precision=precision, height=height, width=width,
+                       components=tuple(comps))
+
+
+def parse_dht_payload(payload: bytes) -> list[HuffmanTableDef]:
+    """Parse a DHT segment payload (may define several tables)."""
+    tables: list[HuffmanTableDef] = []
+    pos = 0
+    while pos < len(payload):
+        if pos + 17 > len(payload):
+            raise JpegFormatError("truncated DHT header")
+        tc_th = payload[pos]
+        table_class, table_id = tc_th >> 4, tc_th & 0x0F
+        if table_class > 1 or table_id > 3:
+            raise JpegFormatError(f"bad DHT class/id {tc_th:#x}")
+        bits = tuple(payload[pos + 1: pos + 17])
+        nvals = sum(bits)
+        pos += 17
+        if pos + nvals > len(payload):
+            raise JpegFormatError("truncated DHT values")
+        values = tuple(payload[pos: pos + nvals])
+        pos += nvals
+        tables.append(
+            HuffmanTableDef(table_class=table_class, table_id=table_id,
+                            spec=HuffmanSpec(bits=bits, values=values))
+        )
+    return tables
+
+
+def parse_sos_payload(payload: bytes) -> ScanHeader:
+    """Parse a SOS header payload (baseline checks on Ss/Se/Ah/Al)."""
+    if len(payload) < 1:
+        raise JpegFormatError("empty SOS payload")
+    ncomp = payload[0]
+    if len(payload) != 1 + 2 * ncomp + 3:
+        raise JpegFormatError("SOS payload length mismatch")
+    comps = []
+    for i in range(ncomp):
+        cid = payload[1 + 2 * i]
+        tables = payload[2 + 2 * i]
+        comps.append(
+            ScanComponent(component_id=cid, dc_table_id=tables >> 4,
+                          ac_table_id=tables & 0x0F)
+        )
+    ss, se, ahal = payload[-3], payload[-2], payload[-1]
+    if (ss, se, ahal) != (0, 63, 0):
+        raise JpegUnsupportedError("non-baseline spectral selection in SOS")
+    return ScanHeader(components=tuple(comps))
+
+
+def _find_scan_end(data: bytes, start: int) -> int:
+    """Return the index just past the entropy-coded data beginning at
+    *start* (i.e. the position of the terminating non-RST marker)."""
+    pos = start
+    n = len(data)
+    while pos < n - 1:
+        if data[pos] == 0xFF:
+            nxt = data[pos + 1]
+            if nxt == 0x00 or C.is_rst(nxt):
+                pos += 2
+                continue
+            return pos
+        pos += 1
+    raise JpegFormatError("entropy-coded data not terminated by a marker")
+
+
+def parse_jpeg(data: bytes) -> JpegImageInfo:
+    """Parse a baseline JFIF byte stream into :class:`JpegImageInfo`."""
+    if len(data) < 4 or data[0] != 0xFF or data[1] != C.SOI:
+        raise JpegFormatError("missing SOI marker")
+
+    pos = 2
+    frame: FrameHeader | None = None
+    scan: ScanHeader | None = None
+    quant: dict[int, QuantTable] = {}
+    dc: dict[int, HuffmanSpec] = {}
+    ac: dict[int, HuffmanSpec] = {}
+    restart_interval = 0
+    comments: list[bytes] = []
+    entropy: bytes | None = None
+
+    while pos < len(data):
+        if data[pos] != 0xFF:
+            raise JpegFormatError(f"expected marker at offset {pos}")
+        # skip fill bytes (0xFF padding before a marker)
+        while pos < len(data) and data[pos] == 0xFF:
+            pos += 1
+        if pos >= len(data):
+            raise JpegFormatError("truncated marker")
+        marker = data[pos]
+        pos += 1
+
+        if marker == C.EOI:
+            break
+        if marker == C.SOI:
+            raise JpegFormatError("unexpected second SOI")
+        if marker in C.UNSUPPORTED_SOF or marker == C.DAC:
+            raise JpegUnsupportedError(
+                f"non-baseline marker 0xFF{marker:02X}"
+            )
+        if marker not in C.SEGMENT_MARKERS:
+            raise JpegFormatError(f"unexpected marker 0xFF{marker:02X}")
+
+        length = _read_u16(data, pos)
+        if length < 2 or pos + length > len(data):
+            raise JpegFormatError("bad segment length")
+        payload = data[pos + 2: pos + length]
+        pos += length
+
+        if marker == C.SOF0:
+            if frame is not None:
+                raise JpegFormatError("multiple SOF0 segments")
+            frame = parse_sof0_payload(payload)
+        elif marker == C.DQT:
+            for t in parse_dqt_payload(payload):
+                quant[t.table_id] = t
+        elif marker == C.DHT:
+            for t in parse_dht_payload(payload):
+                (dc if t.table_class == 0 else ac)[t.table_id] = t.spec
+        elif marker == C.DRI:
+            if len(payload) != 2:
+                raise JpegFormatError("bad DRI payload")
+            restart_interval = struct.unpack(">H", payload)[0]
+        elif marker == C.COM:
+            comments.append(payload)
+        elif marker == C.SOS:
+            scan = parse_sos_payload(payload)
+            end = _find_scan_end(data, pos)
+            entropy = data[pos:end]
+            pos = end
+        # APPn and other segments are skipped
+
+    if frame is None:
+        raise JpegFormatError("missing SOF0")
+    if scan is None or entropy is None:
+        raise JpegFormatError("missing SOS / entropy data")
+    for comp in frame.components:
+        if comp.quant_table_id not in quant:
+            raise JpegFormatError(
+                f"component {comp.component_id} references missing "
+                f"quant table {comp.quant_table_id}"
+            )
+    for sc in scan.components:
+        if sc.dc_table_id not in dc or sc.ac_table_id not in ac:
+            raise JpegFormatError(
+                f"scan component {sc.component_id} references missing "
+                "Huffman table"
+            )
+
+    return JpegImageInfo(
+        frame=frame, scan=scan, quant_tables=quant, dc_tables=dc,
+        ac_tables=ac, restart_interval=restart_interval,
+        entropy_data=entropy, file_size=len(data), comments=comments,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serializers (encoder side).
+# ---------------------------------------------------------------------------
+
+def _segment(marker: int, payload: bytes) -> bytes:
+    return bytes([0xFF, marker]) + struct.pack(">H", len(payload) + 2) + payload
+
+
+def build_app0_jfif() -> bytes:
+    """Standard JFIF APP0 segment (version 1.1, no thumbnail)."""
+    payload = b"JFIF\x00" + bytes([1, 1, 0]) + struct.pack(">HH", 1, 1) + bytes([0, 0])
+    return _segment(C.APP0, payload)
+
+
+def build_dqt(tables: list[QuantTable]) -> bytes:
+    payload = b"".join(t.to_dqt_payload() for t in tables)
+    return _segment(C.DQT, payload)
+
+
+def build_sof0(width: int, height: int,
+               components: list[FrameComponent]) -> bytes:
+    payload = struct.pack(">BHHB", 8, height, width, len(components))
+    for comp in components:
+        payload += bytes([
+            comp.component_id,
+            (comp.h_factor << 4) | comp.v_factor,
+            comp.quant_table_id,
+        ])
+    return _segment(C.SOF0, payload)
+
+
+def build_dht(tables: list[HuffmanTableDef]) -> bytes:
+    payload = b""
+    for t in tables:
+        payload += bytes([(t.table_class << 4) | t.table_id])
+        payload += bytes(t.spec.bits)
+        payload += bytes(t.spec.values)
+    return _segment(C.DHT, payload)
+
+
+def build_dri(interval: int) -> bytes:
+    return _segment(C.DRI, struct.pack(">H", interval))
+
+
+def build_sos(components: list[ScanComponent]) -> bytes:
+    payload = bytes([len(components)])
+    for sc in components:
+        payload += bytes([sc.component_id, (sc.dc_table_id << 4) | sc.ac_table_id])
+    payload += bytes([0, 63, 0])
+    return _segment(C.SOS, payload)
+
+
+def build_com(text: bytes) -> bytes:
+    return _segment(C.COM, text)

@@ -1,0 +1,184 @@
+"""Restart-marker-based parallel Huffman decoding (extension).
+
+The paper keeps Huffman decoding strictly sequential because standard
+JPEG code words are not self-synchronizing (Section 1, citing Klein &
+Wiseman).  There is one standards-compliant escape hatch it leaves on
+the table: **restart markers**.  When the encoder emits a DRI interval,
+the scan splits into byte-aligned, independently decodable segments
+(DC predictions reset at each RSTn) — so a multi-core CPU can entropy-
+decode segments in parallel.
+
+This module implements that extension:
+
+- :func:`split_restart_segments` scans the entropy data for RSTn
+  boundaries and returns the byte spans;
+- :class:`ParallelEntropyDecoder` decodes every segment independently
+  (results are bit-identical to the sequential decoder — tested) and
+  models the multi-core schedule: segments are greedily assigned to
+  ``cores`` workers (LPT order), giving the simulated speedup;
+
+The executors do not use it by default — the paper's pipeline relies on
+*in-order* row availability, which parallel segment decoding breaks —
+but the A7 ablation benchmark quantifies the opportunity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import EntropyError
+from .blocks import ImageGeometry
+from .entropy import CoefficientBuffers, ComponentTables, EntropyDecoder
+
+
+@dataclass(frozen=True)
+class RestartSegment:
+    """One independently decodable span of the entropy-coded data."""
+
+    index: int
+    byte_start: int       # offset of the segment's first payload byte
+    byte_stop: int        # offset just past the segment (before its RSTn)
+    mcu_start: int        # first MCU index covered
+    mcu_count: int        # MCUs in this segment
+
+    @property
+    def nbytes(self) -> int:
+        return self.byte_stop - self.byte_start
+
+
+def split_restart_segments(entropy_data: bytes, total_mcus: int,
+                           restart_interval: int) -> list[RestartSegment]:
+    """Locate RSTn boundaries and derive the per-segment MCU spans."""
+    if restart_interval <= 0:
+        raise EntropyError("parallel Huffman decoding needs a DRI interval")
+    boundaries: list[int] = []   # positions of 0xFF RSTn pairs
+    pos = 0
+    n = len(entropy_data)
+    while pos + 1 < n:
+        if entropy_data[pos] == 0xFF:
+            nxt = entropy_data[pos + 1]
+            if nxt == 0x00:
+                pos += 2
+                continue
+            if 0xD0 <= nxt <= 0xD7:
+                boundaries.append(pos)
+                pos += 2
+                continue
+        pos += 1
+
+    segments: list[RestartSegment] = []
+    start = 0
+    mcu_start = 0
+    for i, b in enumerate(boundaries):
+        segments.append(RestartSegment(
+            index=i, byte_start=start, byte_stop=b,
+            mcu_start=mcu_start, mcu_count=restart_interval))
+        start = b + 2
+        mcu_start += restart_interval
+    last_count = total_mcus - mcu_start
+    if last_count <= 0:
+        raise EntropyError("restart markers exceed the MCU count")
+    segments.append(RestartSegment(
+        index=len(boundaries), byte_start=start, byte_stop=len(entropy_data),
+        mcu_start=mcu_start, mcu_count=last_count))
+    return segments
+
+
+def _lpt_makespan(work: list[float], cores: int) -> float:
+    """Longest-processing-time-first schedule length on *cores* workers."""
+    loads = [0.0] * max(1, cores)
+    for w in sorted(work, reverse=True):
+        i = loads.index(min(loads))
+        loads[i] += w
+    return max(loads)
+
+
+@dataclass
+class ParallelDecodeResult:
+    """Output of a parallel entropy decode."""
+
+    coefficients: CoefficientBuffers
+    segments: list[RestartSegment]
+    sequential_us: float      # simulated single-core time
+    parallel_us: float        # simulated LPT makespan on `cores`
+    cores: int
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_us / self.parallel_us
+
+
+class ParallelEntropyDecoder:
+    """Decode restart segments independently; merge into one buffer."""
+
+    def __init__(self, geometry: ImageGeometry,
+                 tables: list[ComponentTables],
+                 restart_interval: int) -> None:
+        if restart_interval <= 0:
+            raise EntropyError("parallel Huffman decoding needs a DRI interval")
+        self.geometry = geometry
+        self.tables = tables
+        self.restart_interval = restart_interval
+
+    def _decode_segment(self, seg: RestartSegment, data: bytes,
+                        out: CoefficientBuffers) -> None:
+        """Decode one segment into the right slice of *out*.
+
+        Each segment is decoded with a fresh sequential decoder over a
+        *virtual* image covering exactly its MCUs.  Segments start and
+        end on MCU-row boundaries only if the interval divides the row
+        width, so we decode into a scratch buffer in scan order and then
+        scatter into the global block grid.
+        """
+        geo = self.geometry
+        dec = EntropyDecoder(geo, self.tables, restart_interval=0)
+        # Trick: reuse the row-granular decoder by giving it a 1-row
+        # geometry of seg.mcu_count MCUs; the scan order inside one MCU
+        # is identical, and DC predictions start at 0 as they must.
+        virt = ImageGeometry(seg.mcu_count * geo.mcu_width, geo.mcu_height,
+                             geo.mode)
+        vdec = EntropyDecoder(virt, self.tables, restart_interval=0)
+        vdec.start(data[seg.byte_start: seg.byte_stop])
+        vdec.decode_mcu_rows(1)
+
+        # scatter: virtual MCU j -> global MCU (seg.mcu_start + j)
+        for ci, comp in enumerate(geo.components):
+            vcomp = virt.components[ci]
+            src = vdec.coefficients.planes[ci]
+            dst = out.planes[ci]
+            for j in range(seg.mcu_count):
+                g = seg.mcu_start + j
+                grow, gcol = divmod(g, geo.mcus_per_row)
+                for v in range(comp.v_factor):
+                    for h in range(comp.h_factor):
+                        sidx = v * vcomp.blocks_wide + j * comp.h_factor + h
+                        didx = ((grow * comp.v_factor + v) * comp.blocks_wide
+                                + gcol * comp.h_factor + h)
+                        dst[didx] = src[sidx]
+
+    def decode(self, entropy_data: bytes, cores: int = 4,
+               ns_per_byte: float = 13.0,
+               ns_per_mcu: float = 70.0) -> ParallelDecodeResult:
+        """Decode all segments; model the multi-core schedule.
+
+        ``ns_per_byte``/``ns_per_mcu`` mirror the sequential Huffman cost
+        model (Figure 7's slope and per-pixel base re-expressed per MCU).
+        """
+        geo = self.geometry
+        segments = split_restart_segments(
+            entropy_data, geo.total_mcus, self.restart_interval)
+        out = CoefficientBuffers.empty(geo)
+        for seg in segments:
+            self._decode_segment(seg, entropy_data, out)
+        work = [
+            (seg.nbytes * ns_per_byte + seg.mcu_count * ns_per_mcu) / 1e3
+            for seg in segments
+        ]
+        return ParallelDecodeResult(
+            coefficients=out, segments=segments,
+            sequential_us=float(sum(work)),
+            parallel_us=_lpt_makespan(work, cores),
+            cores=cores,
+        )

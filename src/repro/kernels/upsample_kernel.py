@@ -1,0 +1,72 @@
+"""GPU fancy-upsampling kernel for 4:2:2 (paper Section 4.2, Algorithm 1).
+
+Sixteen work-items per block, two per 8-pixel row: the even-ID item reads
+In[0..4] and produces Out[0..7], the odd-ID item reads In[3..7] and
+produces Out[8..15].  End pixels take a different equation, so a naive
+work-item arrangement diverges; the paper sizes work-groups so all 16
+items of a block take the same branch (``divergence_free=True``).  The
+A2-style ablation can disable that to model the divergent variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import KernelError
+from ..gpusim.kernel import KernelLaunch, SimKernel
+from ..gpusim.memory import MemoryTraffic
+from ..gpusim.ndrange import NDRange
+from ..jpeg.sampling import upsample_h2v1_fancy
+
+ITEMS_PER_BLOCK = 16
+
+#: ~4 ops per produced pixel, 8 pixels per item.
+FLOPS_PER_ITEM = 32.0
+
+REGISTERS_PER_ITEM = 12
+
+
+@dataclass
+class UpsampleKernel(SimKernel):
+    """Horizontal 2x fancy upsampling over a batch of chroma blocks."""
+
+    workgroup_blocks: int = 8
+    divergence_free: bool = True
+    name: str = "upsample"
+
+    def __post_init__(self) -> None:
+        if self.workgroup_blocks <= 0 or self.workgroup_blocks % 2:
+            raise KernelError(
+                "work-group must cover a positive multiple of 2 blocks "
+                "(16 items/block, warp multiple)"
+            )
+
+    def describe_launch(self, *, plane: np.ndarray) -> KernelLaunch:
+        h, w = plane.shape
+        if h % 8 or w % 8:
+            raise KernelError("plane must be block-aligned")
+        n_blocks = (h // 8) * (w // 8)
+        wg_blocks = min(self.workgroup_blocks, max(2, n_blocks - n_blocks % 2))
+        global_items = -(-n_blocks // wg_blocks) * wg_blocks * ITEMS_PER_BLOCK
+        ndr = NDRange(global_size=global_items,
+                      local_size=wg_blocks * ITEMS_PER_BLOCK)
+        traffic = MemoryTraffic(
+            global_read_bytes=n_blocks * 64,      # uint8 chroma in
+            global_write_bytes=n_blocks * 128,    # 2x wider out
+            read_transactions=n_blocks * 64 // 128 + 1,
+            write_transactions=n_blocks * ITEMS_PER_BLOCK * 2,
+            coalesced=True,
+        )
+        return KernelLaunch(
+            ndrange=ndr,
+            flops_per_item=FLOPS_PER_ITEM,
+            traffic=traffic,
+            registers_per_item=REGISTERS_PER_ITEM,
+            divergence_factor=1.0 if self.divergence_free else 2.0,
+        )
+
+    def execute(self, *, plane: np.ndarray) -> np.ndarray:
+        """Upsample a (h, w) chroma plane to (h, 2w), Algorithm 1."""
+        return upsample_h2v1_fancy(plane)

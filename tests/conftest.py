@@ -1,0 +1,72 @@
+"""Shared fixtures: small deterministic images, encoded corpora and
+profiled decoders, cached per session to keep the suite fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HeterogeneousDecoder
+from repro.data import synthetic_photo, synthetic_smooth
+from repro.jpeg import EncoderSettings, decode_jpeg, encode_jpeg
+from repro.evaluation import platforms
+
+
+@pytest.fixture(scope="session")
+def small_rgb() -> np.ndarray:
+    """A 96x144 photo-like image (not block-aligned on purpose)."""
+    return synthetic_photo(96, 144, seed=42, detail=0.6)
+
+
+@pytest.fixture(scope="session")
+def tiny_rgb() -> np.ndarray:
+    """A 24x40 image for the cheapest end-to-end paths."""
+    return synthetic_photo(24, 40, seed=1, detail=0.4)
+
+
+@pytest.fixture(scope="session")
+def smooth_rgb() -> np.ndarray:
+    return synthetic_smooth(64, 64, seed=3)
+
+
+@pytest.fixture(scope="session", params=["4:4:4", "4:2:2"])
+def subsampling(request) -> str:
+    """The two modes the paper evaluates."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def jpeg_422(small_rgb) -> bytes:
+    return encode_jpeg(small_rgb, EncoderSettings(quality=85, subsampling="4:2:2"))
+
+
+@pytest.fixture(scope="session")
+def jpeg_444(small_rgb) -> bytes:
+    return encode_jpeg(small_rgb, EncoderSettings(quality=85, subsampling="4:4:4"))
+
+
+@pytest.fixture(scope="session")
+def ref_rgb_422(jpeg_422) -> np.ndarray:
+    return decode_jpeg(jpeg_422).rgb
+
+
+@pytest.fixture(scope="session")
+def ref_rgb_444(jpeg_444) -> np.ndarray:
+    return decode_jpeg(jpeg_444).rgb
+
+
+@pytest.fixture(scope="session")
+def gtx560_decoder() -> HeterogeneousDecoder:
+    """A profiled decoder on the mid-range platform (models cached
+    process-wide, so this is cheap after first use)."""
+    return HeterogeneousDecoder.for_platform(platforms.GTX560)
+
+
+@pytest.fixture(scope="session")
+def gt430_decoder() -> HeterogeneousDecoder:
+    return HeterogeneousDecoder.for_platform(platforms.GT430)
+
+
+@pytest.fixture(scope="session")
+def gtx680_decoder() -> HeterogeneousDecoder:
+    return HeterogeneousDecoder.for_platform(platforms.GTX680)

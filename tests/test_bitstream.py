@@ -1,0 +1,190 @@
+"""Bit-level I/O: stuffing, MSB order, marker handling, error paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BitstreamError
+from repro.jpeg.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_byte(self):
+        w = BitWriter()
+        w.write_bits(0xA5, 8)
+        assert w.getvalue() == b"\xa5"
+
+    def test_msb_first_within_byte(self):
+        w = BitWriter()
+        w.write_bits(0b1, 1)
+        w.write_bits(0b0, 1)
+        w.write_bits(0b111111, 6)
+        assert w.getvalue() == bytes([0b10111111])
+
+    def test_byte_stuffing_on_ff(self):
+        w = BitWriter()
+        w.write_bits(0xFF, 8)
+        assert w.getvalue() == b"\xff\x00"
+
+    def test_stuffing_across_boundary(self):
+        w = BitWriter()
+        w.write_bits(0b1111, 4)
+        w.write_bits(0b1111, 4)   # completes an 0xFF byte
+        w.write_bits(0x12, 8)
+        assert w.getvalue() == b"\xff\x00\x12"
+
+    def test_flush_pads_with_ones(self):
+        w = BitWriter()
+        w.write_bits(0b0, 1)
+        w.flush()
+        assert w.getvalue() == bytes([0b01111111])
+
+    def test_flush_on_boundary_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0x42, 8)
+        w.flush()
+        assert w.getvalue() == b"\x42"
+
+    def test_zero_bits_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.getvalue() == b""
+
+    def test_rejects_value_too_wide(self):
+        w = BitWriter()
+        with pytest.raises(BitstreamError):
+            w.write_bits(4, 2)
+
+    def test_rejects_negative(self):
+        w = BitWriter()
+        with pytest.raises(BitstreamError):
+            w.write_bits(-1, 4)
+
+    def test_rejects_over_32_bits(self):
+        w = BitWriter()
+        with pytest.raises(BitstreamError):
+            w.write_bits(0, 33)
+
+    def test_bit_length_counts_payload_not_stuffing(self):
+        w = BitWriter()
+        w.write_bits(0xFF, 8)
+        w.write_bits(0xFF, 8)
+        assert w.bit_length == 16
+
+
+class TestBitReader:
+    def test_read_across_bytes(self):
+        r = BitReader(b"\xa5\x3c")
+        assert r.read_bits(4) == 0xA
+        assert r.read_bits(8) == 0x53
+        assert r.read_bits(4) == 0xC
+
+    def test_destuffing(self):
+        r = BitReader(b"\xff\x00\x12")
+        assert r.read_bits(8) == 0xFF
+        assert r.read_bits(8) == 0x12
+
+    def test_peek_does_not_consume(self):
+        r = BitReader(b"\xcafe".replace(b"fe", b"\xfe"))
+        assert r.peek_bits(4) == r.peek_bits(4)
+        assert r.read_bits(4) == 0xC
+
+    def test_peek_zero_pads_at_end(self):
+        r = BitReader(b"\x80")
+        r.read_bits(8)
+        assert r.peek_bits(8) == 0
+
+    def test_skip_bits(self):
+        r = BitReader(b"\xf0")
+        r.peek_bits(8)
+        r.skip_bits(4)
+        assert r.read_bits(4) == 0
+
+    def test_skip_more_than_buffered_raises(self):
+        r = BitReader(b"\xf0")
+        with pytest.raises(BitstreamError):
+            r.skip_bits(4)
+
+    def test_exhausted_raises(self):
+        r = BitReader(b"\x01")
+        r.read_bits(8)
+        with pytest.raises(BitstreamError):
+            r.read_bits(1)
+
+    def test_marker_sets_flag_and_feeds_zeros(self):
+        r = BitReader(b"\x81\xff\xd9")
+        assert r.read_bits(8) == 0x81
+        assert not r.hit_marker
+        assert r.read_bits(8) == 0  # zero-fed past the marker
+        assert r.hit_marker
+
+    def test_truncated_after_ff_raises(self):
+        r = BitReader(b"\xff")
+        with pytest.raises(BitstreamError):
+            r.read_bits(8)
+
+    def test_find_restart_marker(self):
+        r = BitReader(b"\xaa\xff\xd3\x55")
+        r.read_bits(4)
+        assert r.find_restart_marker() == 3
+        assert r.read_bits(8) == 0x55
+
+    def test_find_restart_rejects_non_rst(self):
+        r = BitReader(b"\xff\xd9")
+        with pytest.raises(BitstreamError):
+            r.find_restart_marker()
+
+    def test_find_restart_missing_raises(self):
+        r = BitReader(b"\x01\x02")
+        with pytest.raises(BitstreamError):
+            r.find_restart_marker()
+
+    def test_ndarray_input(self):
+        r = BitReader(np.array([0xAB], dtype=np.uint8))
+        assert r.read_bits(8) == 0xAB
+
+    def test_ndarray_wrong_dtype_rejected(self):
+        with pytest.raises(BitstreamError):
+            BitReader(np.array([1.0]))
+
+    def test_byte_position_tracks_consumption(self):
+        r = BitReader(b"\x12\x34\x56")
+        r.read_bits(8)
+        assert r.byte_position == 1
+        r.read_bits(4)
+        assert r.byte_position == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2**16 - 1),
+              st.integers(min_value=1, max_value=16)),
+    min_size=1, max_size=120,
+))
+def test_roundtrip_bits_property(pairs):
+    """Anything written MSB-first reads back identically after stuffing."""
+    w = BitWriter()
+    normalized = [(v & ((1 << n) - 1), n) for v, n in pairs]
+    for v, n in normalized:
+        w.write_bits(v, n)
+    w.flush()
+    r = BitReader(w.getvalue())
+    for v, n in normalized:
+        assert r.read_bits(n) == v
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=0, max_size=200))
+def test_stuffed_stream_never_contains_bare_marker(data):
+    """The writer's output cannot embed an accidental marker byte pair."""
+    w = BitWriter()
+    for byte in data:
+        w.write_bits(byte, 8)
+    w.flush()
+    out = w.getvalue()
+    for i in range(len(out) - 1):
+        if out[i] == 0xFF:
+            assert out[i + 1] == 0x00

@@ -1,0 +1,204 @@
+"""MCU geometry, block packing and quantization tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JpegError, JpegFormatError
+from repro.jpeg.blocks import (
+    ImageGeometry,
+    blocks_to_plane,
+    ceil_div,
+    mcu_interleave_order,
+    plane_to_blocks,
+)
+from repro.jpeg.quantization import (
+    QuantTable,
+    chrominance_table,
+    dequantize_blocks,
+    luminance_table,
+    parse_dqt_payload,
+    quantize_blocks,
+    scale_quant_table,
+)
+from repro.jpeg.constants import STD_LUMINANCE_QUANT
+
+
+class TestGeometry:
+    def test_444_mcu_is_8x8(self):
+        geo = ImageGeometry(100, 60, "4:4:4")
+        assert (geo.mcu_width, geo.mcu_height) == (8, 8)
+        assert geo.mcus_per_row == 13
+        assert geo.mcu_rows == 8
+
+    def test_422_mcu_is_16x8(self):
+        geo = ImageGeometry(100, 60, "4:2:2")
+        assert (geo.mcu_width, geo.mcu_height) == (16, 8)
+        assert geo.mcus_per_row == 7
+
+    def test_420_mcu_is_16x16(self):
+        geo = ImageGeometry(100, 60, "4:2:0")
+        assert (geo.mcu_width, geo.mcu_height) == (16, 16)
+        assert geo.mcu_rows == 4
+
+    def test_blocks_per_mcu(self):
+        assert ImageGeometry(64, 64, "4:4:4").blocks_per_mcu == 3
+        assert ImageGeometry(64, 64, "4:2:2").blocks_per_mcu == 4
+        assert ImageGeometry(64, 64, "4:2:0").blocks_per_mcu == 6
+
+    def test_chroma_dimensions_422(self):
+        geo = ImageGeometry(100, 60, "4:2:2")
+        _, cb, cr = geo.components
+        assert (cb.width, cb.height) == (50, 60)
+        assert cb.blocks_wide == geo.mcus_per_row
+
+    def test_luma_covers_padded_grid(self):
+        geo = ImageGeometry(100, 60, "4:2:2")
+        y = geo.components[0]
+        assert y.padded_width >= geo.width
+        assert y.padded_height >= geo.height
+        assert y.blocks_per_mcu == 2
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(JpegError):
+            ImageGeometry(0, 10, "4:4:4")
+        with pytest.raises(JpegError):
+            ImageGeometry(10, -1, "4:4:4")
+
+    def test_invalid_mode(self):
+        with pytest.raises(JpegError):
+            ImageGeometry(10, 10, "4:1:1")
+
+    def test_mcu_row_pixel_span_clamps_bottom(self):
+        geo = ImageGeometry(32, 20, "4:2:2")  # 3 MCU rows of 8, image 20 high
+        assert geo.mcu_row_to_pixel_rows(0) == (0, 8)
+        assert geo.mcu_row_to_pixel_rows(2) == (16, 20)
+
+    def test_pixel_rows_to_mcu_rows(self):
+        geo = ImageGeometry(32, 64, "4:2:2")
+        assert geo.pixel_rows_to_mcu_rows(1) == 1
+        assert geo.pixel_rows_to_mcu_rows(8) == 1
+        assert geo.pixel_rows_to_mcu_rows(9) == 2
+
+    def test_interleave_order_422(self):
+        geo = ImageGeometry(32, 16, "4:2:2")
+        order = mcu_interleave_order(geo)
+        assert order == [(0, 0), (0, 1), (1, 0), (2, 0)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=500),
+           st.integers(min_value=1, max_value=500),
+           st.sampled_from(["4:4:4", "4:2:2", "4:2:0"]))
+    def test_grid_covers_image(self, w, h, mode):
+        geo = ImageGeometry(w, h, mode)
+        assert geo.mcus_per_row * geo.mcu_width >= w
+        assert geo.mcu_rows * geo.mcu_height >= h
+        # grid is minimal
+        assert (geo.mcus_per_row - 1) * geo.mcu_width < w
+        assert (geo.mcu_rows - 1) * geo.mcu_height < h
+
+
+class TestBlockPacking:
+    def test_roundtrip_exact_fit(self):
+        plane = np.arange(16 * 24, dtype=np.int16).reshape(16, 24)
+        blocks = plane_to_blocks(plane, 3, 2)
+        assert blocks.shape == (6, 8, 8)
+        back = blocks_to_plane(blocks, 3, 2)
+        assert (back == plane).all()
+
+    def test_padding_replicates_edges(self):
+        plane = np.full((5, 5), 9, dtype=np.uint8)
+        blocks = plane_to_blocks(plane, 1, 1)
+        assert (blocks == 9).all()
+
+    def test_crop_on_reassembly(self):
+        plane = np.arange(5 * 7, dtype=np.uint8).reshape(5, 7)
+        blocks = plane_to_blocks(plane, 1, 1)
+        back = blocks_to_plane(blocks, 1, 1, width=7, height=5)
+        assert (back == plane).all()
+
+    def test_block_order_is_row_major(self):
+        plane = np.zeros((8, 16), dtype=np.uint8)
+        plane[:, 8:] = 1
+        blocks = plane_to_blocks(plane, 2, 1)
+        assert (blocks[0] == 0).all()
+        assert (blocks[1] == 1).all()
+
+    def test_oversize_plane_rejected(self):
+        with pytest.raises(JpegError):
+            plane_to_blocks(np.zeros((9, 8)), 1, 1)
+
+    def test_wrong_block_count_rejected(self):
+        with pytest.raises(JpegError):
+            blocks_to_plane(np.zeros((3, 8, 8)), 2, 2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=40))
+    def test_roundtrip_property(self, w, h):
+        rng = np.random.default_rng(w * 100 + h)
+        plane = rng.integers(0, 255, (h, w)).astype(np.uint8)
+        bw, bh = ceil_div(w, 8), ceil_div(h, 8)
+        back = blocks_to_plane(plane_to_blocks(plane, bw, bh), bw, bh,
+                               width=w, height=h)
+        assert (back == plane).all()
+
+
+class TestQuantization:
+    def test_quality_50_is_base_table(self):
+        assert (scale_quant_table(STD_LUMINANCE_QUANT, 50)
+                == STD_LUMINANCE_QUANT).all()
+
+    def test_quality_100_is_all_ones(self):
+        assert (scale_quant_table(STD_LUMINANCE_QUANT, 100) == 1).all()
+
+    def test_lower_quality_coarser(self):
+        q20 = luminance_table(20).astype(int)
+        q80 = luminance_table(80).astype(int)
+        assert (q20 >= q80).all() and (q20 > q80).any()
+
+    def test_quality_range_enforced(self):
+        with pytest.raises(ValueError):
+            luminance_table(0)
+        with pytest.raises(ValueError):
+            chrominance_table(101)
+
+    def test_quantize_dequantize_bounded_error(self):
+        rng = np.random.default_rng(5)
+        coeffs = rng.normal(0, 200, (10, 8, 8))
+        table = luminance_table(75)
+        q = quantize_blocks(coeffs, table)
+        dq = dequantize_blocks(q, table)
+        assert np.abs(dq - coeffs).max() <= table.astype(float).max() / 2 + 1e-9
+
+    def test_dqt_payload_roundtrip(self):
+        t = QuantTable(2, luminance_table(60))
+        parsed = parse_dqt_payload(t.to_dqt_payload())
+        assert len(parsed) == 1
+        assert parsed[0].table_id == 2
+        assert (parsed[0].values == t.values).all()
+
+    def test_dqt_16bit_parse(self):
+        values = np.full(64, 300, dtype=np.uint16)
+        from repro.jpeg.constants import NATURAL_TO_ZIGZAG, ZIGZAG_ORDER
+        zz = values[ZIGZAG_ORDER]
+        payload = bytes([0x10]) + zz.astype(">u2").tobytes()
+        parsed = parse_dqt_payload(payload)
+        assert (parsed[0].values == 300).all()
+
+    def test_dqt_truncated_rejected(self):
+        with pytest.raises(JpegFormatError):
+            parse_dqt_payload(bytes([0]) + b"\x01" * 10)
+
+    def test_bad_table_id_rejected(self):
+        with pytest.raises(JpegFormatError):
+            QuantTable(7, luminance_table(50))
+
+    def test_zero_step_rejected(self):
+        bad = luminance_table(50).copy()
+        bad[0, 0] = 0
+        with pytest.raises(JpegFormatError):
+            QuantTable(0, bad)

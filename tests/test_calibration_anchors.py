@@ -1,0 +1,135 @@
+"""Calibration anchors: the stage-ratio facts the paper reports must hold
+on the simulated platform (DESIGN.md §2's substitution contract).
+
+All checks run on the paper's reference workload: a 2048x2048 4:2:2
+image at a typical entropy density, in pricing mode (no pixel math).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DecodeMode, HeterogeneousDecoder, PreparedImage
+from repro.gpusim import calibrate
+from repro.evaluation import platforms
+
+W = H = 2048
+DENSITY = 0.22  # mid-range of Figure 7's x-axis
+
+
+@pytest.fixture(scope="module")
+def results():
+    """All-mode results for the reference image on all three machines."""
+    prep = PreparedImage.virtual(W, H, "4:2:2", DENSITY)
+    out = {}
+    for plat in platforms.ALL_PLATFORMS:
+        dec = HeterogeneousDecoder.for_platform(plat)
+        out[plat.name] = {m: dec.decode(prep, m) for m in DecodeMode}
+    return out
+
+
+class TestCpuAnchors:
+    def test_simd_twice_as_fast_as_sequential(self, results):
+        """Section 1: 'the SIMD-version decodes an image twice as fast as
+        the sequential version on an Intel i7'."""
+        r = results["GTX 560"]
+        ratio = (r[DecodeMode.SEQUENTIAL].total_us
+                 / r[DecodeMode.SIMD].total_us)
+        assert 1.7 < ratio < 2.4
+
+    def test_huffman_is_large_fraction_of_simd(self, results):
+        """Section 4.5: Huffman ~ half the SIMD decode time (density-
+        dependent; 35-55% across the Figure 7 range)."""
+        r = results["GTX 560"][DecodeMode.SIMD]
+        frac = r.breakdown["huffman"] / r.total_us
+        assert 0.35 < frac < 0.55
+
+    def test_huffman_rate_in_figure7_range(self):
+        """Figure 7: 1-6 ns/pixel over densities 0.05-0.45."""
+        for d in (0.05, 0.45):
+            us = calibrate.huffman_time_us(W * H, int(d * W * H),
+                                           platforms.GTX560.cpu)
+            ns_per_px = us * 1e3 / (W * H)
+            assert 0.8 < ns_per_px < 7.0
+
+
+class TestGpuAnchors:
+    def test_kernels_much_faster_than_simd_parallel_phase(self, results):
+        """Section 6.1: kernel-only ~10x SIMD on GTX 560, ~13.7x on
+        GTX 680 (we accept 6-20x: the shape is 'order of magnitude')."""
+        for name, lo in (("GTX 560", 5.0), ("GTX 680", 7.0)):
+            r = results[name]
+            simd_par = (r[DecodeMode.SIMD].total_us
+                        - r[DecodeMode.SIMD].breakdown["huffman"])
+            kernels = r[DecodeMode.GPU].breakdown.get("kernel", 0.0)
+            assert simd_par / kernels > lo
+
+    def test_transfers_erode_gpu_advantage(self, results):
+        """Section 6.1: with transfers the advantage drops to ~2.6x
+        (GTX 560) / ~4.3x (GTX 680)."""
+        for name, lo, hi in (("GTX 560", 1.8, 4.5), ("GTX 680", 2.5, 6.5)):
+            r = results[name]
+            simd_par = (r[DecodeMode.SIMD].total_us
+                        - r[DecodeMode.SIMD].breakdown["huffman"])
+            b = r[DecodeMode.GPU].breakdown
+            gpu_par = (b.get("kernel", 0) + b.get("write", 0)
+                       + b.get("read", 0))
+            assert lo < simd_par / gpu_par < hi
+
+    def test_gt430_gpu_mode_slower_than_simd(self, results):
+        """Section 6.1: 23% slow-down on GT 430 (we accept 10-50%)."""
+        r = results["GT 430"]
+        ratio = r[DecodeMode.GPU].total_us / r[DecodeMode.SIMD].total_us
+        assert 1.10 < ratio < 1.55
+
+
+class TestModeOrdering:
+    def test_pps_best_everywhere(self, results):
+        """Section 6.2: 'PPS achieves the highest performance on all
+        machines'."""
+        for name, modes in results.items():
+            best = min(modes.values(), key=lambda r: r.total_us)
+            assert modes[DecodeMode.PPS].total_us <= best.total_us * 1.02, name
+
+    def test_pipeline_beats_plain_gpu(self, results):
+        """Section 6.2: 'pipelined execution is always faster than a
+        single large GPU kernel invocation'."""
+        for name, modes in results.items():
+            assert (modes[DecodeMode.PIPELINE].total_us
+                    <= modes[DecodeMode.GPU].total_us * 1.001), name
+
+    def test_partitioning_beats_simd_on_all_machines(self, results):
+        """Figure 10 / Tables 2-3: SPS and PPS > 1x over SIMD even on
+        the weak GT 430."""
+        for name, modes in results.items():
+            simd = modes[DecodeMode.SIMD].total_us
+            assert modes[DecodeMode.SPS].total_us < simd, name
+            assert modes[DecodeMode.PPS].total_us < simd, name
+
+    def test_speedups_in_paper_band(self, results):
+        """Table 2 at the reference size: PPS ~1.5x / ~2.3x / ~2.5x on
+        GT 430 / GTX 560 / GTX 680 (wide bands: single image, not the
+        corpus mean)."""
+        bands = {"GT 430": (1.1, 2.0), "GTX 560": (1.8, 2.9),
+                 "GTX 680": (1.9, 3.2)}
+        for name, (lo, hi) in bands.items():
+            modes = results[name]
+            speedup = (modes[DecodeMode.SIMD].total_us
+                       / modes[DecodeMode.PPS].total_us)
+            assert lo < speedup < hi, f"{name}: {speedup:.2f}"
+
+    def test_gtx680_fastest_gtx430_slowest(self, results):
+        pps = {n: r[DecodeMode.PPS].total_us for n, r in results.items()}
+        assert pps["GTX 680"] < pps["GTX 560"] < pps["GT 430"]
+
+
+class TestAmdahlAnchor:
+    def test_pps_near_theoretical_bound(self, results):
+        """Figure 11: PPS reaches ~88% of Ttotal/THuff on GTX 680 at
+        large sizes (we accept >70%)."""
+        r = results["GTX 680"]
+        simd = r[DecodeMode.SIMD]
+        bound = simd.total_us / simd.breakdown["huffman"]
+        achieved = simd.total_us / r[DecodeMode.PPS].total_us
+        assert achieved / bound > 0.70
+        assert achieved / bound <= 1.0 + 1e-9

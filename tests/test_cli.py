@@ -1,0 +1,85 @@
+"""CLI commands, driven through main() with temp files."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.jpeg import decode_jpeg, parse_jpeg
+
+
+@pytest.fixture()
+def jpeg_file(tmp_path, jpeg_422):
+    path = tmp_path / "img.jpg"
+    path.write_bytes(jpeg_422)
+    return path
+
+
+class TestInfo:
+    def test_prints_header_facts(self, jpeg_file, capsys):
+        assert main(["info", str(jpeg_file)]) == 0
+        out = capsys.readouterr().out
+        assert "144 x 96" in out
+        assert "4:2:2" in out
+        assert "bytes/pixel" in out
+
+
+class TestSynth:
+    def test_generates_valid_jpeg(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.jpg"
+        assert main(["synth", str(out_path), "--width", "96", "--height",
+                     "64", "--seed", "3"]) == 0
+        info = parse_jpeg(out_path.read_bytes())
+        assert (info.width, info.height) == (96, 64)
+
+    def test_restart_interval_flag(self, tmp_path):
+        out_path = tmp_path / "rst.jpg"
+        main(["synth", str(out_path), "--width", "64", "--height", "64",
+              "--restart-interval", "2"])
+        assert parse_jpeg(out_path.read_bytes()).restart_interval == 2
+
+    def test_kinds(self, tmp_path):
+        for kind in ("smooth", "detail", "skewed"):
+            out_path = tmp_path / f"{kind}.jpg"
+            assert main(["synth", str(out_path), "--kind", kind,
+                         "--width", "48", "--height", "48"]) == 0
+
+
+def _read_ppm(path):
+    with open(path, "rb") as f:
+        assert f.readline().strip() == b"P6"
+        w, h = map(int, f.readline().split())
+        assert f.readline().strip() == b"255"
+        return np.frombuffer(f.read(), dtype=np.uint8).reshape(h, w, 3)
+
+
+class TestDecode:
+    def test_reference_decode_to_ppm(self, jpeg_file, tmp_path, jpeg_422):
+        out_path = tmp_path / "out.ppm"
+        assert main(["decode", str(jpeg_file), str(out_path)]) == 0
+        assert np.array_equal(_read_ppm(out_path), decode_jpeg(jpeg_422).rgb)
+
+    def test_pps_decode_matches_reference(self, jpeg_file, tmp_path,
+                                          jpeg_422, capsys):
+        out_path = tmp_path / "out.ppm"
+        assert main(["decode", str(jpeg_file), str(out_path),
+                     "--mode", "pps", "--platform", "GTX 560"]) == 0
+        assert "simulated pps decode" in capsys.readouterr().out
+        assert np.array_equal(_read_ppm(out_path), decode_jpeg(jpeg_422).rgb)
+
+
+class TestProfileEvaluate:
+    def test_profile_saves_model(self, tmp_path, capsys):
+        out_path = tmp_path / "model.json"
+        assert main(["profile", "--platform", "GTX 560",
+                     "--output", str(out_path)]) == 0
+        from repro.core import PerformanceModel
+        model = PerformanceModel.load(out_path)
+        assert model.platform_name == "GTX 560"
+
+    def test_evaluate_lists_all_modes(self, jpeg_file, capsys):
+        assert main(["evaluate", str(jpeg_file)]) == 0
+        out = capsys.readouterr().out
+        for mode in ("sequential", "simd", "gpu", "pipeline", "sps", "pps"):
+            assert mode in out

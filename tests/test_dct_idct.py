@@ -1,0 +1,115 @@
+"""DCT/IDCT: reference vs AAN vs matrix agreement, round trips, scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.jpeg.dct import dct_matrix, fdct_2d_blocks, fdct_2d_reference
+from repro.jpeg.idct import (
+    aan_scale_factors,
+    idct_2d_aan,
+    idct_2d_blocks,
+    idct_2d_reference,
+    samples_from_idct,
+)
+
+
+class TestDctMatrix:
+    def test_orthonormal(self):
+        c = dct_matrix()
+        assert np.allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+    def test_first_row_constant(self):
+        c = dct_matrix()
+        assert np.allclose(c[0], 1 / np.sqrt(8))
+
+
+class TestForward:
+    def test_reference_matches_matrix_path(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(0, 256, (5, 8, 8)).astype(np.float64)
+        batch = fdct_2d_blocks(blocks)
+        for i in range(5):
+            assert np.allclose(batch[i], fdct_2d_reference(blocks[i]), atol=1e-9)
+
+    def test_constant_block_is_dc_only(self):
+        blocks = np.full((1, 8, 8), 200.0)
+        out = fdct_2d_blocks(blocks)
+        assert abs(out[0, 0, 0] - (200 - 128) * 8) < 1e-9
+        rest = out[0].copy()
+        rest[0, 0] = 0
+        assert np.allclose(rest, 0, atol=1e-9)
+
+
+class TestInverseAgreement:
+    def test_aan_matches_matrix(self):
+        rng = np.random.default_rng(1)
+        coeffs = rng.normal(0, 100, (64, 8, 8))
+        assert np.allclose(idct_2d_aan(coeffs), idct_2d_blocks(coeffs), atol=1e-6)
+
+    def test_matrix_matches_paper_equations(self):
+        """Eq (1) column pass then Eq (2) row pass == separable matrix IDCT."""
+        rng = np.random.default_rng(2)
+        block = rng.normal(0, 50, (8, 8))
+        assert np.allclose(
+            idct_2d_reference(block), idct_2d_blocks(block[None])[0], atol=1e-9
+        )
+
+    def test_dc_only_block_is_flat(self):
+        coeffs = np.zeros((1, 8, 8))
+        coeffs[0, 0, 0] = 80.0
+        out = idct_2d_aan(coeffs)
+        assert np.allclose(out, out[0, 0, 0], atol=1e-9)
+        assert abs(out[0, 0, 0] - 10.0) < 1e-9  # 80 / 8
+
+    def test_linearity(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 30, (4, 8, 8))
+        b = rng.normal(0, 30, (4, 8, 8))
+        assert np.allclose(
+            idct_2d_aan(a + b), idct_2d_aan(a) + idct_2d_aan(b), atol=1e-8
+        )
+
+
+class TestRoundTrip:
+    def test_fdct_then_idct_identity(self):
+        rng = np.random.default_rng(4)
+        blocks = rng.integers(0, 256, (16, 8, 8)).astype(np.float64)
+        coeffs = fdct_2d_blocks(blocks)
+        back = idct_2d_aan(coeffs) + 128.0
+        assert np.allclose(back, blocks, atol=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays(np.float64, (2, 8, 8),
+                  elements=st.floats(min_value=0, max_value=255)))
+    def test_roundtrip_property(self, blocks):
+        coeffs = fdct_2d_blocks(blocks)
+        back = idct_2d_blocks(coeffs) + 128.0
+        assert np.allclose(back, blocks, atol=1e-6)
+
+
+class TestAanScale:
+    def test_corner_value(self):
+        s = aan_scale_factors()
+        assert abs(s[0, 0] - 1 / 8) < 1e-12
+
+    def test_symmetric(self):
+        s = aan_scale_factors()
+        assert np.allclose(s, s.T)
+
+
+class TestSamples:
+    def test_level_shift_and_clamp(self):
+        spatial = np.array([[[-300.0, 0.0], [100.0, 300.0]]])
+        out = samples_from_idct(spatial)
+        assert out.dtype == np.uint8
+        assert out.reshape(-1).tolist() == [0, 128, 228, 255]
+
+    def test_rounding_is_nearest(self):
+        spatial = np.array([[[0.4, 0.6]]])
+        out = samples_from_idct(spatial)
+        assert out.reshape(-1).tolist() == [128, 129]

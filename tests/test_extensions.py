@@ -1,0 +1,133 @@
+"""Extensions: integer islow IDCT and restart-marker parallel Huffman."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EntropyError
+from repro.data import synthetic_photo
+from repro.jpeg import DecodeOptions, EncoderSettings, decode_jpeg, encode_jpeg, parse_jpeg
+from repro.jpeg.decoder import component_tables_from_info
+from repro.jpeg.idct import idct_2d_blocks
+from repro.jpeg.idct_int import idct_2d_islow, samples_from_idct_islow
+from repro.jpeg.parallel_huffman import (
+    ParallelEntropyDecoder,
+    split_restart_segments,
+)
+
+
+class TestIslowIdct:
+    def test_close_to_float_reference(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.integers(-500, 500, (64, 8, 8)).astype(np.int32)
+        a = idct_2d_islow(coeffs)
+        b = idct_2d_blocks(coeffs)
+        assert np.abs(a - b).max() < 1.0
+
+    def test_samples_within_one_level_of_float(self):
+        rng = np.random.default_rng(1)
+        coeffs = rng.integers(-300, 300, (32, 8, 8)).astype(np.int32)
+        ints = samples_from_idct_islow(idct_2d_islow(coeffs))
+        floats = np.clip(np.rint(idct_2d_blocks(coeffs) + 128), 0,
+                         255).astype(np.uint8)
+        assert np.abs(ints.astype(int) - floats.astype(int)).max() <= 1
+
+    def test_dc_only_flat(self):
+        coeffs = np.zeros((1, 8, 8), dtype=np.int32)
+        coeffs[0, 0, 0] = 64
+        out = idct_2d_islow(coeffs)
+        assert np.all(out == out[0, 0, 0])
+
+    def test_decoder_accepts_islow_method(self, jpeg_422, ref_rgb_422):
+        out = decode_jpeg(jpeg_422, DecodeOptions(idct_method="islow")).rgb
+        # islow vs aan: at most 1 level per sample pre-color-conversion;
+        # color conversion can amplify slightly
+        assert np.abs(out.astype(int) - ref_rgb_422.astype(int)).max() <= 3
+        assert (out != ref_rgb_422).mean() < 0.20
+
+
+@pytest.fixture(scope="module")
+def restart_jpeg():
+    rgb = synthetic_photo(80, 112, seed=17, detail=0.6)
+    data = encode_jpeg(rgb, EncoderSettings(quality=85, subsampling="4:2:2",
+                                            restart_interval=3))
+    return data
+
+
+class TestSplitSegments:
+    def test_segments_cover_all_mcus(self, restart_jpeg):
+        info = parse_jpeg(restart_jpeg)
+        geo = info.geometry
+        segs = split_restart_segments(info.entropy_data, geo.total_mcus,
+                                      info.restart_interval)
+        assert sum(s.mcu_count for s in segs) == geo.total_mcus
+        assert segs[0].byte_start == 0
+        assert segs[-1].byte_stop == len(info.entropy_data)
+        for a, b in zip(segs, segs[1:]):
+            assert b.byte_start >= a.byte_stop + 2  # the RSTn marker gap
+            assert b.mcu_start == a.mcu_start + a.mcu_count
+
+    def test_interval_mcu_counts(self, restart_jpeg):
+        info = parse_jpeg(restart_jpeg)
+        segs = split_restart_segments(info.entropy_data,
+                                      info.geometry.total_mcus, 3)
+        assert all(s.mcu_count == 3 for s in segs[:-1])
+        assert 1 <= segs[-1].mcu_count <= 3
+
+    def test_requires_interval(self, restart_jpeg):
+        info = parse_jpeg(restart_jpeg)
+        with pytest.raises(EntropyError):
+            split_restart_segments(info.entropy_data, 10, 0)
+
+
+class TestParallelEntropyDecoder:
+    @pytest.mark.parametrize("mode", ["4:4:4", "4:2:2", "4:2:0"])
+    def test_bit_identical_to_sequential(self, mode):
+        rgb = synthetic_photo(72, 104, seed=23, detail=0.7)
+        data = encode_jpeg(rgb, EncoderSettings(quality=80, subsampling=mode,
+                                                restart_interval=4))
+        info = parse_jpeg(data)
+        geo = info.geometry
+        tables = component_tables_from_info(info)
+
+        from repro.jpeg.entropy import EntropyDecoder
+        seq = EntropyDecoder(geo, tables, info.restart_interval)
+        seq.decode_all(info.entropy_data)
+
+        par = ParallelEntropyDecoder(geo, tables, info.restart_interval)
+        result = par.decode(info.entropy_data, cores=4)
+        for a, b in zip(seq.coefficients.planes, result.coefficients.planes):
+            assert (a == b).all()
+
+    def test_multicore_speedup_modeled(self, restart_jpeg):
+        info = parse_jpeg(restart_jpeg)
+        par = ParallelEntropyDecoder(info.geometry,
+                                     component_tables_from_info(info),
+                                     info.restart_interval)
+        r1 = par.decode(info.entropy_data, cores=1)
+        r4 = par.decode(info.entropy_data, cores=4)
+        assert r1.speedup == pytest.approx(1.0)
+        assert 1.5 < r4.speedup <= 4.0
+        assert r4.parallel_us < r1.parallel_us
+
+    def test_requires_interval(self, restart_jpeg):
+        info = parse_jpeg(restart_jpeg)
+        with pytest.raises(EntropyError):
+            ParallelEntropyDecoder(info.geometry,
+                                   component_tables_from_info(info), 0)
+
+    def test_full_decode_pixels_match(self, restart_jpeg):
+        """Parallel entropy decode + parallel phase == reference decode."""
+        info = parse_jpeg(restart_jpeg)
+        ref = decode_jpeg(restart_jpeg)
+        par = ParallelEntropyDecoder(info.geometry,
+                                     component_tables_from_info(info),
+                                     info.restart_interval)
+        result = par.decode(info.entropy_data, cores=4)
+        from repro.core.executors import cpu_parallel_span
+        from repro.jpeg.decoder import quant_tables_from_info
+        rgb = cpu_parallel_span(info.geometry, result.coefficients,
+                                quant_tables_from_info(info),
+                                0, info.geometry.mcu_rows)
+        assert np.array_equal(rgb, ref.rgb)

@@ -1,0 +1,257 @@
+"""Simulated-GPU substrate: devices, NDRange/occupancy, cost model, queue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeviceError, GpuSimError, KernelError, QueueError
+from repro.gpusim import (
+    DISPATCH_OVERHEAD_US,
+    GT430,
+    GTX560TI,
+    GTX680,
+    INTEL_I7_2600K,
+    CommandQueue,
+    CPUDeviceSpec,
+    DeviceBuffer,
+    GPUDeviceSpec,
+    KernelLaunch,
+    MemoryTraffic,
+    NDRange,
+    SimKernel,
+    kernel_time_us,
+    occupancy,
+)
+
+
+class TestDeviceSpecs:
+    def test_table1_presets(self):
+        assert GT430.cores == 96 and GT430.core_clock_mhz == 700
+        assert GTX560TI.cores == 384 and GTX560TI.core_clock_mhz == 822
+        assert GTX680.cores == 1536 and GTX680.core_clock_mhz == 1006
+        assert GT430.compute_capability == (2, 1)
+        assert GTX680.compute_capability == (3, 0)
+        assert GTX680.memory_mb == 2048
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            GPUDeviceSpec(name="x", cores=0, core_clock_mhz=1, sm_count=1,
+                          memory_mb=1, compute_capability=(2, 0),
+                          mem_bandwidth_gbps=1, pcie_bandwidth_gbps=1)
+        with pytest.raises(DeviceError):
+            GPUDeviceSpec(name="x", cores=10, core_clock_mhz=1, sm_count=3,
+                          memory_mb=1, compute_capability=(2, 0),
+                          mem_bandwidth_gbps=1, pcie_bandwidth_gbps=1)
+        with pytest.raises(DeviceError):
+            CPUDeviceSpec(name="x", cores=0, clock_ghz=3.0)
+
+    def test_transfer_time_scales_with_bytes(self):
+        t1 = GTX560TI.transfer_time_us(1 << 20)
+        t2 = GTX560TI.transfer_time_us(2 << 20)
+        assert t2 > t1
+        assert t1 > GTX560TI.pcie_latency_us
+
+    def test_pinned_faster_than_pageable(self):
+        n = 8 << 20
+        assert (GTX560TI.transfer_time_us(n, pinned=True)
+                < GTX560TI.transfer_time_us(n, pinned=False))
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(DeviceError):
+            GTX560TI.transfer_time_us(-1)
+
+    def test_effective_throughputs(self):
+        assert GTX560TI.effective_gflops < GTX560TI.peak_gflops
+        assert GTX560TI.effective_bandwidth_gbps < GTX560TI.mem_bandwidth_gbps
+
+
+class TestNDRange:
+    def test_group_math(self):
+        nd = NDRange(global_size=1024, local_size=128)
+        assert nd.num_groups == 8
+        assert nd.warps_per_group(32) == 4
+        assert nd.total_warps(32) == 32
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(KernelError):
+            NDRange(global_size=100, local_size=32)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(KernelError):
+            NDRange(global_size=0, local_size=1)
+
+    def test_occupancy_full_machine(self):
+        nd = NDRange(global_size=1 << 20, local_size=128)
+        occ = occupancy(nd, GTX560TI, registers_per_item=16,
+                        local_bytes_per_group=4096)
+        assert 0.5 < occ <= 1.0
+
+    def test_occupancy_tail_limited(self):
+        nd = NDRange(global_size=128, local_size=128)  # one group
+        occ = occupancy(nd, GTX560TI, registers_per_item=16,
+                        local_bytes_per_group=0)
+        assert occ < 0.2
+
+    def test_occupancy_register_pressure(self):
+        nd = NDRange(global_size=1 << 20, local_size=128)
+        hi = occupancy(nd, GTX560TI, registers_per_item=16,
+                       local_bytes_per_group=0)
+        lo = occupancy(nd, GTX560TI, registers_per_item=63,
+                       local_bytes_per_group=0)
+        assert lo < hi
+
+    def test_occupancy_local_memory_pressure(self):
+        nd = NDRange(global_size=1 << 20, local_size=128)
+        hi = occupancy(nd, GTX560TI, 16, local_bytes_per_group=1024)
+        lo = occupancy(nd, GTX560TI, 16, local_bytes_per_group=24 * 1024)
+        assert lo < hi
+
+    def test_workgroup_too_large(self):
+        nd = NDRange(global_size=2048, local_size=2048)
+        with pytest.raises(KernelError):
+            occupancy(nd, GTX560TI, 16, 0)
+
+    def test_resource_exhaustion_raises(self):
+        nd = NDRange(global_size=1024, local_size=1024)
+        with pytest.raises(KernelError):
+            occupancy(nd, GTX560TI, 16, local_bytes_per_group=200 * 1024)
+
+
+def make_launch(items=1 << 16, flops=100.0, read=1 << 20, write=1 << 20,
+                regs=16, div=1.0, coalesced=True, local=128):
+    return KernelLaunch(
+        ndrange=NDRange(global_size=items, local_size=128),
+        flops_per_item=flops,
+        traffic=MemoryTraffic(global_read_bytes=read, global_write_bytes=write,
+                              local_bytes_per_group=local, coalesced=coalesced),
+        registers_per_item=regs,
+        divergence_factor=div,
+    )
+
+
+class TestCostModel:
+    def test_more_flops_more_time(self):
+        assert (kernel_time_us(make_launch(flops=1000), GTX560TI)
+                > kernel_time_us(make_launch(flops=10), GTX560TI))
+
+    def test_more_traffic_more_time(self):
+        assert (kernel_time_us(make_launch(flops=1, read=64 << 20), GTX560TI)
+                > kernel_time_us(make_launch(flops=1, read=1 << 20), GTX560TI))
+
+    def test_divergence_slows_compute(self):
+        assert (kernel_time_us(make_launch(flops=500, div=2.0), GTX560TI)
+                > kernel_time_us(make_launch(flops=500, div=1.0), GTX560TI))
+
+    def test_uncoalesced_slower(self):
+        fast = kernel_time_us(make_launch(flops=1, read=32 << 20), GTX560TI)
+        slow = kernel_time_us(make_launch(flops=1, read=32 << 20,
+                                          coalesced=False), GTX560TI)
+        assert slow > 2 * fast
+
+    def test_launch_overhead_floor(self):
+        t = kernel_time_us(make_launch(items=128, flops=0.001, read=1, write=1),
+                           GTX560TI)
+        assert t >= GTX560TI.kernel_launch_us
+
+    def test_faster_device_is_faster(self):
+        launch = make_launch(flops=2000)
+        assert (kernel_time_us(launch, GTX680)
+                < kernel_time_us(launch, GT430))
+
+    def test_invalid_launch_params(self):
+        with pytest.raises(KernelError):
+            make_launch(flops=-1)
+        with pytest.raises(KernelError):
+            make_launch(div=0.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=1, max_value=1e4),
+           st.integers(min_value=1, max_value=1 << 24))
+    def test_time_positive_and_finite(self, flops, nbytes):
+        t = kernel_time_us(make_launch(flops=flops, read=nbytes), GTX560TI)
+        assert np.isfinite(t) and t > 0
+
+
+class _NoopKernel(SimKernel):
+    name = "noop"
+
+    def describe_launch(self, **args):
+        return make_launch(items=args.get("items", 1024))
+
+    def execute(self, **args):
+        return args.get("items", 1024)
+
+
+class TestCommandQueue:
+    def test_in_order_execution(self):
+        q = CommandQueue(GTX560TI)
+        _, e1 = q.enqueue_write("w1", 1 << 20, 0.0)
+        _, e2 = q.enqueue_write("w2", 1 << 20, 0.0)
+        assert e2.start >= e1.end
+
+    def test_async_host_advances_only_dispatch(self):
+        q = CommandQueue(GTX560TI)
+        host, ev = q.enqueue_write("w", 64 << 20, 10.0)
+        assert host == 10.0 + DISPATCH_OVERHEAD_US
+        assert ev.end > host  # device still busy after host returns
+
+    def test_device_waits_for_host(self):
+        q = CommandQueue(GTX560TI)
+        _, e1 = q.enqueue_write("w1", 1024, 0.0)
+        _, e2 = q.enqueue_write("w2", 1024, 1e6)  # enqueued much later
+        assert e2.start >= 1e6
+
+    def test_kernel_executes_math(self):
+        q = CommandQueue(GTX560TI)
+        host, ev, result = q.enqueue_kernel(_NoopKernel(), 0.0, items=2048)
+        assert result == 2048
+        assert ev.kind == "kernel"
+
+    def test_kernel_execute_false_skips_math(self):
+        q = CommandQueue(GTX560TI)
+        _, _, result = q.enqueue_kernel(_NoopKernel(), 0.0, execute=False,
+                                        items=2048)
+        assert result is None
+
+    def test_finish_joins_timelines(self):
+        q = CommandQueue(GTX560TI)
+        host, ev = q.enqueue_write("w", 32 << 20, 0.0)
+        assert q.finish(host) == ev.end
+        assert q.finish(ev.end + 5) == ev.end + 5
+
+    def test_busy_accounting(self):
+        q = CommandQueue(GTX560TI)
+        q.enqueue_write("a", 1 << 20, 0.0)
+        q.enqueue_read("b", 1 << 20, 0.0)
+        assert q.total_busy_us() == pytest.approx(
+            sum(e.duration for e in q.events))
+        assert q.busy_between(0, 1e9) == pytest.approx(q.total_busy_us())
+        assert q.busy_between(-10, 0) == 0.0
+
+    def test_event_timestamps_ordered(self):
+        q = CommandQueue(GTX560TI)
+        host, ev, _ = q.enqueue_kernel(_NoopKernel(), 3.0)
+        assert ev.queued_at <= ev.start <= ev.end
+        assert ev.duration > 0
+
+
+class TestDeviceBuffer:
+    def test_write_read_roundtrip(self):
+        buf = DeviceBuffer("x")
+        data = np.arange(10)
+        buf.write(data)
+        out = buf.read()
+        assert (out == data).all()
+        data[0] = 99  # original mutation must not leak into the device copy
+        assert buf.read()[0] == 0
+
+    def test_read_unwritten_raises(self):
+        with pytest.raises(GpuSimError):
+            DeviceBuffer("y").read()
+
+    def test_nbytes_tracks_array(self):
+        buf = DeviceBuffer("z", array=np.zeros(16, dtype=np.float64))
+        assert buf.nbytes == 128

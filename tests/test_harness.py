@@ -1,0 +1,108 @@
+"""Evaluation harness: corpus measurement, summaries, figure series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DecodeMode, PreparedImage
+from repro.data import CorpusSpec, build_corpus
+from repro.evaluation import (
+    amdahl_series,
+    balance_series,
+    breakdown_for,
+    format_breakdown,
+    format_series,
+    format_speedup_table,
+    format_table,
+    measure_corpus,
+    prepare_corpus,
+    speedup_series,
+    summarize_speedups,
+    platforms,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    spec = CorpusSpec(sizes=((64, 64), (128, 96)), seeds=(21,),
+                      detail_levels=(0.5,))
+    return prepare_corpus(build_corpus(spec))
+
+
+@pytest.fixture(scope="module")
+def measurements(tiny_corpus):
+    # pricing-mode replays keep this fast
+    virt = [p.as_virtual() for p in tiny_corpus]
+    return measure_corpus(platforms.GTX560, virt)
+
+
+class TestMeasurement:
+    def test_all_modes_measured(self, measurements):
+        for m in measurements:
+            assert set(m.times_us) == set(DecodeMode)
+            assert all(t > 0 for t in m.times_us.values())
+
+    def test_speedup_definition(self, measurements):
+        m = measurements[0]
+        assert m.speedup(DecodeMode.SIMD) == pytest.approx(1.0)
+        assert m.speedup(DecodeMode.SEQUENTIAL) < 1.0
+
+
+class TestSummaries:
+    def test_summary_stats(self, measurements):
+        summaries = summarize_speedups(measurements)
+        pps = summaries[DecodeMode.PPS]
+        assert pps.n == len(measurements)
+        assert pps.mean > 0
+        assert np.isfinite(pps.cov_percent)
+        assert "±" in str(pps)
+
+    def test_series_sorted_by_pixels(self, measurements):
+        series = speedup_series(measurements)
+        for pts in series.values():
+            pixels = [p for p, _ in pts]
+            assert pixels == sorted(pixels)
+
+
+class TestFigureSeries:
+    def test_amdahl_series_bounded(self, tiny_corpus):
+        series = amdahl_series(platforms.GTX680,
+                               [p.as_virtual() for p in tiny_corpus])
+        assert all(0 < pct <= 100.0 + 1e-6 for _, pct in series)
+
+    def test_balance_series_shape(self, tiny_corpus):
+        series = balance_series(platforms.GTX560,
+                                [p.as_virtual() for p in tiny_corpus])
+        assert set(series) == {DecodeMode.SPS, DecodeMode.PPS}
+        for pts in series.values():
+            for px, cpu_us, gpu_us in pts:
+                assert px > 0 and cpu_us >= 0 and gpu_us >= 0
+
+    def test_breakdown_normalized_to_simd(self, tiny_corpus):
+        bd = breakdown_for(platforms.GTX560, tiny_corpus[0].as_virtual())
+        assert bd[DecodeMode.SIMD]["total"] == pytest.approx(1.0)
+        assert bd[DecodeMode.SEQUENTIAL]["total"] > 1.0
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert all(len(l) == len(lines[1]) for l in lines[1:])
+
+    def test_format_speedup_table(self, measurements):
+        summaries = {"GTX 560": summarize_speedups(measurements)}
+        out = format_speedup_table(summaries, "Table 2")
+        assert "PPS" in out and "GTX 560" in out
+
+    def test_format_series(self):
+        out = format_series([(100, 1.5), (200, 2.5)],
+                            ["Pixels", "Speedup"], title="Fig")
+        assert "100" in out and "2.500" in out
+
+    def test_format_breakdown(self, tiny_corpus):
+        bd = breakdown_for(platforms.GTX560, tiny_corpus[0].as_virtual())
+        out = format_breakdown(bd, title="Figure 9")
+        assert "huffman" in out and "total" in out

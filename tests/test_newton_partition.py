@@ -1,0 +1,178 @@
+"""Newton solver and the SPS/PPS partitioning equations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.core import profile_platform
+from repro.core.newton import newton_solve, round_rows_to_mcu
+from repro.core.partition import (
+    corrected_density,
+    partition_pps,
+    partition_sps,
+    repartition_pps,
+)
+from repro.evaluation import platforms
+
+
+@pytest.fixture(scope="module")
+def model560():
+    from repro.core.decoder import HeterogeneousDecoder
+    return HeterogeneousDecoder.for_platform(platforms.GTX560).model_for("4:2:2")
+
+
+@pytest.fixture(scope="module")
+def model430():
+    from repro.core.decoder import HeterogeneousDecoder
+    return HeterogeneousDecoder.for_platform(platforms.GT430).model_for("4:2:2")
+
+
+class TestNewton:
+    def test_linear_root(self):
+        res = newton_solve(lambda x: 2 * x - 10, 0, 100)
+        assert res.converged
+        assert res.x == pytest.approx(5.0, abs=1e-3)
+
+    def test_quadratic_root(self):
+        res = newton_solve(lambda x: x * x - 49, 0, 100)
+        assert res.x == pytest.approx(7.0, abs=1e-2)
+
+    def test_root_at_endpoint(self):
+        res = newton_solve(lambda x: x, 0, 10)
+        assert res.x == 0.0 and res.converged
+
+    def test_no_sign_change_clamps_to_cheaper_end(self):
+        # f always positive, smaller near lo -> pick lo
+        res = newton_solve(lambda x: x + 1, 0, 10)
+        assert res.x == 0.0 and not res.converged
+
+    def test_no_sign_change_other_side(self):
+        res = newton_solve(lambda x: -x - 1, 0, 10)
+        assert res.x == 0.0 and not res.converged
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(PartitionError):
+            newton_solve(lambda x: x, 5, 5)
+
+    def test_nonmonotone_falls_back_to_bisection(self):
+        # derivative vanishes at the initial midpoint; must still converge
+        f = lambda x: (x - 5.0) ** 3
+        res = newton_solve(f, 0, 10, x0=5.0 + 1e-9)
+        assert res.x == pytest.approx(5.0, abs=0.05)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=99.5))
+    def test_finds_planted_root(self, root):
+        res = newton_solve(lambda x: np.tanh(x - root), 0, 100)
+        assert res.x == pytest.approx(root, abs=0.01)
+
+
+class TestMcuRounding:
+    def test_rounds_to_nearest(self):
+        assert round_rows_to_mcu(11.0, 8, 64) == 8
+        assert round_rows_to_mcu(13.0, 8, 64) == 16
+
+    def test_clamps(self):
+        assert round_rows_to_mcu(-5.0, 8, 64) == 0
+        assert round_rows_to_mcu(1000.0, 8, 64) == 64
+
+    def test_invalid_mcu(self):
+        with pytest.raises(PartitionError):
+            round_rows_to_mcu(1.0, 0, 64)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=-10, max_value=300),
+           st.sampled_from([8, 16]),
+           st.integers(min_value=16, max_value=256))
+    def test_always_aligned_and_bounded(self, x, mcu, total):
+        total = (total // mcu) * mcu
+        if total == 0:
+            total = mcu
+        out = round_rows_to_mcu(x, mcu, total)
+        assert 0 <= out <= total
+        assert out % mcu == 0 or out == total
+
+
+class TestSps:
+    def test_rows_partition_the_image(self, model560):
+        dec = partition_sps(model560, 1024, 768, 8)
+        assert dec.cpu_rows + dec.gpu_rows == 768
+        assert dec.cpu_rows % 8 == 0 or dec.cpu_rows == 768
+        assert dec.cpu_rows >= 0 and dec.gpu_rows >= 0
+
+    def test_balanced_prediction(self, model560):
+        """At the solved split, predicted CPU and GPU times are close."""
+        dec = partition_sps(model560, 2048, 2048, 8)
+        if 0 < dec.cpu_rows < 2048:  # interior root -> balance holds
+            assert dec.predicted_cpu_us == pytest.approx(
+                dec.predicted_gpu_us, rel=0.15)
+
+    def test_weak_gpu_gets_less(self, model560, model430):
+        strong = partition_sps(model560, 1024, 1024, 8)
+        weak = partition_sps(model430, 1024, 1024, 8)
+        assert weak.cpu_rows > strong.cpu_rows
+
+    def test_image_too_short_rejected(self, model560):
+        with pytest.raises(PartitionError):
+            partition_sps(model560, 64, 4, 8)
+
+
+class TestPps:
+    def test_rows_partition_the_image(self, model560):
+        dec = partition_pps(model560, 1024, 768, 0.15, 64, 8)
+        assert dec.cpu_rows + dec.gpu_rows == 768
+
+    def test_pps_gives_gpu_more_than_sps(self, model430):
+        """The Huffman term in Eq 15 shifts work toward the GPU relative
+        to Eq 10 (the GPU's time is partially hidden)."""
+        sps = partition_sps(model430, 1024, 1024, 8)
+        pps = partition_pps(model430, 1024, 1024, 0.2, 64, 8)
+        assert pps.gpu_rows >= sps.gpu_rows
+
+    def test_denser_images_shift_to_gpu(self, model430):
+        sparse = partition_pps(model430, 1024, 1024, 0.05, 64, 8)
+        dense = partition_pps(model430, 1024, 1024, 0.45, 64, 8)
+        assert dense.gpu_rows >= sparse.gpu_rows
+
+
+class TestCorrectedDensity:
+    def test_uniform_progress_keeps_density(self):
+        # consumed half the predicted time, half the image remains
+        d = corrected_density(100.0, 50.0, 500, 1000, 0.2)
+        assert d == pytest.approx(0.2)
+
+    def test_backloaded_detail_raises_density(self):
+        # consumed only 30% of predicted time but 50% of the image
+        d = corrected_density(100.0, 30.0, 500, 1000, 0.2)
+        assert d > 0.2
+
+    def test_frontloaded_detail_lowers_density(self):
+        d = corrected_density(100.0, 80.0, 500, 1000, 0.2)
+        assert d < 0.2
+
+    def test_overconsumed_clamps_to_zero(self):
+        d = corrected_density(100.0, 150.0, 500, 1000, 0.2)
+        assert d == 0.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(PartitionError):
+            corrected_density(0.0, 0.0, 10, 100, 0.2)
+
+
+class TestRepartition:
+    def test_backlog_shifts_work_to_cpu(self, model560):
+        free = repartition_pps(model560, 1024, 512, 0.2, 0.0, 8)
+        busy = repartition_pps(model560, 1024, 512, 0.2, 50_000.0, 8)
+        assert busy.cpu_rows >= free.cpu_rows
+
+    def test_rows_cover_remaining(self, model560):
+        dec = repartition_pps(model560, 1024, 512, 0.2, 100.0, 8)
+        assert dec.cpu_rows + dec.gpu_rows == 512
+
+    def test_empty_remainder_rejected(self, model560):
+        with pytest.raises(PartitionError):
+            repartition_pps(model560, 1024, 0, 0.2, 0.0, 8)

@@ -1,0 +1,86 @@
+"""Timeline bookkeeping and the Amdahl bound helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.core import Timeline, max_speedup, parallel_fraction, percent_of_max
+from repro.gpusim.queue import Event
+
+
+class TestTimeline:
+    def test_makespan(self):
+        t = Timeline()
+        t.add("cpu", "a", "huffman", 0, 10)
+        t.add("gpu", "b", "kernel", 5, 25)
+        assert t.makespan == 25
+
+    def test_empty_makespan(self):
+        assert Timeline().makespan == 0.0
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().add("cpu", "x", "huffman", 10, 5)
+
+    def test_busy_filters_by_kind(self):
+        t = Timeline()
+        t.add("cpu", "h", "huffman", 0, 10)
+        t.add("cpu", "s", "cpu-parallel", 10, 18)
+        assert t.busy("cpu") == 18
+        assert t.busy("cpu", kinds=("huffman",)) == 10
+
+    def test_stage_breakdown(self):
+        t = Timeline()
+        t.add("cpu", "h1", "huffman", 0, 4)
+        t.add("cpu", "h2", "huffman", 4, 10)
+        t.add("gpu", "k", "kernel", 2, 9)
+        bd = t.stage_breakdown()
+        assert bd["huffman"] == 10
+        assert bd["kernel"] == 7
+
+    def test_parallel_exec_times_excludes_huffman(self):
+        t = Timeline()
+        t.add("cpu", "h", "huffman", 0, 10)
+        t.add("cpu", "s", "cpu-parallel", 10, 16)
+        t.add("gpu", "w", "write", 10, 12)
+        t.add("gpu", "k", "kernel", 12, 15)
+        cpu, gpu = t.parallel_exec_times()
+        assert cpu == 6 and gpu == 5
+
+    def test_add_events(self):
+        t = Timeline()
+        t.add_events([Event("k", "kernel", 0, 1, 5)])
+        assert t.busy("gpu") == 4
+
+    def test_render_contains_resources(self):
+        t = Timeline()
+        t.add("cpu", "h", "huffman", 0, 50)
+        t.add("gpu", "k", "kernel", 25, 100)
+        art = t.render(width=40)
+        assert "cpu" in art and "gpu" in art
+        assert "H" in art and "K" in art
+
+    def test_render_empty(self):
+        assert "empty" in Timeline().render()
+
+
+class TestAmdahl:
+    def test_eq19(self):
+        assert max_speedup(100.0, 25.0) == 4.0
+
+    def test_parallel_fraction(self):
+        assert parallel_fraction(100.0, 25.0) == 0.75
+
+    def test_percent_of_max(self):
+        assert percent_of_max(2.0, 100.0, 25.0) == 50.0
+
+    def test_validations(self):
+        with pytest.raises(ModelError):
+            max_speedup(0.0, 1.0)
+        with pytest.raises(ModelError):
+            max_speedup(10.0, 0.0)
+        with pytest.raises(ModelError):
+            max_speedup(10.0, 20.0)
+        with pytest.raises(ModelError):
+            percent_of_max(-1.0, 10.0, 5.0)
