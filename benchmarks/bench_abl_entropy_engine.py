@@ -1,0 +1,101 @@
+"""A8 — ablation: fused fast-path entropy engine vs reference decoder.
+
+The paper's pipeline is bounded by sequential Huffman decoding
+(Section 1, Eq 19); every executor pays that stage for real.  This
+bench measures actual wall-clock (not simulated time) of the two
+entropy engines on the synthetic corpus — 4:2:2 and 4:4:4, with and
+without restart markers — and reports the speedup delivered by the
+destuffing prescan + word-buffered reader + single-probe fused tables.
+"""
+
+import os
+from functools import lru_cache
+from time import perf_counter
+
+from repro.data import synthetic_photo
+from repro.evaluation import format_table
+from repro.jpeg import EncoderSettings, encode_jpeg, parse_jpeg
+from repro.jpeg.decoder import component_tables_from_info
+from repro.jpeg.fast_entropy import create_entropy_decoder
+
+from common import write_result
+
+#: (label, subsampling, restart_interval)
+CONFIGS = (
+    ("4:2:2 DRI=0", "4:2:2", 0),
+    ("4:2:2 DRI=8", "4:2:2", 8),
+    ("4:4:4 DRI=0", "4:4:4", 0),
+    ("4:4:4 DRI=8", "4:4:4", 8),
+)
+
+SIDE = 384
+REPEATS = 5
+
+#: Acceptance floor for the overall speedup.  3x on an unloaded machine;
+#: shared CI runners can override with a looser smoke-test bound, e.g.
+#: ``ENTROPY_BENCH_MIN_SPEEDUP=1.5``.
+MIN_SPEEDUP = float(os.environ.get("ENTROPY_BENCH_MIN_SPEEDUP", "3.0"))
+
+
+@lru_cache(maxsize=8)
+def corpus_image(subsampling: str, restart_interval: int) -> bytes:
+    rgb = synthetic_photo(SIDE, SIDE, seed=29, detail=0.7)
+    return encode_jpeg(rgb, EncoderSettings(
+        quality=85, subsampling=subsampling,
+        restart_interval=restart_interval))
+
+
+def time_engines(info) -> dict[str, float]:
+    """Best-of-N wall-clock seconds per engine for one full decode.
+
+    The engines are interleaved within each round so load/frequency
+    drift during the measurement hits both equally instead of biasing
+    whichever engine ran last.
+    """
+    tables = component_tables_from_info(info)
+    decoders = {}
+    for engine in ("reference", "fast"):
+        dec = create_entropy_decoder(engine, info.geometry, tables,
+                                     info.restart_interval)
+        dec.decode_all(info.entropy_data)   # warm-up (table/cache build)
+        decoders[engine] = dec
+    best = {engine: float("inf") for engine in decoders}
+    for _ in range(REPEATS):
+        for engine, dec in decoders.items():
+            t0 = perf_counter()
+            dec.decode_all(info.entropy_data)
+            best[engine] = min(best[engine], perf_counter() - t0)
+    return best
+
+
+def render() -> str:
+    rows = []
+    total_ref = total_fast = 0.0
+    planes_checked = 0
+    for label, subsampling, interval in CONFIGS:
+        info = parse_jpeg(corpus_image(subsampling, interval))
+        best = time_engines(info)
+        t_ref, t_fast = best["reference"], best["fast"]
+        total_ref += t_ref
+        total_fast += t_fast
+        planes_checked += 1
+        rows.append([label, f"{len(info.entropy_data)}",
+                     f"{t_ref * 1e3:.1f}", f"{t_fast * 1e3:.1f}",
+                     f"{t_ref / t_fast:.2f}x"])
+    overall = total_ref / total_fast
+    rows.append(["overall", "-", f"{total_ref * 1e3:.1f}",
+                 f"{total_fast * 1e3:.1f}", f"{overall:.2f}x"])
+    assert planes_checked == len(CONFIGS)
+    assert overall >= MIN_SPEEDUP, (
+        f"fast engine must beat the reference by >= {MIN_SPEEDUP}x, "
+        f"got {overall:.2f}x")
+    return format_table(
+        ["Config", "Scan bytes", "Reference (ms)", "Fast (ms)", "Speedup"],
+        rows,
+        title=(f"Ablation A8: fused fast-path entropy engine, "
+               f"{SIDE}x{SIDE} synthetic photo, q85 (real wall-clock)"))
+
+
+def test_abl_entropy_engine(benchmark):
+    out = benchmark(render)
+    write_result("abl_entropy_engine", out)

@@ -45,15 +45,17 @@ def _write_ppm(path: Path, rgb: np.ndarray) -> None:
 def _cmd_decode(args: argparse.Namespace) -> int:
     data = Path(args.file).read_bytes()
     if args.mode == "reference":
-        from .jpeg import decode_jpeg
+        from .jpeg import DecodeOptions, decode_jpeg
 
-        rgb = decode_jpeg(data).rgb
+        rgb = decode_jpeg(
+            data, DecodeOptions(entropy_engine=args.entropy_engine)).rgb
     else:
         from .core import HeterogeneousDecoder
         from .evaluation import platforms
 
         plat = {p.name: p for p in platforms.ALL_PLATFORMS}[args.platform]
-        decoder = HeterogeneousDecoder.for_platform(plat)
+        decoder = HeterogeneousDecoder.for_platform(
+            plat, entropy_engine=args.entropy_engine)
         result = decoder.decode(data, args.mode)
         rgb = result.rgb
         print(f"simulated {result.mode.value} decode: "
@@ -98,7 +100,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
     data = Path(args.file).read_bytes()
     plat = {p.name: p for p in platforms.ALL_PLATFORMS}[args.platform]
-    decoder = HeterogeneousDecoder.for_platform(plat)
+    decoder = HeterogeneousDecoder.for_platform(
+        plat, entropy_engine=args.entropy_engine)
     prepared = decoder.prepare(data)
     print(f"{args.file} on {plat}:")
     simd_us = None
@@ -129,6 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "pipeline", "sps", "pps", "auto"])
     p.add_argument("--platform", default="GTX 560",
                    choices=["GT 430", "GTX 560", "GTX 680"])
+    p.add_argument("--entropy-engine", default="fast",
+                   choices=["fast", "reference"],
+                   help="Huffman decode path (bit-exact; 'fast' uses the "
+                        "fused-table engine)")
     p.set_defaults(func=_cmd_decode)
 
     p = sub.add_parser("synth", help="generate a synthetic JPEG")
@@ -157,6 +164,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--platform", default="GTX 560",
                    choices=["GT 430", "GTX 560", "GTX 680"])
+    p.add_argument("--entropy-engine", default="fast",
+                   choices=["fast", "reference"],
+                   help="Huffman decode path used to prepare the image")
     p.set_defaults(func=_cmd_evaluate)
 
     return parser

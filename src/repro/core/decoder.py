@@ -49,6 +49,9 @@ class HeterogeneousDecoder:
     models: dict[str, PerformanceModel] = field(default_factory=dict)
     fancy_upsampling: bool = True
     repartition: bool = True
+    #: Huffman decode path used by :meth:`prepare` — "fast" (fused
+    #: tables, default) or "reference" (per-symbol oracle); bit-exact.
+    entropy_engine: str = "fast"
 
     @classmethod
     def for_platform(cls, platform: Platform, **kwargs) -> "HeterogeneousDecoder":
@@ -72,7 +75,7 @@ class HeterogeneousDecoder:
 
     def prepare(self, data: bytes) -> PreparedImage:
         """Parse and entropy-decode once; reusable across modes."""
-        return PreparedImage.from_bytes(data)
+        return PreparedImage.from_bytes(data, self.entropy_engine)
 
     def _config(self, prepared: PreparedImage) -> ExecutionConfig:
         mode = prepared.geometry.mode

@@ -31,7 +31,8 @@ from ..jpeg.decoder import (
     component_tables_from_info,
     quant_tables_from_info,
 )
-from ..jpeg.entropy import CoefficientBuffers, EntropyDecoder
+from ..jpeg.entropy import CoefficientBuffers
+from ..jpeg.fast_entropy import create_entropy_decoder
 from ..jpeg.idct import idct_2d_aan, samples_from_idct
 from ..jpeg.markers import JpegImageInfo, parse_jpeg
 from ..jpeg.quantization import dequantize_blocks
@@ -70,12 +71,19 @@ class PreparedImage:
     quants: list[np.ndarray] = field(default_factory=list)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "PreparedImage":
-        """Parse + fully entropy-decode a real JPEG (the expensive step)."""
+    def from_bytes(cls, data: bytes,
+                   entropy_engine: str = "fast") -> "PreparedImage":
+        """Parse + fully entropy-decode a real JPEG (the expensive step).
+
+        *entropy_engine* selects the Huffman decode path ("fast" or
+        "reference"); both are bit-exact, the fast engine is the default
+        so every pipeline benchmark rides the fused decode tables.
+        """
         info = parse_jpeg(data)
         geo = info.geometry
-        dec = EntropyDecoder(geo, component_tables_from_info(info),
-                             info.restart_interval)
+        dec = create_entropy_decoder(entropy_engine, geo,
+                                     component_tables_from_info(info),
+                                     info.restart_interval)
         dec.start(info.entropy_data)
         dec.decode_mcu_rows(geo.mcu_rows)
         return cls(

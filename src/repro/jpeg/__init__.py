@@ -5,8 +5,11 @@ Public surface:
 - :func:`repro.jpeg.encode_jpeg` / :class:`repro.jpeg.EncoderSettings`
 - :func:`repro.jpeg.decode_jpeg` / :class:`repro.jpeg.DecodeOptions`
 - :func:`repro.jpeg.parse_jpeg` for header-only inspection
+- :data:`repro.jpeg.ENTROPY_ENGINES` / the ``entropy_engine=`` knob on
+  :class:`DecodeOptions` select the Huffman decode path ("fast" fused
+  engine by default, "reference" per-symbol oracle)
 - submodules for each decoding stage (bitstream, huffman, quantization,
-  dct/idct, sampling, color, blocks, entropy, markers)
+  dct/idct, sampling, color, blocks, entropy, fast_entropy, markers)
 """
 
 from .blocks import ImageGeometry
@@ -17,16 +20,26 @@ from .decoder import (
     decode_jpeg_rowwise,
 )
 from .encoder import EncoderSettings, encode_jpeg
+from .fast_entropy import (
+    ENTROPY_ENGINES,
+    FastEntropyDecoder,
+    create_entropy_decoder,
+    destuff_scan,
+)
 from .markers import JpegImageInfo, parse_jpeg
 
 __all__ = [
     "DecodeOptions",
     "DecodedImage",
+    "ENTROPY_ENGINES",
     "EncoderSettings",
+    "FastEntropyDecoder",
     "ImageGeometry",
     "JpegImageInfo",
+    "create_entropy_decoder",
     "decode_jpeg",
     "decode_jpeg_rowwise",
+    "destuff_scan",
     "encode_jpeg",
     "parse_jpeg",
 ]

@@ -5,9 +5,12 @@ literal 0xFF data byte is followed by a 0x00 so decoders can distinguish
 data from markers.  :class:`BitWriter` applies stuffing, :class:`BitReader`
 removes it and stops cleanly at a marker boundary.
 
-The reader keeps a small Python-int bit buffer which profiling showed to
-be the fastest pure-Python approach (the alternative — np.unpackbits on
-the whole stream — cannot handle stuffing removal incrementally).
+:class:`BitReader` keeps a small Python-int bit buffer and destuffs
+incrementally — simple and exactly specified, which is why it anchors
+the *reference* entropy engine.  The default decode path instead rides
+:mod:`repro.jpeg.fast_entropy`, which destuffs once up front and reads
+through a wide word buffer; this module remains the correctness oracle
+(and the writer used by the encoder).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ class BitWriter:
         self._bytes = bytearray()
         self._acc = 0          # bit accumulator, left-aligned within _nbits
         self._nbits = 0        # number of valid bits in _acc
+        self._marker_bytes = 0  # raw markers emitted via emit_marker
 
     def write_bits(self, value: int, nbits: int) -> None:
         """Append the *nbits* low-order bits of *value*, MSB first."""
@@ -45,11 +49,48 @@ class BitWriter:
                 self._bytes.append(0x00)  # byte stuffing
         self._acc &= (1 << self._nbits) - 1
 
+    def write_pairs(self, pairs) -> None:
+        """Append an iterable of ``(value, nbits)`` pairs in one call.
+
+        Fast path for the vectorized entropy encoder: the accumulator
+        and the stuffing loop run once per batch instead of paying a
+        method call (and argument validation) per symbol.  The emitted
+        bytes are identical to repeated :meth:`write_bits` calls.
+        """
+        acc = self._acc
+        nbits = self._nbits
+        out = self._bytes
+        for value, n in pairs:
+            acc = (acc << n) | value
+            nbits += n
+            while nbits >= 8:
+                nbits -= 8
+                byte = (acc >> nbits) & 0xFF
+                out.append(byte)
+                if byte == 0xFF:
+                    out.append(0x00)  # byte stuffing
+        self._acc = acc & ((1 << nbits) - 1)
+        self._nbits = nbits
+
     def flush(self) -> None:
         """Pad the final partial byte with 1-bits (per the standard)."""
         if self._nbits:
             pad = 8 - self._nbits
             self.write_bits((1 << pad) - 1, pad)
+
+    def emit_marker(self, marker: int) -> None:
+        """Flush to a byte boundary, then append a raw ``FF xx`` marker.
+
+        Used by the entropy encoder to interleave RSTn markers without
+        allocating a fresh writer per restart interval.  Marker bytes
+        are not entropy payload and are excluded from :attr:`bit_length`.
+        """
+        if not 0xD0 <= marker <= 0xD7:
+            raise BitstreamError(f"marker 0x{marker:02X} is not RSTn")
+        self.flush()
+        self._bytes.append(0xFF)
+        self._bytes.append(marker)
+        self._marker_bytes += 1
 
     def getvalue(self) -> bytes:
         """Return the stuffed bitstream written so far (without flushing)."""
@@ -57,9 +98,10 @@ class BitWriter:
 
     @property
     def bit_length(self) -> int:
-        """Total number of bits written (excluding stuffed 0x00 bytes)."""
+        """Total number of bits written (excluding stuffed 0x00 bytes
+        and raw RSTn markers)."""
         stuffed = self._bytes.count(0xFF)
-        return (len(self._bytes) - stuffed) * 8 + self._nbits
+        return (len(self._bytes) - stuffed - self._marker_bytes) * 8 + self._nbits
 
 
 class BitReader:

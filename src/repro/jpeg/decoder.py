@@ -21,7 +21,8 @@ import numpy as np
 from ..errors import JpegUnsupportedError
 from .blocks import ImageGeometry, blocks_to_plane
 from .color import ycbcr_to_rgb_float
-from .entropy import CoefficientBuffers, ComponentTables, EntropyDecoder
+from .entropy import CoefficientBuffers, ComponentTables
+from .fast_entropy import create_entropy_decoder
 from .idct import idct_2d_aan, idct_2d_blocks, samples_from_idct
 from .idct_int import idct_2d_islow
 from .markers import JpegImageInfo, parse_jpeg
@@ -39,10 +40,17 @@ IDCT_METHODS = {
 
 @dataclass
 class DecodeOptions:
-    """Decoder knobs (subset of libjpeg's djpeg options)."""
+    """Decoder knobs (subset of libjpeg's djpeg options).
+
+    ``entropy_engine`` selects the Huffman decode path: ``"fast"`` (the
+    fused-table engine of :mod:`repro.jpeg.fast_entropy`, default) or
+    ``"reference"`` (the historical per-symbol oracle) — both produce
+    bit-identical coefficients.
+    """
 
     idct_method: str = "aan"
     fancy_upsampling: bool = True
+    entropy_engine: str = "fast"
 
 
 @dataclass
@@ -97,7 +105,8 @@ class CoefficientController:
         self.options = options
         self._idct = IDCT_METHODS[options.idct_method]
         self._quants = quant_tables_from_info(info)
-        self.entropy = EntropyDecoder(
+        self.entropy = create_entropy_decoder(
+            options.entropy_engine,
             self.geometry,
             component_tables_from_info(info),
             info.restart_interval,

@@ -12,6 +12,13 @@ pipelined executors decode one horizontal chunk at a time and need to
 know how many compressed bytes each chunk consumed (that byte count
 drives the simulated Huffman time and the re-partitioning density
 correction of Eq. 16/17).
+
+This per-symbol decoder is the **reference oracle**; the default decode
+path is the fused fast-path engine in :mod:`repro.jpeg.fast_entropy`,
+which is bit-exact with it (select with ``entropy_engine="reference"``
+to run this one).  :class:`EntropyEncoder` here *is* the production
+encoder — vectorized zig-zag, precomputed code/length arrays and a
+single reused :class:`BitWriter` across restart intervals.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import EntropyError
+from ..errors import EntropyError, HuffmanError
 from .bitstream import BitReader, BitWriter
 from .blocks import ImageGeometry
 from .constants import EOB_SYMBOL, ZIGZAG_ORDER, ZRL_SYMBOL
@@ -28,7 +35,6 @@ from .huffman import (
     HuffmanDecoder,
     HuffmanEncoder,
     HuffmanSpec,
-    encode_magnitude,
     extend,
     magnitude_category,
 )
@@ -210,7 +216,18 @@ class EntropyDecoder:
 
 
 class EntropyEncoder:
-    """Huffman-encode quantized coefficient buffers into scan bytes."""
+    """Huffman-encode quantized coefficient buffers into scan bytes.
+
+    Vectorized form: the zig-zag permutation is applied to each whole
+    coefficient plane in one numpy fancy-index, Huffman codes come from
+    dense precomputed ``(code, length)`` arrays
+    (:meth:`~repro.jpeg.huffman.HuffmanEncoder.code_arrays`), and each
+    block is emitted as one batched :meth:`BitWriter.write_pairs` call.
+    A single writer lives for the whole scan; restart markers are
+    emitted in place via :meth:`BitWriter.emit_marker` instead of
+    allocating a fresh writer per interval.  The emitted bytes are
+    identical to the historical per-symbol encoder.
+    """
 
     def __init__(
         self,
@@ -222,74 +239,102 @@ class EntropyEncoder:
             raise EntropyError("table/component count mismatch")
         self.geometry = geometry
         self.restart_interval = restart_interval
-        self._dc_encoders = [HuffmanEncoder(t.dc) for t in tables]
-        self._ac_encoders = [HuffmanEncoder(t.ac) for t in tables]
+        self._dc_code_arrays = [HuffmanEncoder(t.dc).code_arrays() for t in tables]
+        self._ac_code_arrays = [HuffmanEncoder(t.ac).code_arrays() for t in tables]
 
-    def _encode_block(self, ci: int, writer: BitWriter,
-                      coefs: np.ndarray, pred: int) -> int:
-        """Encode one block (flat natural-order int view); return new pred."""
-        dc = int(coefs[0])
+    def _block_pairs(self, zzblock: list[int], pred: int,
+                     dc_codes: list[int], dc_lens: list[int],
+                     ac_codes: list[int], ac_lens: list[int],
+                     ) -> tuple[list[tuple[int, int]], int]:
+        """(value, nbits) pairs for one zig-zag-ordered block; new pred."""
+        pairs: list[tuple[int, int]] = []
+        dc = zzblock[0]
         diff = dc - pred
-        cat, bits, nbits = encode_magnitude(diff)
-        self._dc_encoders[ci].encode(writer, cat)
-        if nbits:
-            writer.write_bits(bits, nbits)
+        cat = (-diff if diff < 0 else diff).bit_length()
+        length = dc_lens[cat]
+        if length == 0:
+            raise HuffmanError(f"symbol {cat:#x} not in table")
+        pairs.append((dc_codes[cat], length))
+        if cat:
+            pairs.append((diff + (1 << cat) - 1 if diff < 0 else diff, cat))
 
-        ac_enc = self._ac_encoders[ci]
-        zz = coefs[ZIGZAG_ORDER]
-        nz = np.nonzero(zz[1:])[0]
-        run_start = 1
-        for pos in nz + 1:
-            run = int(pos) - run_start
+        zrl_code, zrl_len = ac_codes[ZRL_SYMBOL], ac_lens[ZRL_SYMBOL]
+        run = 0
+        for k in range(1, 64):
+            val = zzblock[k]
+            if val == 0:
+                run += 1
+                continue
             while run > 15:
-                ac_enc.encode(writer, ZRL_SYMBOL)
+                if zrl_len == 0:
+                    raise HuffmanError(f"symbol {ZRL_SYMBOL:#x} not in table")
+                pairs.append((zrl_code, zrl_len))
                 run -= 16
-            val = int(zz[pos])
-            cat, bits, nbits = encode_magnitude(val)
+            cat = (-val if val < 0 else val).bit_length()
             if cat > 10:
                 raise EntropyError(f"AC coefficient {val} too large to code")
-            ac_enc.encode(writer, (run << 4) | cat)
-            writer.write_bits(bits, nbits)
-            run_start = int(pos) + 1
-        if run_start <= 63:
-            ac_enc.encode(writer, EOB_SYMBOL)
-        return dc
+            sym = (run << 4) | cat
+            length = ac_lens[sym]
+            if length == 0:
+                raise HuffmanError(f"symbol {sym:#x} not in table")
+            pairs.append((ac_codes[sym], length))
+            pairs.append((val + (1 << cat) - 1 if val < 0 else val, cat))
+            run = 0
+        if run:
+            if ac_lens[EOB_SYMBOL] == 0:
+                raise HuffmanError(f"symbol {EOB_SYMBOL:#x} not in table")
+            pairs.append((ac_codes[EOB_SYMBOL], ac_lens[EOB_SYMBOL]))
+        return pairs, dc
 
     def encode(self, coefficients: CoefficientBuffers) -> bytes:
         """Serialize all MCUs; returns byte-stuffed scan data (no markers
         except interleaved RSTn when a restart interval is configured)."""
         geo = self.geometry
         comps = geo.components
-        planes = coefficients.planes
         writer = BitWriter()
+        write_pairs = writer.write_pairs
+        block_pairs = self._block_pairs
         preds = [0] * len(comps)
         mcus_done = 0
         next_rst = 0
-        out = bytearray()
         interval = self.restart_interval
 
+        flat_planes = [p.reshape(-1, 64) for p in coefficients.planes]
+
         for mrow in range(geo.mcu_rows):
+            # One fancy-index per component per MCU row puts its blocks
+            # in zig-zag order; .tolist() drops to plain ints for the
+            # per-symbol loop.  Row-granular conversion keeps the
+            # vectorized permutation without materializing the whole
+            # image as Python lists.
+            zz_rows = []
+            for ci, comp in enumerate(comps):
+                start = mrow * comp.v_factor * comp.blocks_wide
+                stop = start + comp.v_factor * comp.blocks_wide
+                zz_rows.append(
+                    flat_planes[ci][start:stop][:, ZIGZAG_ORDER].tolist())
             for mcol in range(geo.mcus_per_row):
                 if interval and mcus_done and mcus_done % interval == 0:
-                    writer.flush()
-                    out += writer.getvalue()
-                    out += bytes([0xFF, 0xD0 + next_rst])
-                    writer = BitWriter()
+                    writer.emit_marker(0xD0 + next_rst)
                     next_rst = (next_rst + 1) & 7
                     preds = [0] * len(comps)
                 for ci, comp in enumerate(comps):
-                    for v in range(comp.v_factor):
-                        brow = mrow * comp.v_factor + v
-                        for h in range(comp.h_factor):
-                            bcol = mcol * comp.h_factor + h
-                            idx = brow * comp.blocks_wide + bcol
-                            preds[ci] = self._encode_block(
-                                ci, writer, planes[ci][idx].reshape(-1), preds[ci]
-                            )
+                    dc_codes, dc_lens = self._dc_code_arrays[ci]
+                    ac_codes, ac_lens = self._ac_code_arrays[ci]
+                    zzp = zz_rows[ci]
+                    hf, vf = comp.h_factor, comp.v_factor
+                    pred = preds[ci]
+                    for v in range(vf):
+                        row = v * comp.blocks_wide + mcol * hf
+                        for h in range(hf):
+                            pairs, pred = block_pairs(
+                                zzp[row + h], pred,
+                                dc_codes, dc_lens, ac_codes, ac_lens)
+                            write_pairs(pairs)
+                    preds[ci] = pred
                 mcus_done += 1
         writer.flush()
-        out += writer.getvalue()
-        return bytes(out)
+        return writer.getvalue()
 
 
 def collect_symbol_frequencies(

@@ -161,6 +161,21 @@ class HuffmanEncoder:
         """Length in bits of the code for *symbol*."""
         return self.code_for(symbol)[1]
 
+    def code_arrays(self) -> tuple[list[int], list[int]]:
+        """Dense symbol-indexed ``(codes, lengths)`` lists (256 entries).
+
+        A zero length marks a symbol absent from the table.  This is the
+        precomputed form the vectorized :class:`~repro.jpeg.entropy.
+        EntropyEncoder` indexes in its hot loop instead of paying a dict
+        lookup and a method call per symbol.
+        """
+        codes = [0] * 256
+        lengths = [0] * 256
+        for sym, (code, length) in self._codes.items():
+            codes[sym] = code
+            lengths[sym] = length
+        return codes, lengths
+
     @property
     def symbols(self) -> tuple[int, ...]:
         return tuple(self._codes)

@@ -30,7 +30,8 @@ import numpy as np
 
 from ..errors import EntropyError
 from .blocks import ImageGeometry
-from .entropy import CoefficientBuffers, ComponentTables, EntropyDecoder
+from .entropy import CoefficientBuffers, ComponentTables
+from .fast_entropy import create_entropy_decoder, destuff_scan
 
 
 @dataclass(frozen=True)
@@ -50,23 +51,16 @@ class RestartSegment:
 
 def split_restart_segments(entropy_data: bytes, total_mcus: int,
                            restart_interval: int) -> list[RestartSegment]:
-    """Locate RSTn boundaries and derive the per-segment MCU spans."""
+    """Locate RSTn boundaries and derive the per-segment MCU spans.
+
+    Reuses the fast engine's destuffing prescan
+    (:func:`repro.jpeg.fast_entropy.destuff_scan`) instead of a
+    duplicate byte-at-a-time 0xFF scan: the prescan's marker index
+    already holds the original-stream offset of every RSTn pair.
+    """
     if restart_interval <= 0:
         raise EntropyError("parallel Huffman decoding needs a DRI interval")
-    boundaries: list[int] = []   # positions of 0xFF RSTn pairs
-    pos = 0
-    n = len(entropy_data)
-    while pos + 1 < n:
-        if entropy_data[pos] == 0xFF:
-            nxt = entropy_data[pos + 1]
-            if nxt == 0x00:
-                pos += 2
-                continue
-            if 0xD0 <= nxt <= 0xD7:
-                boundaries.append(pos)
-                pos += 2
-                continue
-        pos += 1
+    boundaries = destuff_scan(entropy_data).marker_orig_offsets
 
     segments: list[RestartSegment] = []
     start = 0
@@ -115,12 +109,14 @@ class ParallelEntropyDecoder:
 
     def __init__(self, geometry: ImageGeometry,
                  tables: list[ComponentTables],
-                 restart_interval: int) -> None:
+                 restart_interval: int,
+                 entropy_engine: str = "fast") -> None:
         if restart_interval <= 0:
             raise EntropyError("parallel Huffman decoding needs a DRI interval")
         self.geometry = geometry
         self.tables = tables
         self.restart_interval = restart_interval
+        self.entropy_engine = entropy_engine
 
     def _decode_segment(self, seg: RestartSegment, data: bytes,
                         out: CoefficientBuffers) -> None:
@@ -133,13 +129,13 @@ class ParallelEntropyDecoder:
         scatter into the global block grid.
         """
         geo = self.geometry
-        dec = EntropyDecoder(geo, self.tables, restart_interval=0)
         # Trick: reuse the row-granular decoder by giving it a 1-row
         # geometry of seg.mcu_count MCUs; the scan order inside one MCU
         # is identical, and DC predictions start at 0 as they must.
         virt = ImageGeometry(seg.mcu_count * geo.mcu_width, geo.mcu_height,
                              geo.mode)
-        vdec = EntropyDecoder(virt, self.tables, restart_interval=0)
+        vdec = create_entropy_decoder(self.entropy_engine, virt, self.tables,
+                                      restart_interval=0)
         vdec.start(data[seg.byte_start: seg.byte_stop])
         vdec.decode_mcu_rows(1)
 
