@@ -1,0 +1,137 @@
+"""S1 — batched decode service throughput: images/sec vs batch size
+and worker count.
+
+Measures *real wall-clock* throughput of :mod:`repro.service` against
+the sequential single-image loop it replaces.  The corpus is eight
+synthetic photos (4:2:2 and 4:4:4, with and without restart markers);
+every batched output is asserted bit-identical to the sequential
+:func:`repro.jpeg.decode_jpeg` result before any timing is trusted.
+
+Acceptance: on a multi-core host, the best (batch >= 4, workers >= 2)
+process-pool configuration must reach at least
+``SERVICE_BENCH_MIN_RATIO`` (default 1.05) times the sequential
+throughput — entropy decoding is pure Python, so the scaling must come
+from real process parallelism.  On a single-core host the sweep still
+runs and reports, but the ratio assertion is skipped (the paper's
+amortization argument needs hardware to amortize onto).
+"""
+
+import os
+from time import perf_counter
+
+import numpy as np
+
+from repro.data import synthetic_photo
+from repro.evaluation import format_table
+from repro.jpeg import EncoderSettings, encode_jpeg, decode_jpeg
+from repro.service import BatchDecoder
+
+from common import write_result
+
+#: (seed, width, height, subsampling, restart_interval)
+CORPUS = (
+    (11, 320, 240, "4:2:2", 0),
+    (12, 320, 240, "4:2:2", 8),
+    (13, 256, 256, "4:4:4", 0),
+    (14, 256, 256, "4:4:4", 8),
+    (15, 384, 256, "4:2:2", 0),
+    (16, 384, 256, "4:2:2", 0),
+    (17, 320, 320, "4:4:4", 0),
+    (18, 320, 320, "4:2:2", 8),
+)
+
+BATCH_SIZES = (1, 2, 4, 8)
+REPEATS = 3
+
+#: Multi-core acceptance floor for best-batched vs sequential throughput.
+MIN_RATIO = float(os.environ.get("SERVICE_BENCH_MIN_RATIO", "1.05"))
+
+
+def build_corpus() -> list[bytes]:
+    """Encode the eight-image synthetic corpus."""
+    blobs = []
+    for seed, w, h, sub, dri in CORPUS:
+        rgb = synthetic_photo(h, w, seed=seed, detail=0.6)
+        blobs.append(encode_jpeg(rgb, EncoderSettings(
+            quality=85, subsampling=sub, restart_interval=dri)))
+    return blobs
+
+
+def time_sequential(blobs: list[bytes]) -> tuple[float, list[np.ndarray]]:
+    """Best-of-N images/sec for the plain single-image decode loop."""
+    outputs = [decode_jpeg(b).rgb for b in blobs]  # warm-up + oracle
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = perf_counter()
+        for b in blobs:
+            decode_jpeg(b)
+        best = min(best, perf_counter() - t0)
+    return len(blobs) / best, outputs
+
+
+def time_batched(blobs: list[bytes], oracle: list[np.ndarray],
+                 batch_size: int, workers: int) -> float:
+    """Best-of-N images/sec decoding the corpus in *batch_size* chunks.
+
+    Pool startup is excluded (a service's pool is long-lived); outputs
+    of the first round are checked bit-identical to the oracle.
+    """
+    chunks = [list(range(i, min(i + batch_size, len(blobs))))
+              for i in range(0, len(blobs), batch_size)]
+    with BatchDecoder(workers=workers, backend="process") as dec:
+        dec.decode_batch([blobs[0]])  # warm the pool (fork + imports)
+        best = float("inf")
+        for rep in range(REPEATS):
+            t0 = perf_counter()
+            for chunk in chunks:
+                result = dec.decode_batch([blobs[i] for i in chunk])
+                if rep == 0:
+                    for idx, res in zip(chunk, result):
+                        assert res.ok, f"image {idx}: {res.error}"
+                        assert np.array_equal(res.rgb, oracle[idx]), (
+                            f"image {idx}: batched output differs from "
+                            f"sequential decode")
+            best = min(best, perf_counter() - t0)
+    return len(blobs) / best
+
+
+def render() -> str:
+    """Run the sweep, assert the acceptance bar, format the table."""
+    cpus = os.cpu_count() or 1
+    worker_counts = sorted({1, min(2, cpus), min(4, cpus)})
+    blobs = build_corpus()
+    seq_ips, oracle = time_sequential(blobs)
+
+    rows = [["sequential loop", "-", f"{seq_ips:.2f}", "1.00x"]]
+    best_batched = 0.0
+    for workers in worker_counts:
+        for batch in BATCH_SIZES:
+            ips = time_batched(blobs, oracle, batch, workers)
+            rows.append([f"batch={batch}", f"{workers}",
+                         f"{ips:.2f}", f"{ips / seq_ips:.2f}x"])
+            if batch >= 4 and workers >= 2:
+                best_batched = max(best_batched, ips)
+
+    note = f"host cores: {cpus}"
+    if cpus >= 2:
+        assert best_batched >= MIN_RATIO * seq_ips, (
+            f"batched (batch>=4, workers>=2) must reach >= {MIN_RATIO}x "
+            f"sequential throughput on a {cpus}-core host; got "
+            f"{best_batched:.2f} vs {seq_ips:.2f} img/s")
+        note += (f"; best batched {best_batched / seq_ips:.2f}x "
+                 f"sequential (floor {MIN_RATIO}x)")
+    else:
+        note += "; single-core host - ratio assertion skipped"
+    return format_table(
+        ["Config", "Workers", "img/s", "vs sequential"], rows,
+        title=(f"S1: batched service throughput, {len(blobs)}-image "
+               f"synthetic corpus, process pool ({note})"))
+
+
+def test_service_throughput():
+    """Pytest entry point: run the sweep and persist the table."""
+    write_result("service_throughput", render())
+
+
+if __name__ == "__main__":
+    write_result("service_throughput", render())

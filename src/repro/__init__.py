@@ -43,4 +43,8 @@ def __getattr__(name):  # lazy top-level API to keep import light
         from .evaluation import platforms
 
         return platforms
+    if name in {"BatchDecoder", "DecodeService", "ImageRequest"}:
+        from . import service
+
+        return getattr(service, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -7,6 +7,8 @@ Commands mirror the workflows the library supports:
 - ``synth OUT.jpg``            — generate + encode a synthetic image
 - ``profile``                  — run offline profiling, save model JSON
 - ``evaluate``                 — all-mode simulated timings for one file
+- ``serve-batch FILE...``      — batched decode service over a worker
+  pool (bounded queue, per-batch stats; see :mod:`repro.service`)
 """
 
 from __future__ import annotations
@@ -114,6 +116,73 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from .data import synthetic_photo
+    from .errors import QueueFullError
+    from .jpeg import EncoderSettings, encode_jpeg
+    from .service import DecodeService, ImageRequest
+
+    # Assemble the input set: named files, plus --synth generated images.
+    blobs: list[tuple[str, bytes]] = [
+        (f, Path(f).read_bytes()) for f in args.files
+    ]
+    for i in range(args.synth):
+        rgb = synthetic_photo(480, 640, seed=i, detail=0.6)
+        blobs.append((f"synth-{i}", encode_jpeg(rgb, EncoderSettings(
+            quality=85, subsampling="4:2:2",
+            restart_interval=8 if i % 2 else 0))))
+    if not blobs:
+        print("no inputs: pass JPEG files and/or --synth N", file=sys.stderr)
+        return 2
+
+    split = {"auto": None, "always": True, "never": False}[args.split_segments]
+    out_dir = Path(args.out_dir) if args.out_dir else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    with DecodeService(batch_size=args.batch_size,
+                       queue_capacity=args.queue_capacity,
+                       workers=args.workers, backend=args.backend) as svc:
+        print(f"serve-batch: {len(blobs)} inputs x{args.repeat}, "
+              f"batch={args.batch_size}, queue={args.queue_capacity}, "
+              f"{svc.decoder.pool.workers} x {svc.decoder.pool.backend} "
+              f"workers")
+
+        def handle(batch) -> None:
+            nonlocal failures
+            print(f"  {batch.stats.format()}")
+            for r in batch:
+                if not r.ok:
+                    failures += 1
+                    print(f"    FAIL {r.request_id}: "
+                          f"{r.error_type}: {r.error}", file=sys.stderr)
+                elif out_dir is not None:
+                    name = str(r.request_id).replace("/", "_")
+                    _write_ppm(out_dir / f"{name}.ppm", r.rgb)
+
+        for k in range(args.repeat):
+            for name, data in blobs:
+                req = ImageRequest(
+                    data=data, request_id=f"{name}@{k}" if args.repeat > 1
+                    else name,
+                    entropy_engine=args.entropy_engine, mode=args.mode,
+                    platform=args.platform, split_segments=split)
+                while True:
+                    try:
+                        svc.submit(req, timeout=0)
+                        break
+                    except QueueFullError:
+                        # Backpressure: drain one batch, then retry.
+                        batch = svc.run_once()
+                        if batch is not None:
+                            handle(batch)
+        for batch in svc.drain():
+            handle(batch)
+        print(f"summary: {svc.stats.format()}")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -168,6 +237,37 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["fast", "reference"],
                    help="Huffman decode path used to prepare the image")
     p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser(
+        "serve-batch",
+        help="batched decode service: queue + worker pool + stats")
+    p.add_argument("files", nargs="*",
+                   help="JPEG files to decode (may be empty with --synth)")
+    p.add_argument("--synth", type=int, default=0,
+                   help="also generate N synthetic 640x480 JPEGs")
+    p.add_argument("--batch-size", type=int, default=8)
+    p.add_argument("--queue-capacity", type=int, default=32)
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool size (default: all cores)")
+    p.add_argument("--backend", default=None,
+                   choices=["process", "thread", "serial"],
+                   help="worker pool backend (default: process on "
+                        "multi-core hosts, serial otherwise)")
+    p.add_argument("--entropy-engine", default="fast",
+                   choices=["fast", "reference"])
+    p.add_argument("--mode", default="reference",
+                   choices=["reference", "sequential", "simd", "gpu",
+                            "pipeline", "sps", "pps", "auto"])
+    p.add_argument("--platform", default="GTX 560",
+                   choices=["GT 430", "GTX 560", "GTX 680"])
+    p.add_argument("--split-segments", default="auto",
+                   choices=["auto", "always", "never"],
+                   help="restart-segment fan-out for DRI images")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="feed the input set N times (soak/throughput)")
+    p.add_argument("--out-dir", default=None,
+                   help="write decoded PPMs into this directory")
+    p.set_defaults(func=_cmd_serve_batch)
 
     return parser
 

@@ -65,3 +65,15 @@ class PartitionError(ReproError):
 
 class ProfilingError(ReproError):
     """Offline profiling failed (empty corpus, degenerate fit inputs)."""
+
+
+class ServiceError(ReproError):
+    """Base class for the batched decode service layer."""
+
+
+class QueueFullError(ServiceError):
+    """Bounded submission queue rejected a request (backpressure)."""
+
+
+class ServiceClosedError(ServiceError):
+    """Operation attempted on a closed queue, pool, or service."""

@@ -156,17 +156,44 @@ class PostprocessingController:
         return ycbcr_to_rgb_float(y, cb, cr)
 
 
+def pixels_from_coefficients(
+    info: JpegImageInfo,
+    coefficients: CoefficientBuffers,
+    options: DecodeOptions | None = None,
+) -> np.ndarray:
+    """Run the pixel stages over already-decoded coefficients.
+
+    Dequantize + IDCT + upsample + color-convert — everything downstream
+    of entropy decoding, producing the same RGB as :func:`decode_jpeg`.
+    This is the merge point for callers that obtained the coefficient
+    planes some other way (e.g. the batched decode service after
+    restart-segment-parallel entropy decoding).
+    """
+    options = options or DecodeOptions()
+    geo = info.geometry
+    idct = IDCT_METHODS[options.idct_method]
+    quants = quant_tables_from_info(info)
+    planes = []
+    for comp, coefs, quant in zip(geo.components, coefficients.planes, quants):
+        deq = dequantize_blocks(coefs, quant)
+        samples = samples_from_idct(idct(deq))
+        planes.append(
+            blocks_to_plane(samples, comp.blocks_wide,
+                            geo.mcu_rows * comp.v_factor)
+        )
+    post = PostprocessingController(geo, options)
+    return post.process(planes, info.width, info.height)
+
+
 def decode_jpeg(data: bytes, options: DecodeOptions | None = None) -> DecodedImage:
     """Decode baseline JFIF bytes to RGB — whole image, sequential."""
     options = options or DecodeOptions()
     info = parse_jpeg(data)
     coef = CoefficientController(info, options)
-    post = PostprocessingController(coef.geometry, options)
 
     geo = coef.geometry
     coef.decode_rows(geo.mcu_rows)
-    planes = coef.idct_rows(0, geo.mcu_rows)
-    rgb = post.process(planes, info.width, info.height)
+    rgb = pixels_from_coefficients(info, coef.entropy.coefficients, options)
     return DecodedImage(
         rgb=rgb,
         info=info,

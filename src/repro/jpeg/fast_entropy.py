@@ -106,6 +106,7 @@ class ScanPrescan:
 
     @property
     def restart_count(self) -> int:
+        """Number of RSTn markers indexed by the prescan."""
         return len(self.marker_payload_offsets)
 
 
@@ -191,6 +192,7 @@ class FusedDecodeTables:
     __slots__ = ("fused", "lookup", "mincode", "maxcode", "valptr", "values")
 
     def __init__(self, spec: HuffmanSpec, role: str) -> None:
+        """Build all decode tables for *spec* acting as *role* ("dc"/"ac")."""
         enc = HuffmanEncoder(spec)
         self.fused = [0] * (1 << FUSED_BITS)
         self.lookup = [0] * (1 << LOOKUP_BITS)
@@ -365,6 +367,8 @@ class FastEntropyDecoder:
         tables: list[ComponentTables],
         restart_interval: int = 0,
     ) -> None:
+        """Bind fused tables for *tables* and allocate decode state
+        (same signature as the reference :class:`EntropyDecoder`)."""
         if len(tables) != len(geometry.components):
             raise EntropyError(
                 f"{len(geometry.components)} components but "
@@ -431,6 +435,7 @@ class FastEntropyDecoder:
 
     @property
     def finished(self) -> bool:
+        """True once every MCU row of the image has been decoded."""
         return self._rows_done >= self.geometry.mcu_rows
 
     @property

@@ -12,6 +12,10 @@ This module implements that extension:
 
 - :func:`split_restart_segments` scans the entropy data for RSTn
   boundaries and returns the byte spans;
+- :func:`decode_segment_coefficients` / :func:`scatter_segment` decode
+  one segment in isolation and place its blocks into the global grid —
+  the unit of work :mod:`repro.service` fans out across a real worker
+  pool;
 - :class:`ParallelEntropyDecoder` decodes every segment independently
   (results are bit-identical to the sequential decoder — tested) and
   models the multi-core schedule: segments are greedily assigned to
@@ -19,7 +23,9 @@ This module implements that extension:
 
 The executors do not use it by default — the paper's pipeline relies on
 *in-order* row availability, which parallel segment decoding breaks —
-but the A7 ablation benchmark quantifies the opportunity.
+but the A7 ablation benchmark quantifies the opportunity, and the
+batched decode service (:mod:`repro.service`) exploits it for real
+wall-clock parallelism across processes.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ class RestartSegment:
 
     @property
     def nbytes(self) -> int:
+        """Compressed size of the segment in bytes (markers excluded)."""
         return self.byte_stop - self.byte_start
 
 
@@ -80,6 +87,62 @@ def split_restart_segments(entropy_data: bytes, total_mcus: int,
     return segments
 
 
+def decode_segment_coefficients(
+    seg: RestartSegment,
+    segment_bytes: bytes,
+    geometry: ImageGeometry,
+    tables: list[ComponentTables],
+    entropy_engine: str = "fast",
+) -> list[np.ndarray]:
+    """Entropy-decode one restart segment in complete isolation.
+
+    Restart segments are byte-aligned and reset their DC predictions, so
+    each one decodes with a fresh sequential decoder over a *virtual*
+    1-MCU-row image covering exactly its MCUs (the scan order inside an
+    MCU is position-independent).  Returns the virtual image's
+    coefficient planes, ready for :func:`scatter_segment`.
+
+    This function is self-contained and picklable-argument-only on
+    purpose: the batched decode service ships it to process-pool
+    workers.
+    """
+    virt = ImageGeometry(seg.mcu_count * geometry.mcu_width,
+                         geometry.mcu_height, geometry.mode)
+    vdec = create_entropy_decoder(entropy_engine, virt, tables,
+                                  restart_interval=0)
+    vdec.start(segment_bytes)
+    vdec.decode_mcu_rows(1)
+    return vdec.coefficients.planes
+
+
+def scatter_segment(
+    seg: RestartSegment,
+    planes: list[np.ndarray],
+    geometry: ImageGeometry,
+    out: CoefficientBuffers,
+) -> None:
+    """Place one segment's virtual-image *planes* into the global grid.
+
+    Virtual MCU *j* maps to global MCU ``seg.mcu_start + j``; each
+    component block is copied to its row-major position in *out*.
+    """
+    virt = ImageGeometry(seg.mcu_count * geometry.mcu_width,
+                         geometry.mcu_height, geometry.mode)
+    for ci, comp in enumerate(geometry.components):
+        vcomp = virt.components[ci]
+        src = planes[ci]
+        dst = out.planes[ci]
+        for j in range(seg.mcu_count):
+            g = seg.mcu_start + j
+            grow, gcol = divmod(g, geometry.mcus_per_row)
+            for v in range(comp.v_factor):
+                for h in range(comp.h_factor):
+                    sidx = v * vcomp.blocks_wide + j * comp.h_factor + h
+                    didx = ((grow * comp.v_factor + v) * comp.blocks_wide
+                            + gcol * comp.h_factor + h)
+                    dst[didx] = src[sidx]
+
+
 def _lpt_makespan(work: list[float], cores: int) -> float:
     """Longest-processing-time-first schedule length on *cores* workers."""
     loads = [0.0] * max(1, cores)
@@ -101,6 +164,7 @@ class ParallelDecodeResult:
 
     @property
     def speedup(self) -> float:
+        """Modeled multi-core speedup (sequential time / LPT makespan)."""
         return self.sequential_us / self.parallel_us
 
 
@@ -111,6 +175,7 @@ class ParallelEntropyDecoder:
                  tables: list[ComponentTables],
                  restart_interval: int,
                  entropy_engine: str = "fast") -> None:
+        """Validate the DRI interval and bind per-segment decode inputs."""
         if restart_interval <= 0:
             raise EntropyError("parallel Huffman decoding needs a DRI interval")
         self.geometry = geometry
@@ -122,37 +187,15 @@ class ParallelEntropyDecoder:
                         out: CoefficientBuffers) -> None:
         """Decode one segment into the right slice of *out*.
 
-        Each segment is decoded with a fresh sequential decoder over a
-        *virtual* image covering exactly its MCUs.  Segments start and
-        end on MCU-row boundaries only if the interval divides the row
-        width, so we decode into a scratch buffer in scan order and then
-        scatter into the global block grid.
+        Segments start and end on MCU-row boundaries only if the
+        interval divides the row width, so the segment is decoded into a
+        scratch buffer in scan order and then scattered into the global
+        block grid.
         """
-        geo = self.geometry
-        # Trick: reuse the row-granular decoder by giving it a 1-row
-        # geometry of seg.mcu_count MCUs; the scan order inside one MCU
-        # is identical, and DC predictions start at 0 as they must.
-        virt = ImageGeometry(seg.mcu_count * geo.mcu_width, geo.mcu_height,
-                             geo.mode)
-        vdec = create_entropy_decoder(self.entropy_engine, virt, self.tables,
-                                      restart_interval=0)
-        vdec.start(data[seg.byte_start: seg.byte_stop])
-        vdec.decode_mcu_rows(1)
-
-        # scatter: virtual MCU j -> global MCU (seg.mcu_start + j)
-        for ci, comp in enumerate(geo.components):
-            vcomp = virt.components[ci]
-            src = vdec.coefficients.planes[ci]
-            dst = out.planes[ci]
-            for j in range(seg.mcu_count):
-                g = seg.mcu_start + j
-                grow, gcol = divmod(g, geo.mcus_per_row)
-                for v in range(comp.v_factor):
-                    for h in range(comp.h_factor):
-                        sidx = v * vcomp.blocks_wide + j * comp.h_factor + h
-                        didx = ((grow * comp.v_factor + v) * comp.blocks_wide
-                                + gcol * comp.h_factor + h)
-                        dst[didx] = src[sidx]
+        planes = decode_segment_coefficients(
+            seg, data[seg.byte_start: seg.byte_stop], self.geometry,
+            self.tables, self.entropy_engine)
+        scatter_segment(seg, planes, self.geometry, out)
 
     def decode(self, entropy_data: bytes, cores: int = 4,
                ns_per_byte: float = 13.0,

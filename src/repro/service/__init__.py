@@ -1,0 +1,48 @@
+"""Batched multi-image decode service atop the fast entropy engine.
+
+This package scales the single-image pipeline to traffic: batches of
+JPEG bytes fan out across a process/thread worker pool, each image
+riding the PR-1 fused fast-path entropy engine (restart-segment
+parallelism via :mod:`repro.jpeg.parallel_huffman` where DRI permits,
+whole-scan tasks otherwise), with a bounded submission queue for
+backpressure and per-batch statistics.
+
+Public surface:
+
+- :class:`BatchDecoder` — decode one batch across a worker pool
+- :class:`DecodeService` — bounded queue + batch decoder + running stats
+- :class:`ImageRequest` / :class:`ImageResult` / :class:`BatchResult`
+- :class:`~repro.service.queue.SubmissionQueue` — the backpressure ingress
+- :class:`~repro.service.workers.WorkerPool` — serial/thread/process pools
+- :class:`~repro.service.stats.BatchStats` /
+  :class:`~repro.service.stats.ServiceStats` — latency percentiles,
+  images/sec, worker utilization
+
+CLI: ``repro serve-batch`` (see :mod:`repro.cli`).  Throughput sweep:
+``benchmarks/bench_service_throughput.py``.
+"""
+
+from .batch import (
+    BatchDecoder,
+    BatchResult,
+    DecodeService,
+    ImageRequest,
+    ImageResult,
+)
+from .queue import SubmissionQueue
+from .stats import BatchStats, ServiceStats, percentile
+from .workers import BACKENDS, WorkerPool
+
+__all__ = [
+    "BACKENDS",
+    "BatchDecoder",
+    "BatchResult",
+    "BatchStats",
+    "DecodeService",
+    "ImageRequest",
+    "ImageResult",
+    "ServiceStats",
+    "SubmissionQueue",
+    "WorkerPool",
+    "percentile",
+]

@@ -1,0 +1,501 @@
+"""Batched multi-image decoding: :class:`BatchDecoder` and
+:class:`DecodeService`.
+
+The paper keeps one image's Huffman decode sequential and fills the
+hardware with the *pixel* stages; a decode service amortizes the other
+way too — across images.  :class:`BatchDecoder` fans a batch of JPEG
+requests out over a :class:`~repro.service.workers.WorkerPool`:
+
+- one task per image (the common case), each running the destuffing
+  prescan + fused fast-path entropy decode and the numpy pixel stages;
+- or, when an image carries restart markers (DRI) and the batch alone
+  cannot fill the pool, one task per *restart segment*
+  (:func:`repro.jpeg.parallel_huffman.decode_segment_coefficients`),
+  merged back into a whole-image coefficient grid and finished through
+  :func:`repro.jpeg.decoder.pixels_from_coefficients`.
+
+Per image, requests choose the entropy engine (``fast``/``reference``),
+the decode mode (``reference`` = the real sequential pixel path, or any
+:class:`~repro.core.modes.DecodeMode` value to run a simulated
+heterogeneous executor), and the platform.  Failures are isolated: a
+corrupt JPEG fails its own :class:`ImageResult` and never the batch.
+
+:class:`DecodeService` wraps a :class:`BatchDecoder` behind a bounded
+:class:`~repro.service.queue.SubmissionQueue` — the long-running service
+shape (`repro serve-batch`) with backpressure and cumulative statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import as_completed
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import EntropyError, ReproError
+from ..jpeg.decoder import (
+    DecodeOptions,
+    component_tables_from_info,
+    decode_jpeg,
+    pixels_from_coefficients,
+)
+from ..jpeg.entropy import CoefficientBuffers, ComponentTables
+from ..jpeg.markers import JpegImageInfo, parse_jpeg
+from ..jpeg.parallel_huffman import (
+    RestartSegment,
+    decode_segment_coefficients,
+    scatter_segment,
+    split_restart_segments,
+)
+from .queue import SubmissionQueue
+from .stats import BatchStats, ServiceStats, WorkSpan
+from .workers import WorkerPool, worker_name
+
+
+@dataclass
+class ImageRequest:
+    """One image to decode, with its per-image knobs."""
+
+    #: Raw JFIF bytes.
+    data: bytes
+    #: Caller-chosen identity, echoed on the result (assigned by the
+    #: service when submitted as raw bytes).
+    request_id: Any = None
+    #: Huffman decode path: ``"fast"`` (fused tables) or ``"reference"``.
+    entropy_engine: str = "fast"
+    #: ``"reference"`` runs the real sequential pixel path;
+    #: any :class:`~repro.core.modes.DecodeMode` value (``"simd"``,
+    #: ``"gpu"``, ``"pipeline"``, ``"sps"``, ``"pps"``, ``"auto"``)
+    #: runs the corresponding simulated heterogeneous executor.
+    mode: str = "reference"
+    #: Platform name for executor modes (ignored by ``"reference"``).
+    platform: str = "GTX 560"
+    #: IDCT method for the reference pixel path.
+    idct_method: str = "aan"
+    #: Fancy (triangular) chroma upsampling for the reference path.
+    fancy_upsampling: bool = True
+    #: Restart-segment fan-out: ``True`` forces it (where DRI permits),
+    #: ``False`` forbids it, ``None`` lets the batch decoder decide
+    #: (split only when the batch alone cannot fill the worker pool).
+    split_segments: bool | None = None
+
+
+@dataclass
+class ImageResult:
+    """Outcome of one image's decode inside a batch."""
+
+    request_id: Any
+    ok: bool
+    rgb: np.ndarray | None = None
+    width: int = 0
+    height: int = 0
+    #: Exception class name when ``ok`` is False (e.g. "JpegFormatError").
+    error_type: str | None = None
+    #: Human-readable failure message when ``ok`` is False.
+    error: str | None = None
+    #: Number of independently decoded restart segments (1 = whole scan).
+    segments: int = 1
+    #: Simulated executor time in microseconds (executor modes only).
+    simulated_us: float | None = None
+    #: Submit-to-completion latency, seconds (filled by the batch loop).
+    latency_s: float = 0.0
+    #: Worker busy spans that produced this image (utilization input).
+    spans: list[WorkSpan] = field(default_factory=list)
+
+
+@dataclass
+class BatchResult:
+    """All results of one batch (request order) plus reduced stats."""
+
+    results: list[ImageResult]
+    stats: BatchStats
+
+    def __iter__(self):
+        """Iterate results in request order."""
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        """Number of images in the batch."""
+        return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        """True when every image in the batch decoded successfully."""
+        return all(r.ok for r in self.results)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side task functions (module-level: the process backend pickles
+# them by reference).
+# ---------------------------------------------------------------------------
+
+def decode_image_task(request: ImageRequest) -> ImageResult:
+    """Decode one whole image inside a worker; never raises.
+
+    Any failure (malformed bytes, truncated scan, unsupported feature,
+    unknown mode) is captured on the returned :class:`ImageResult` so
+    one bad image cannot poison its batch.
+    """
+    t0 = perf_counter()
+    try:
+        if request.mode == "reference":
+            decoded = decode_jpeg(request.data, DecodeOptions(
+                idct_method=request.idct_method,
+                fancy_upsampling=request.fancy_upsampling,
+                entropy_engine=request.entropy_engine,
+            ))
+            rgb, simulated_us = decoded.rgb, None
+        else:
+            from ..core import HeterogeneousDecoder
+            from ..evaluation import platforms
+
+            plat = {p.name: p for p in platforms.ALL_PLATFORMS}[
+                request.platform]
+            decoder = HeterogeneousDecoder.for_platform(
+                plat, entropy_engine=request.entropy_engine,
+                fancy_upsampling=request.fancy_upsampling)
+            result = decoder.decode(request.data, request.mode)
+            rgb, simulated_us = result.rgb, result.total_us
+    except KeyError:
+        return ImageResult(
+            request_id=request.request_id, ok=False,
+            error_type="KeyError",
+            error=f"unknown platform {request.platform!r}",
+            spans=[WorkSpan(worker_name(), t0, perf_counter())])
+    except (ReproError, ValueError) as exc:
+        return ImageResult(
+            request_id=request.request_id, ok=False,
+            error_type=type(exc).__name__, error=str(exc),
+            spans=[WorkSpan(worker_name(), t0, perf_counter())])
+    h, w = rgb.shape[:2]
+    return ImageResult(
+        request_id=request.request_id, ok=True, rgb=rgb,
+        width=w, height=h, simulated_us=simulated_us,
+        spans=[WorkSpan(worker_name(), t0, perf_counter())])
+
+
+def decode_segment_task(
+    seg: RestartSegment,
+    segment_bytes: bytes,
+    geometry_args: tuple[int, int, str],
+    tables: list[ComponentTables],
+    entropy_engine: str,
+) -> tuple[RestartSegment, list[np.ndarray] | None, str | None, str | None,
+           WorkSpan]:
+    """Decode one restart segment inside a worker; never raises.
+
+    Returns ``(segment, planes, error_type, error, span)`` — *planes*
+    is None on failure.  *geometry_args* is the pickled-down
+    ``(width, height, mode)`` of the full image.
+    """
+    from ..jpeg.blocks import ImageGeometry
+
+    t0 = perf_counter()
+    try:
+        geometry = ImageGeometry(*geometry_args)
+        planes = decode_segment_coefficients(
+            seg, segment_bytes, geometry, tables, entropy_engine)
+    except (ReproError, ValueError) as exc:
+        return (seg, None, type(exc).__name__, str(exc),
+                WorkSpan(worker_name(), t0, perf_counter()))
+    return seg, planes, None, None, WorkSpan(worker_name(), t0, perf_counter())
+
+
+# ---------------------------------------------------------------------------
+# Batch orchestration.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _SplitJob:
+    """Book-keeping for one image being decoded segment-by-segment."""
+
+    index: int
+    request: ImageRequest
+    info: JpegImageInfo
+    pending: int
+    planes_by_seg: dict[int, tuple[RestartSegment, list[np.ndarray]]] = \
+        field(default_factory=dict)
+    spans: list[WorkSpan] = field(default_factory=list)
+    error_type: str | None = None
+    error: str | None = None
+
+
+class BatchDecoder:
+    """Decode batches of JPEG requests across a worker pool."""
+
+    def __init__(self, workers: int | None = None,
+                 backend: str | None = None,
+                 defaults: ImageRequest | None = None) -> None:
+        """Create the pool (see :class:`~repro.service.workers.WorkerPool`
+        for backend semantics).  *defaults* seeds the per-image knobs
+        applied when a request is submitted as raw bytes.
+        """
+        self.pool = WorkerPool(workers=workers, backend=backend)
+        self.defaults = defaults or ImageRequest(data=b"")
+
+    # -- request normalization -----------------------------------------
+
+    def _normalize(self, items: Sequence[bytes | ImageRequest]
+                   ) -> list[ImageRequest]:
+        """Coerce raw bytes to requests and fill in missing ids."""
+        requests = []
+        for i, item in enumerate(items):
+            if isinstance(item, ImageRequest):
+                req = item
+            else:
+                req = replace(self.defaults, data=bytes(item))
+            if req.request_id is None:
+                req = replace(req, request_id=i)
+            requests.append(req)
+        return requests
+
+    def _split_candidate(self, req: ImageRequest, n_requests: int) -> bool:
+        """Parse-free preconditions for restart-segment fan-out.
+
+        Checked *before* any header parse so that the common throughput
+        case (a batch large enough to fill the pool with whole-image
+        tasks) pays zero serialized parent-side work per image — the
+        worker owns the parse.  Executor modes never split (they consume
+        the scan in-order themselves).
+        """
+        if req.mode != "reference" or req.split_segments is False:
+            return False
+        if req.split_segments is True:
+            return True
+        # auto: split only when whole-image tasks cannot fill the pool.
+        return (self.pool.backend != "serial"
+                and n_requests < self.pool.workers)
+
+    # -- the batch loop -------------------------------------------------
+
+    def decode_batch(self, items: Sequence[bytes | ImageRequest]
+                     ) -> BatchResult:
+        """Decode *items* concurrently; results come back in order.
+
+        Raises only on infrastructure failure (closed pool); per-image
+        decode errors are reported on the individual results.
+        """
+        requests = self._normalize(items)
+        t0 = perf_counter()
+        results: list[ImageResult | None] = [None] * len(requests)
+        fut_map: dict[Any, tuple[str, Any]] = {}
+        split_jobs: dict[int, _SplitJob] = {}
+
+        for i, req in enumerate(requests):
+            split = False
+            if self._split_candidate(req, len(requests)):
+                try:
+                    info = parse_jpeg(req.data)
+                except (ReproError, ValueError) as exc:
+                    results[i] = ImageResult(
+                        request_id=req.request_id, ok=False,
+                        error_type=type(exc).__name__, error=str(exc),
+                        latency_s=perf_counter() - t0)
+                    continue
+                split = info.restart_interval > 0
+            if not split:
+                fut = self.pool.submit(decode_image_task, req)
+                fut_map[fut] = ("whole", i)
+                continue
+            geo = info.geometry
+            # Validate the marker structure before fanning out: a
+            # truncated/corrupt scan has fewer RSTn boundaries than the
+            # DRI interval demands, and isolated segments would then
+            # zero-pad their way to silent garbage where the sequential
+            # decoder raises.
+            expected = -(-geo.total_mcus // info.restart_interval)
+            try:
+                segments = split_restart_segments(
+                    info.entropy_data, geo.total_mcus, info.restart_interval)
+                if len(segments) != expected:
+                    raise EntropyError(
+                        f"restart marker structure inconsistent: expected "
+                        f"{expected} segments, found {len(segments)} "
+                        f"(truncated or corrupt scan)")
+            except (ReproError, ValueError) as exc:
+                results[i] = ImageResult(
+                    request_id=req.request_id, ok=False,
+                    error_type=type(exc).__name__, error=str(exc),
+                    latency_s=perf_counter() - t0)
+                continue
+            job = _SplitJob(index=i, request=req, info=info,
+                            pending=len(segments))
+            split_jobs[i] = job
+            tables = component_tables_from_info(info)
+            geo_args = (geo.width, geo.height, geo.mode)
+            for seg in segments:
+                fut = self.pool.submit(
+                    decode_segment_task, seg,
+                    info.entropy_data[seg.byte_start: seg.byte_stop],
+                    geo_args, tables, req.entropy_engine)
+                fut_map[fut] = ("segment", i)
+
+        for fut in as_completed(fut_map):
+            kind, i = fut_map[fut]
+            try:
+                payload = fut.result()
+            except BaseException as exc:  # defensive: task fns don't raise
+                payload = None
+                exc_type, exc_msg = type(exc).__name__, str(exc)
+            if kind == "whole":
+                if payload is None:
+                    results[i] = ImageResult(
+                        request_id=requests[i].request_id, ok=False,
+                        error_type=exc_type, error=exc_msg)
+                else:
+                    results[i] = payload
+                results[i].latency_s = perf_counter() - t0
+            else:
+                job = split_jobs[i]
+                if payload is None:
+                    job.error_type, job.error = exc_type, exc_msg
+                else:
+                    seg, planes, err_type, err, span = payload
+                    job.spans.append(span)
+                    if planes is None:
+                        job.error_type = job.error_type or err_type
+                        job.error = job.error or err
+                    else:
+                        job.planes_by_seg[seg.index] = (seg, planes)
+                job.pending -= 1
+                if job.pending == 0:
+                    results[i] = self._finish_split(job)
+                    results[i].latency_s = perf_counter() - t0
+
+        wall_s = perf_counter() - t0
+        done = [r for r in results if r is not None]
+        spans = [s for r in done for s in r.spans]
+        stats = BatchStats.from_spans(
+            batch_size=len(done),
+            ok=sum(r.ok for r in done),
+            failed=sum(not r.ok for r in done),
+            wall_s=wall_s, workers=self.pool.workers,
+            latencies_s=[r.latency_s for r in done],
+            spans=spans)
+        return BatchResult(results=done, stats=stats)
+
+    def _finish_split(self, job: _SplitJob) -> ImageResult:
+        """Merge a split image's segments and run the pixel stages."""
+        req, info = job.request, job.info
+        if job.error is not None or job.error_type is not None:
+            return ImageResult(
+                request_id=req.request_id, ok=False,
+                error_type=job.error_type, error=job.error,
+                segments=len(job.planes_by_seg) + 1, spans=job.spans)
+        t0 = perf_counter()
+        geo = info.geometry
+        merged = CoefficientBuffers.empty(geo)
+        for seg, planes in job.planes_by_seg.values():
+            scatter_segment(seg, planes, geo, merged)
+        rgb = pixels_from_coefficients(info, merged, DecodeOptions(
+            idct_method=req.idct_method,
+            fancy_upsampling=req.fancy_upsampling,
+            entropy_engine=req.entropy_engine))
+        job.spans.append(WorkSpan(worker_name(), t0, perf_counter()))
+        return ImageResult(
+            request_id=req.request_id, ok=True, rgb=rgb,
+            width=info.width, height=info.height,
+            segments=len(job.planes_by_seg), spans=job.spans)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (waits for in-flight tasks)."""
+        self.pool.close()
+
+    def __enter__(self) -> "BatchDecoder":
+        """Context-manager entry: the decoder itself."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: close the pool."""
+        self.close()
+
+
+class DecodeService:
+    """Long-running front end: bounded queue + batch decoder + stats.
+
+    Producers :meth:`submit` images (raw bytes or fully-specified
+    :class:`ImageRequest`\\ s); the owner drives :meth:`run_once` /
+    :meth:`drain` to decode queued work in batches.  Submission is
+    non-blocking by default, so a full queue surfaces immediately as
+    :class:`~repro.errors.QueueFullError` — the backpressure contract.
+    """
+
+    def __init__(self, batch_size: int = 8, queue_capacity: int = 32,
+                 workers: int | None = None, backend: str | None = None,
+                 defaults: ImageRequest | None = None) -> None:
+        """Build the queue and pool; *batch_size* caps one drain step."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.batch_size = batch_size
+        self.queue = SubmissionQueue(capacity=queue_capacity)
+        self.decoder = BatchDecoder(workers=workers, backend=backend,
+                                    defaults=defaults)
+        self.stats = ServiceStats()
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+
+    def submit(self, item: bytes | ImageRequest,
+               timeout: float | None = 0) -> Any:
+        """Enqueue one image; returns its request id.
+
+        ``timeout=0`` (default) fails fast with
+        :class:`~repro.errors.QueueFullError` when the queue is at
+        capacity; ``timeout=None`` blocks until space frees up.
+
+        Auto-assigned ids are unique and monotonically increasing even
+        under concurrent producers; an id is skipped (never reissued)
+        when the queue rejects its submission.
+        """
+        if isinstance(item, ImageRequest):
+            req = item
+        else:
+            req = replace(self.decoder.defaults, data=bytes(item))
+        if req.request_id is None:
+            with self._id_lock:
+                assigned = self._next_id
+                self._next_id += 1
+            req = replace(req, request_id=assigned)
+        self.queue.put(req, timeout=timeout)
+        return req.request_id
+
+    def run_once(self) -> BatchResult | None:
+        """Decode one batch of queued requests (None when queue empty)."""
+        batch = self.queue.get_batch(self.batch_size)
+        if not batch:
+            return None
+        result = self.decoder.decode_batch(batch)
+        self.stats.record(result.stats,
+                          [r.latency_s for r in result.results])
+        return result
+
+    def drain(self) -> list[BatchResult]:
+        """Decode batches until the queue is empty; return all results."""
+        out = []
+        while True:
+            result = self.run_once()
+            if result is None:
+                return out
+            out.append(result)
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting in the submission queue."""
+        return len(self.queue)
+
+    def close(self) -> None:
+        """Close the queue (refusing new submissions) and the pool."""
+        self.queue.close()
+        self.decoder.close()
+
+    def __enter__(self) -> "DecodeService":
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: close queue and pool."""
+        self.close()

@@ -1,0 +1,109 @@
+"""Bounded submission queue with backpressure.
+
+The service's ingress: producers :meth:`~SubmissionQueue.put` requests
+and the batch loop drains them with :meth:`~SubmissionQueue.get_batch`.
+Capacity is a hard bound — when the queue is full, ``put`` either blocks
+(bounded by *timeout*) or fails fast with
+:class:`~repro.errors.QueueFullError`, which is the backpressure signal
+a front end propagates to its clients (HTTP 429, drop, retry-after).
+
+Implemented on a ``collections.deque`` + ``threading.Condition`` rather
+than ``queue.Queue`` so that close semantics and batch draining are
+first-class: closing wakes all blocked producers/consumers, and
+``get_batch`` returns up to *max_items* in one lock acquisition.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from ..errors import QueueFullError, ServiceClosedError
+
+
+class SubmissionQueue:
+    """Thread-safe bounded FIFO of pending decode requests."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        """Create a queue holding at most *capacity* pending requests."""
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._items: deque[Any] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of pending requests."""
+        return self._capacity
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    def __len__(self) -> int:
+        """Number of requests currently pending."""
+        return len(self._items)
+
+    def put(self, item: Any, timeout: float | None = None) -> None:
+        """Enqueue *item*, applying backpressure when full.
+
+        ``timeout=None`` blocks until space frees up (or the queue
+        closes); ``timeout=0`` never blocks; a positive timeout blocks at
+        most that long.  Raises :class:`QueueFullError` when the bound
+        holds at the deadline and :class:`ServiceClosedError` when the
+        queue is (or becomes) closed.
+        """
+        with self._cond:
+            if timeout == 0:
+                if self._closed:
+                    raise ServiceClosedError("submission queue is closed")
+                if len(self._items) >= self._capacity:
+                    raise QueueFullError(
+                        f"submission queue full ({self._capacity} pending)")
+            else:
+                ok = self._cond.wait_for(
+                    lambda: self._closed
+                    or len(self._items) < self._capacity,
+                    timeout=timeout,
+                )
+                if self._closed:
+                    raise ServiceClosedError("submission queue is closed")
+                if not ok:
+                    raise QueueFullError(
+                        f"submission queue full ({self._capacity} pending, "
+                        f"timed out after {timeout}s)")
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def get_batch(self, max_items: int, timeout: float | None = 0) -> list[Any]:
+        """Dequeue up to *max_items* requests in arrival order.
+
+        Returns fewer than *max_items* when the queue holds fewer, and
+        ``[]`` when empty at the deadline (``timeout=0`` polls, ``None``
+        waits until at least one request or close).
+        """
+        if max_items <= 0:
+            raise ValueError(f"max_items must be positive, got {max_items}")
+        with self._cond:
+            if timeout != 0:
+                self._cond.wait_for(
+                    lambda: self._closed or self._items, timeout=timeout)
+            batch = []
+            while self._items and len(batch) < max_items:
+                batch.append(self._items.popleft())
+            if batch:
+                self._cond.notify_all()
+            return batch
+
+    def close(self) -> None:
+        """Refuse further ``put`` calls and wake every blocked waiter.
+
+        Already-queued requests remain drainable via :meth:`get_batch`.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

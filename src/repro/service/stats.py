@@ -1,0 +1,142 @@
+"""Batch and service statistics: latency percentiles, throughput,
+worker utilization.
+
+Every decoded image carries a ``(worker, started, finished)`` span
+measured with the shared monotonic clock (``time.perf_counter`` is
+system-wide on Linux, so spans from process-pool workers are directly
+comparable to the parent's wall-clock window).  :class:`BatchStats`
+reduces one batch's spans into the numbers an operator watches —
+images/sec, p50/p90/p99 latency, and busy-time utilization per worker —
+and :class:`ServiceStats` accumulates those across the batches a
+long-running :class:`~repro.service.batch.DecodeService` processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated *q*-th percentile (q in [0, 100]) of *values*.
+
+    Stdlib-only on purpose (the service layer must not pull numpy into
+    its hot submission path); matches ``numpy.percentile``'s default
+    "linear" method.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+@dataclass(frozen=True)
+class WorkSpan:
+    """One unit of worker-side busy time attributed to a named worker."""
+
+    worker: str
+    started: float      # perf_counter at task start (worker side)
+    finished: float     # perf_counter at task end (worker side)
+
+    @property
+    def duration_s(self) -> float:
+        """Busy seconds this span contributed."""
+        return max(0.0, self.finished - self.started)
+
+
+@dataclass
+class BatchStats:
+    """Reduced metrics for one decoded batch."""
+
+    batch_size: int
+    ok: int
+    failed: int
+    wall_s: float
+    workers: int
+    images_per_sec: float
+    latency_p50_ms: float
+    latency_p90_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    #: Sum of worker busy seconds / (wall_s * workers) in [0, 1].
+    worker_utilization: float
+    #: Busy seconds keyed by worker name (thread name or "pid-<n>").
+    per_worker_busy_s: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_spans(cls, *, batch_size: int, ok: int, failed: int,
+                   wall_s: float, workers: int,
+                   latencies_s: list[float],
+                   spans: list[WorkSpan]) -> "BatchStats":
+        """Reduce per-image latencies and worker spans into one record."""
+        lat_ms = [s * 1e3 for s in latencies_s] or [0.0]
+        busy: dict[str, float] = {}
+        for span in spans:
+            busy[span.worker] = busy.get(span.worker, 0.0) + span.duration_s
+        denom = wall_s * max(1, workers)
+        util = min(1.0, sum(busy.values()) / denom) if denom > 0 else 0.0
+        return cls(
+            batch_size=batch_size, ok=ok, failed=failed,
+            wall_s=wall_s, workers=workers,
+            images_per_sec=(ok + failed) / wall_s if wall_s > 0 else 0.0,
+            latency_p50_ms=percentile(lat_ms, 50),
+            latency_p90_ms=percentile(lat_ms, 90),
+            latency_p99_ms=percentile(lat_ms, 99),
+            latency_mean_ms=sum(lat_ms) / len(lat_ms),
+            worker_utilization=util,
+            per_worker_busy_s=busy,
+        )
+
+    def format(self) -> str:
+        """One-paragraph human-readable summary (CLI/benchmark output)."""
+        return (
+            f"batch={self.batch_size} ok={self.ok} failed={self.failed} "
+            f"wall={self.wall_s * 1e3:.1f}ms "
+            f"throughput={self.images_per_sec:.2f} img/s "
+            f"latency p50/p90/p99="
+            f"{self.latency_p50_ms:.1f}/{self.latency_p90_ms:.1f}/"
+            f"{self.latency_p99_ms:.1f}ms "
+            f"util={self.worker_utilization * 100.0:.0f}% "
+            f"({self.workers} workers)"
+        )
+
+
+@dataclass
+class ServiceStats:
+    """Running totals across every batch a service instance processed."""
+
+    batches: int = 0
+    images_ok: int = 0
+    images_failed: int = 0
+    total_wall_s: float = 0.0
+    _latencies_s: list[float] = field(default_factory=list)
+
+    def record(self, stats: BatchStats, latencies_s: list[float]) -> None:
+        """Fold one batch's reduced stats into the running totals."""
+        self.batches += 1
+        self.images_ok += stats.ok
+        self.images_failed += stats.failed
+        self.total_wall_s += stats.wall_s
+        self._latencies_s.extend(latencies_s)
+
+    @property
+    def images_per_sec(self) -> float:
+        """Aggregate throughput across all recorded batches."""
+        total = self.images_ok + self.images_failed
+        return total / self.total_wall_s if self.total_wall_s > 0 else 0.0
+
+    def format(self) -> str:
+        """Multi-batch closing summary (printed by ``repro serve-batch``)."""
+        lat = [s * 1e3 for s in self._latencies_s] or [0.0]
+        return (
+            f"{self.batches} batches, {self.images_ok} ok / "
+            f"{self.images_failed} failed, "
+            f"{self.images_per_sec:.2f} img/s overall, "
+            f"latency p50/p99={percentile(lat, 50):.1f}/"
+            f"{percentile(lat, 99):.1f}ms"
+        )

@@ -1,0 +1,45 @@
+"""Docstring (D1) lint over the scoped modules, run as a tier-1 test.
+
+The scope is the ISSUE-2 satellite contract: ``repro.jpeg.fast_entropy``,
+``repro.jpeg.parallel_huffman`` and every module of ``repro.service``
+must document their module, every public class and every public
+function/method.  The checker itself is ``tools/check_docstrings.py``
+(stdlib ``ast``; pydocstyle/ruff are not available offline).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docstrings  # noqa: E402
+
+
+def test_scoped_modules_fully_documented(capsys):
+    assert check_docstrings.main([]) == 0, capsys.readouterr().out
+
+
+def test_checker_flags_missing_docstrings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def public():\n    pass\n\n\n"
+        "class Thing:\n    def method(self):\n        pass\n"
+    )
+    problems = check_docstrings.check_file(bad)
+    codes = {p.split()[1] for p in problems}
+    assert codes == {"D100", "D101", "D102", "D103"}
+
+
+def test_checker_ignores_private_and_nested(tmp_path):
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        '"""Module docstring."""\n\n\n'
+        "def _private():\n    pass\n\n\n"
+        "def public():\n"
+        '    """Doc."""\n'
+        "    def nested():\n        pass\n"
+    )
+    assert check_docstrings.check_file(ok) == []

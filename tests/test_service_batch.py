@@ -1,0 +1,274 @@
+"""Batched decode service: bit-identity with sequential decodes,
+backpressure/queue-full behavior, and per-image error isolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.jpeg import DecodeOptions, EncoderSettings, decode_jpeg, encode_jpeg
+from repro.service import (
+    BatchDecoder,
+    DecodeService,
+    ImageRequest,
+    SubmissionQueue,
+    WorkerPool,
+    percentile,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus(small_rgb, tiny_rgb):
+    """Mixed-subsampling corpus, with and without restart markers."""
+    return [
+        encode_jpeg(small_rgb, EncoderSettings(
+            quality=85, subsampling="4:2:2")),
+        encode_jpeg(small_rgb, EncoderSettings(
+            quality=85, subsampling="4:4:4", restart_interval=4)),
+        encode_jpeg(tiny_rgb, EncoderSettings(
+            quality=75, subsampling="4:2:0", restart_interval=2)),
+        encode_jpeg(tiny_rgb, EncoderSettings(
+            quality=90, subsampling="4:2:2")),
+    ]
+
+
+@pytest.fixture(scope="module")
+def sequential_rgbs(corpus):
+    """Oracle: single-image sequential decodes of the corpus."""
+    return [decode_jpeg(b).rgb for b in corpus]
+
+
+class TestBatchBitIdentity:
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_matches_sequential(self, corpus, sequential_rgbs,
+                                engine, backend):
+        reqs = [ImageRequest(data=b, entropy_engine=engine) for b in corpus]
+        with BatchDecoder(workers=2, backend=backend) as dec:
+            batch = dec.decode_batch(reqs)
+        assert batch.ok
+        assert len(batch) == len(corpus)
+        for res, oracle in zip(batch, sequential_rgbs):
+            assert res.ok
+            assert np.array_equal(res.rgb, oracle)
+
+    def test_engine_honored_per_image(self, corpus, sequential_rgbs):
+        """A mixed-engine batch still matches the oracle image-by-image."""
+        engines = ["fast", "reference", "fast", "reference"]
+        reqs = [ImageRequest(data=b, entropy_engine=e)
+                for b, e in zip(corpus, engines)]
+        with BatchDecoder(backend="serial") as dec:
+            batch = dec.decode_batch(reqs)
+        for res, oracle in zip(batch, sequential_rgbs):
+            assert np.array_equal(res.rgb, oracle)
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_split_segments_bit_identical(self, corpus, sequential_rgbs,
+                                          engine):
+        """Forced restart-segment fan-out must not change a single bit."""
+        reqs = [ImageRequest(data=b, entropy_engine=engine,
+                             split_segments=True) for b in corpus]
+        with BatchDecoder(workers=3, backend="thread") as dec:
+            batch = dec.decode_batch(reqs)
+        assert batch.ok
+        split_counts = [r.segments for r in batch]
+        # Corpus images 1 and 2 carry DRI; they must actually have split.
+        assert split_counts[1] > 1 and split_counts[2] > 1
+        assert split_counts[0] == 1 and split_counts[3] == 1
+        for res, oracle in zip(batch, sequential_rgbs):
+            assert np.array_equal(res.rgb, oracle)
+
+    def test_process_backend_matches_sequential(self, corpus,
+                                                sequential_rgbs):
+        with BatchDecoder(workers=2, backend="process") as dec:
+            batch = dec.decode_batch(corpus)
+        assert batch.ok
+        for res, oracle in zip(batch, sequential_rgbs):
+            assert np.array_equal(res.rgb, oracle)
+
+    def test_executor_mode_decodes(self, corpus, sequential_rgbs):
+        """Executor modes ride the simulated platform but keep real pixels."""
+        req = ImageRequest(data=corpus[0], mode="simd")
+        with BatchDecoder(backend="serial") as dec:
+            res = dec.decode_batch([req]).results[0]
+        assert res.ok
+        assert res.simulated_us is not None and res.simulated_us > 0
+        assert np.array_equal(res.rgb, sequential_rgbs[0])
+
+    def test_custom_idct_matches_options(self, corpus):
+        req = ImageRequest(data=corpus[0], idct_method="islow")
+        with BatchDecoder(backend="serial") as dec:
+            res = dec.decode_batch([req]).results[0]
+        oracle = decode_jpeg(corpus[0],
+                             DecodeOptions(idct_method="islow")).rgb
+        assert np.array_equal(res.rgb, oracle)
+
+
+class TestErrorIsolation:
+    def test_corrupt_image_fails_alone(self, corpus, sequential_rgbs):
+        bad = corpus[0][:len(corpus[0]) // 2]   # truncated scan
+        items = [corpus[0], bad, corpus[3], b"not a jpeg at all"]
+        with BatchDecoder(workers=2, backend="thread") as dec:
+            batch = dec.decode_batch(items)
+        oks = [r.ok for r in batch]
+        assert oks == [True, False, True, False]
+        assert np.array_equal(batch.results[0].rgb, sequential_rgbs[0])
+        assert np.array_equal(batch.results[2].rgb, sequential_rgbs[3])
+        for res in (batch.results[1], batch.results[3]):
+            assert res.rgb is None
+            assert res.error_type and res.error
+        assert batch.stats.ok == 2 and batch.stats.failed == 2
+
+    def test_corrupt_segment_fails_only_its_image(self, corpus,
+                                                  sequential_rgbs):
+        """A truncated DRI image under forced splitting fails in
+        isolation — the marker-structure validation refuses to fan out
+        a scan whose RSTn count no longer matches the DRI interval."""
+        dri = corpus[1]
+        # Truncate the scan but keep the EOI so headers still parse.
+        bad = dri[: len(dri) // 2] + dri[-2:]
+        reqs = [ImageRequest(data=dri, split_segments=True),
+                ImageRequest(data=bad, split_segments=True),
+                ImageRequest(data=corpus[0])]
+        with BatchDecoder(workers=2, backend="thread") as dec:
+            batch = dec.decode_batch(reqs)
+        assert [r.ok for r in batch] == [True, False, True]
+        assert batch.results[1].error_type == "EntropyError"
+        assert "segments" in batch.results[1].error
+        assert np.array_equal(batch.results[0].rgb, sequential_rgbs[1])
+
+    def test_segment_worker_failure_is_captured(self, corpus):
+        """decode_segment_task reports failures on its return tuple
+        instead of raising (the contract the batch loop relies on)."""
+        from repro.jpeg import parse_jpeg
+        from repro.jpeg.decoder import component_tables_from_info
+        from repro.jpeg.parallel_huffman import RestartSegment
+        from repro.service.batch import decode_segment_task
+
+        info = parse_jpeg(corpus[1])
+        seg = RestartSegment(index=0, byte_start=0, byte_stop=1,
+                             mcu_start=0,
+                             mcu_count=info.restart_interval)
+        # Invalid geometry makes the task fail before any bit is read.
+        seg_out, planes, err_type, err, span = decode_segment_task(
+            seg, b"\x00", (0, 16, "4:2:2"),
+            component_tables_from_info(info), "fast")
+        assert seg_out is seg
+        assert planes is None
+        assert err_type == "JpegError"
+        assert "invalid image dimensions" in err
+        assert span.duration_s >= 0
+
+    def test_unknown_platform_reported(self, corpus):
+        req = ImageRequest(data=corpus[0], mode="simd", platform="RTX 9999")
+        with BatchDecoder(backend="serial") as dec:
+            res = dec.decode_batch([req]).results[0]
+        assert not res.ok
+        assert "RTX 9999" in res.error
+
+
+class TestQueueBackpressure:
+    def test_nonblocking_put_raises_when_full(self):
+        q = SubmissionQueue(capacity=2)
+        q.put("a", timeout=0)
+        q.put("b", timeout=0)
+        with pytest.raises(QueueFullError):
+            q.put("c", timeout=0)
+        assert len(q) == 2
+
+    def test_timed_put_raises_after_deadline(self):
+        q = SubmissionQueue(capacity=1)
+        q.put("a")
+        with pytest.raises(QueueFullError, match="timed out"):
+            q.put("b", timeout=0.05)
+
+    def test_put_unblocks_after_drain(self):
+        q = SubmissionQueue(capacity=1)
+        q.put("a", timeout=0)
+        assert q.get_batch(1) == ["a"]
+        q.put("b", timeout=0)   # space freed: accepted again
+        assert q.get_batch(8) == ["b"]
+        assert q.get_batch(8) == []
+
+    def test_closed_queue_rejects_puts_but_drains(self):
+        q = SubmissionQueue(capacity=4)
+        q.put("a")
+        q.close()
+        with pytest.raises(ServiceClosedError):
+            q.put("b")
+        assert q.get_batch(4) == ["a"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SubmissionQueue(capacity=0)
+
+    def test_service_backpressure_and_drain(self, corpus, sequential_rgbs):
+        with DecodeService(batch_size=2, queue_capacity=2,
+                           backend="serial") as svc:
+            svc.submit(corpus[0])
+            svc.submit(corpus[1])
+            with pytest.raises(QueueFullError):
+                svc.submit(corpus[2])     # full: backpressure surfaces
+            assert svc.pending == 2
+            first = svc.run_once()        # drain one batch ...
+            assert first is not None and first.ok
+            svc.submit(corpus[2])         # ... and submission succeeds
+            batches = svc.drain()
+            assert svc.run_once() is None
+        results = list(first) + [r for b in batches for r in b]
+        # Ids are unique and monotonic; the rejected submission's id (2)
+        # is skipped, never reissued.
+        assert [r.request_id for r in results] == [0, 1, 3]
+        for res, oracle in zip(results, sequential_rgbs):
+            assert np.array_equal(res.rgb, oracle)
+        assert svc.stats.batches == 2
+        assert svc.stats.images_ok == 3
+
+    def test_closed_service_rejects_submissions(self, corpus):
+        svc = DecodeService(backend="serial")
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.submit(corpus[0])
+
+
+class TestStats:
+    def test_batch_stats_populated(self, corpus):
+        with BatchDecoder(workers=2, backend="thread") as dec:
+            stats = dec.decode_batch(corpus).stats
+        assert stats.batch_size == len(corpus)
+        assert stats.images_per_sec > 0
+        assert 0 < stats.latency_p50_ms <= stats.latency_p99_ms
+        assert 0 < stats.worker_utilization <= 1
+        assert stats.per_worker_busy_s
+        assert "img/s" in stats.format()
+
+    def test_percentile_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+        assert percentile([5.0], 99) == 5.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestWorkerPool:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ServiceError):
+            WorkerPool(backend="gpu-cluster")
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ServiceError):
+            WorkerPool(workers=0, backend="thread")
+
+    def test_serial_submit_resolves_inline(self):
+        with WorkerPool(backend="serial") as pool:
+            assert pool.submit(lambda x: x + 1, 41).result() == 42
+
+    def test_closed_pool_rejects_submissions(self):
+        pool = WorkerPool(backend="serial")
+        pool.close()
+        with pytest.raises(ServiceClosedError):
+            pool.submit(lambda: None)

@@ -1,0 +1,79 @@
+"""Markdown link checker, stdlib-only.
+
+Scans the repo's user-facing Markdown (``README.md``, ``docs/*.md``,
+plus any extra paths given on the command line) for inline links and
+images ``[text](target)`` and verifies that every *relative* target
+resolves to an existing file or directory (anchors are stripped;
+``http(s)://`` and ``mailto:`` targets are skipped — no network access
+in CI).
+
+Usage::
+
+    python tools/check_docs_links.py [FILE ...]
+
+Exit status 1 when any link is broken.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown link/image: [text](target) — no nested parens.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that are not local files and are never checked.
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_targets() -> list[Path]:
+    """README plus every Markdown file under docs/."""
+    targets = [REPO_ROOT / "README.md"]
+    targets.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return targets
+
+
+def check_file(path: Path) -> list[str]:
+    """Return one message per broken relative link in *path*."""
+    problems = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            local = target.split("#", 1)[0]
+            if not local:        # pure in-page anchor
+                continue
+            resolved = (path.parent / local).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; prints broken links and returns the exit status."""
+    args = argv if argv is not None else sys.argv[1:]
+    targets = [Path(a) for a in args] or default_targets()
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        for t in missing:
+            print(f"error: no such file: {t}", file=sys.stderr)
+        return 2
+    problems = []
+    for path in targets:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"docs link check OK: {len(targets)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
