@@ -140,18 +140,30 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    scheduler = None
+    if args.schedule != "none":
+        from .evaluation import platforms
+        from .service import ModelScheduler
+
+        plat = {p.name: p for p in platforms.ALL_PLATFORMS}[args.platform]
+        scheduler = ModelScheduler(policy=args.schedule, platform=plat)
+
     failures = 0
     with DecodeService(batch_size=args.batch_size,
                        queue_capacity=args.queue_capacity,
-                       workers=args.workers, backend=args.backend) as svc:
+                       workers=args.workers, backend=args.backend,
+                       scheduler=scheduler) as svc:
         print(f"serve-batch: {len(blobs)} inputs x{args.repeat}, "
               f"batch={args.batch_size}, queue={args.queue_capacity}, "
               f"{svc.decoder.pool.workers} x {svc.decoder.pool.backend} "
-              f"workers")
+              f"workers"
+              + (f", schedule={args.schedule}" if scheduler else ""))
 
         def handle(batch) -> None:
             nonlocal failures
             print(f"  {batch.stats.format()}")
+            if batch.schedule is not None:
+                print(f"  {batch.schedule.format()}")
             for r in batch:
                 if not r.ok:
                     failures += 1
@@ -263,6 +275,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--split-segments", default="auto",
                    choices=["auto", "always", "never"],
                    help="restart-segment fan-out for DRI images")
+    p.add_argument("--schedule", default="none",
+                   choices=["none", "model", "roundrobin"],
+                   help="cross-image batch scheduling: price each image "
+                        "on the platform's SIMD and GPU lanes with the "
+                        "fitted performance model and place whole images "
+                        "(LPT for 'model', cyclic for 'roundrobin'); "
+                        "overrides --mode per image")
     p.add_argument("--repeat", type=int, default=1,
                    help="feed the input set N times (soak/throughput)")
     p.add_argument("--out-dir", default=None,

@@ -30,6 +30,7 @@ class PartitionDecision:
 
     @property
     def total_rows(self) -> int:
+        """Pixel rows covered by the split (CPU side + GPU side)."""
         return self.cpu_rows + self.gpu_rows
 
 

@@ -25,6 +25,12 @@ from ..errors import ModelError
 from .horner import HornerPolynomial
 from .regression import PolynomialModel
 
+#: Executor kinds the batch-pricing API understands.  Each kind maps one
+#: whole image onto one device lane: ``"simd"``/``"seq"`` run Huffman
+#: plus the CPU parallel phase (Eq 5), ``"gpu"`` runs Huffman plus the
+#: GPU pass with transfers and dispatch overhead (Eq 6 + Tdisp).
+EXECUTOR_KINDS = ("simd", "seq", "gpu")
+
 
 @dataclass
 class PerformanceModel:
@@ -86,9 +92,42 @@ class PerformanceModel:
         """Eq 6: Ttotal = THuff + PGPU."""
         return self.t_huff(width, height, density) + self.p_gpu(width, height)
 
+    # -- batch pricing (cross-image scheduler input) -------------------------
+
+    def price(self, kind: str, width: int, height: int,
+              density: float) -> float:
+        """Predicted whole-image decode time (us) on one executor kind.
+
+        This is the cross-image scheduler's cost function: the same
+        closed forms the paper uses to split a *single* image's pixel
+        stage (Eq 5/6), evaluated for a whole image routed to one lane.
+
+        - ``"simd"``: Eq 5 with the SIMD parallel-phase fit.
+        - ``"seq"``: Eq 5 with the plain sequential fit.
+        - ``"gpu"``: Eq 6 plus the host dispatch overhead ``Tdisp`` —
+          a lone image on the GPU lane cannot hide the dispatch behind
+          another image's Huffman decode, so it pays it in full.
+        """
+        if kind == "simd":
+            return self.total_cpu(width, height, density, simd=True)
+        if kind == "seq":
+            return self.total_cpu(width, height, density, simd=False)
+        if kind == "gpu":
+            return (self.total_gpu(width, height, density)
+                    + self.t_dispatch(width, height))
+        raise ModelError(
+            f"unknown executor kind {kind!r} (choose from {EXECUTOR_KINDS})")
+
+    def price_batch(self, kind: str,
+                    images: "list[tuple[int, int, float]]") -> list[float]:
+        """Vector form of :meth:`price` over ``(width, height, density)``
+        triples — one predicted time per image, same order."""
+        return [self.price(kind, w, h, d) for (w, h, d) in images]
+
     # -- persistence ---------------------------------------------------------
 
     def to_dict(self) -> dict:
+        """JSON-serializable form of the fitted model (see :meth:`save`)."""
         return {
             "platform_name": self.platform_name,
             "subsampling": self.subsampling,
@@ -102,10 +141,13 @@ class PerformanceModel:
         }
 
     def save(self, path: str | Path) -> None:
+        """Write the fitted model to *path* as indented JSON."""
         Path(path).write_text(json.dumps(self.to_dict(), indent=2))
 
     @classmethod
     def from_dict(cls, d: dict) -> "PerformanceModel":
+        """Rebuild a model from :meth:`to_dict` output; raises
+        :class:`~repro.errors.ModelError` on missing fields."""
         try:
             return cls(
                 platform_name=d["platform_name"],
@@ -123,4 +165,5 @@ class PerformanceModel:
 
     @classmethod
     def load(cls, path: str | Path) -> "PerformanceModel":
+        """Read a model previously written by :meth:`save`."""
         return cls.from_dict(json.loads(Path(path).read_text()))

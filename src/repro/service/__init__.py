@@ -12,14 +12,20 @@ Public surface:
 - :class:`BatchDecoder` — decode one batch across a worker pool
 - :class:`DecodeService` — bounded queue + batch decoder + running stats
 - :class:`ImageRequest` / :class:`ImageResult` / :class:`BatchResult`
+- :class:`~repro.service.scheduler.ModelScheduler` — model-guided
+  cross-image batch scheduling (LPT over per-lane predicted costs,
+  round-robin baseline, EWMA throughput feedback)
 - :class:`~repro.service.queue.SubmissionQueue` — the backpressure ingress
 - :class:`~repro.service.workers.WorkerPool` — serial/thread/process pools
 - :class:`~repro.service.stats.BatchStats` /
   :class:`~repro.service.stats.ServiceStats` — latency percentiles,
-  images/sec, worker utilization
+  images/sec, worker utilization, per-lane placement totals
 
-CLI: ``repro serve-batch`` (see :mod:`repro.cli`).  Throughput sweep:
-``benchmarks/bench_service_throughput.py``.
+CLI: ``repro serve-batch`` (see :mod:`repro.cli`; ``--schedule
+model|roundrobin`` turns the scheduler on).  Benchmarks:
+``benchmarks/bench_service_throughput.py`` (throughput sweep) and
+``benchmarks/bench_batch_partition.py`` (model-guided vs round-robin
+makespan).
 """
 
 from .batch import (
@@ -30,19 +36,36 @@ from .batch import (
     ImageResult,
 )
 from .queue import SubmissionQueue
-from .stats import BatchStats, ServiceStats, percentile
+from .scheduler import (
+    BatchSchedule,
+    ExecutorLane,
+    ModelScheduler,
+    ThroughputFeedback,
+    default_executors,
+    schedule_lpt,
+    schedule_roundrobin,
+)
+from .stats import BatchStats, ExecutorUsage, ServiceStats, percentile
 from .workers import BACKENDS, WorkerPool
 
 __all__ = [
     "BACKENDS",
     "BatchDecoder",
     "BatchResult",
+    "BatchSchedule",
     "BatchStats",
     "DecodeService",
+    "ExecutorLane",
+    "ExecutorUsage",
     "ImageRequest",
     "ImageResult",
+    "ModelScheduler",
     "ServiceStats",
     "SubmissionQueue",
+    "ThroughputFeedback",
     "WorkerPool",
+    "default_executors",
     "percentile",
+    "schedule_lpt",
+    "schedule_roundrobin",
 ]

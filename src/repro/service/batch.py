@@ -51,6 +51,7 @@ from ..jpeg.parallel_huffman import (
     split_restart_segments,
 )
 from .queue import SubmissionQueue
+from .scheduler import BatchSchedule, ModelScheduler
 from .stats import BatchStats, ServiceStats, WorkSpan
 from .workers import WorkerPool, worker_name
 
@@ -112,6 +113,9 @@ class BatchResult:
 
     results: list[ImageResult]
     stats: BatchStats
+    #: The cross-image schedule this batch ran under (None when the
+    #: decoder has no scheduler attached).
+    schedule: BatchSchedule | None = None
 
     def __iter__(self):
         """Iterate results in request order."""
@@ -228,13 +232,23 @@ class BatchDecoder:
 
     def __init__(self, workers: int | None = None,
                  backend: str | None = None,
-                 defaults: ImageRequest | None = None) -> None:
+                 defaults: ImageRequest | None = None,
+                 scheduler: ModelScheduler | str | None = None) -> None:
         """Create the pool (see :class:`~repro.service.workers.WorkerPool`
         for backend semantics).  *defaults* seeds the per-image knobs
         applied when a request is submitted as raw bytes.
+
+        *scheduler* enables cross-image batch scheduling: a
+        :class:`~repro.service.scheduler.ModelScheduler`, or a policy
+        name (``"model"``/``"roundrobin"``) to build one with the
+        default lane set.  A scheduled batch overrides each request's
+        ``mode``/``platform``/``split_segments`` with its lane placement.
         """
         self.pool = WorkerPool(workers=workers, backend=backend)
         self.defaults = defaults or ImageRequest(data=b"")
+        if isinstance(scheduler, str):
+            scheduler = ModelScheduler(policy=scheduler)
+        self.scheduler = scheduler
 
     # -- request normalization -----------------------------------------
 
@@ -277,8 +291,18 @@ class BatchDecoder:
 
         Raises only on infrastructure failure (closed pool); per-image
         decode errors are reported on the individual results.
+
+        With a scheduler attached, the batch is first priced and placed
+        (:meth:`~repro.service.scheduler.ModelScheduler.plan`) and each
+        request rewritten to run on its assigned lane; the resulting
+        :class:`~repro.service.scheduler.BatchSchedule` rides back on
+        ``BatchResult.schedule``.
         """
         requests = self._normalize(items)
+        schedule = None
+        if self.scheduler is not None and requests:
+            schedule = self.scheduler.plan(requests)
+            requests = self.scheduler.apply(requests, schedule)
         t0 = perf_counter()
         results: list[ImageResult | None] = [None] * len(requests)
         fut_map: dict[Any, tuple[str, Any]] = {}
@@ -375,7 +399,7 @@ class BatchDecoder:
             wall_s=wall_s, workers=self.pool.workers,
             latencies_s=[r.latency_s for r in done],
             spans=spans)
-        return BatchResult(results=done, stats=stats)
+        return BatchResult(results=done, stats=stats, schedule=schedule)
 
     def _finish_split(self, job: _SplitJob) -> ImageResult:
         """Merge a split image's segments and run the pixel stages."""
@@ -427,14 +451,22 @@ class DecodeService:
 
     def __init__(self, batch_size: int = 8, queue_capacity: int = 32,
                  workers: int | None = None, backend: str | None = None,
-                 defaults: ImageRequest | None = None) -> None:
-        """Build the queue and pool; *batch_size* caps one drain step."""
+                 defaults: ImageRequest | None = None,
+                 scheduler: ModelScheduler | str | None = None) -> None:
+        """Build the queue and pool; *batch_size* caps one drain step.
+
+        *scheduler* (policy name or
+        :class:`~repro.service.scheduler.ModelScheduler`) turns on
+        model-guided cross-image scheduling; the service then feeds each
+        batch's observed per-image times back into the scheduler's
+        per-lane throughput estimates after every :meth:`run_once`.
+        """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.batch_size = batch_size
         self.queue = SubmissionQueue(capacity=queue_capacity)
         self.decoder = BatchDecoder(workers=workers, backend=backend,
-                                    defaults=defaults)
+                                    defaults=defaults, scheduler=scheduler)
         self.stats = ServiceStats()
         self._next_id = 0
         self._id_lock = threading.Lock()
@@ -464,13 +496,22 @@ class DecodeService:
         return req.request_id
 
     def run_once(self) -> BatchResult | None:
-        """Decode one batch of queued requests (None when queue empty)."""
+        """Decode one batch of queued requests (None when queue empty).
+
+        Scheduled batches additionally (a) fold observed per-image times
+        into the scheduler's per-lane feedback (the cross-batch
+        adaptation loop) and (b) accumulate per-lane placement counts on
+        :attr:`stats`.
+        """
         batch = self.queue.get_batch(self.batch_size)
         if not batch:
             return None
         result = self.decoder.decode_batch(batch)
         self.stats.record(result.stats,
                           [r.latency_s for r in result.results])
+        if result.schedule is not None and self.decoder.scheduler is not None:
+            self.decoder.scheduler.observe(result.schedule, result.results)
+            self.stats.record_schedule(result.schedule, result.results)
         return result
 
     def drain(self) -> list[BatchResult]:

@@ -1,0 +1,524 @@
+"""Model-guided cross-image batch scheduler.
+
+The paper partitions a *single* image's pixel stage across CPU and GPU
+with fitted closed forms (SPS/PPS, Section 5.2).  This module applies
+the same models one level up: given a whole **batch** of images, price
+every image on every available executor lane and assign whole images to
+lanes so the predicted makespan — the busiest lane's total — is
+minimized.  That is the ROADMAP's "cross-image partitioning" study, and
+the batch-scale counterpart of Weißenberger & Schmidt's whole-image GPU
+routing (arXiv:2111.09219).
+
+Three cooperating pieces:
+
+- **Pricing** — :meth:`repro.core.perfmodel.PerformanceModel.price`
+  evaluates Eq 5/6 (+ dispatch) per ``(width, height, density)`` triple;
+  :func:`price_images` maps a batch over a lane set, marking lanes that
+  cannot run an image (e.g. GPU lanes on 4:2:0, outside the paper's
+  kernel scope) as ineligible (``inf``).
+- **Assignment** — :func:`schedule_lpt` runs the classic
+  longest-processing-time greedy: images sorted by descending best-lane
+  cost, each placed on the lane minimizing ``load + cost * scale``.
+  :func:`schedule_roundrobin` is the cost-blind baseline the benchmark
+  compares against.  An image whose best single-lane cost exceeds the
+  batch's ideal balanced makespan *dominates* the batch — no whole-image
+  placement can hide it — so when it carries restart markers the
+  scheduler falls back to restart-segment fan-out
+  (:mod:`repro.jpeg.parallel_huffman`) instead of assigning it whole.
+- **Feedback** — :class:`ThroughputFeedback` keeps one EWMA correction
+  factor per lane from observed vs. predicted per-image times, so the
+  schedule adapts across batches the way PPS re-partitioning (Eq 16/17)
+  adapts within an image.
+
+:class:`ModelScheduler` ties the pieces together behind the two calls
+:class:`~repro.service.batch.BatchDecoder` makes: :meth:`ModelScheduler.plan`
+before submission and :meth:`ModelScheduler.observe` after completion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.modes import DecodeMode
+from ..core.perfmodel import PerformanceModel
+from ..core.platform import Platform
+from ..errors import ReproError, ServiceError
+from ..jpeg.markers import JpegImageInfo, parse_jpeg
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (batch imports us)
+    from .batch import ImageRequest, ImageResult
+
+#: Subsampling modes the GPU kernels (and the fitted models) cover.
+MODELED_SUBSAMPLINGS = ("4:4:4", "4:2:2")
+
+#: Scheduling policies :class:`ModelScheduler` implements.
+POLICIES = ("model", "roundrobin")
+
+
+@dataclass(frozen=True)
+class ExecutorLane:
+    """One schedulable device lane of a platform.
+
+    A lane is what the scheduler assigns whole images to: the platform's
+    CPU running the SIMD parallel phase (``kind="simd"``), its plain
+    sequential path (``"seq"``), or its GPU (``"gpu"``).  The *kind*
+    doubles as the pricing key for
+    :meth:`repro.core.perfmodel.PerformanceModel.price`.
+    """
+
+    name: str
+    kind: str
+    platform: Platform
+
+    @property
+    def mode(self) -> str:
+        """The :class:`~repro.core.modes.DecodeMode` value this lane's
+        images execute under inside a worker."""
+        return {
+            "simd": DecodeMode.SIMD.value,
+            "seq": DecodeMode.SEQUENTIAL.value,
+            "gpu": DecodeMode.GPU.value,
+        }[self.kind]
+
+    def eligible(self, subsampling: str) -> bool:
+        """GPU lanes cover only the paper's kernel scope (4:4:4/4:2:2);
+        CPU lanes decode everything."""
+        if self.kind == "gpu":
+            return subsampling in MODELED_SUBSAMPLINGS
+        return True
+
+
+def default_executors(platform: Platform) -> tuple[ExecutorLane, ...]:
+    """The natural lane set for one platform: its SIMD CPU and its GPU.
+
+    Multi-platform deployments concatenate the lanes of several
+    platforms; names are prefixed with the platform so feedback scales
+    stay distinct.
+    """
+    slug = platform.name.lower().replace(" ", "")
+    return (
+        ExecutorLane(name=f"{slug}-simd", kind="simd", platform=platform),
+        ExecutorLane(name=f"{slug}-gpu", kind="gpu", platform=platform),
+    )
+
+
+@dataclass
+class ImagePricing:
+    """One image's scheduler-relevant facts and per-lane predictions."""
+
+    index: int                    # position in the submitted batch
+    width: int
+    height: int
+    density: float
+    subsampling: str
+    has_restarts: bool
+    #: Predicted decode time (us) per lane name; ``inf`` = ineligible.
+    costs: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def best_us(self) -> float:
+        """Cheapest predicted time across eligible lanes."""
+        return min(self.costs.values(), default=math.inf)
+
+
+@dataclass
+class Assignment:
+    """Where one image of the batch was placed."""
+
+    index: int
+    #: Lane the image runs on; None when it falls back to
+    #: restart-segment fan-out (or could not be priced).
+    executor: ExecutorLane | None
+    #: Model-predicted decode time on that lane (us), feedback-scaled.
+    predicted_us: float = 0.0
+    #: True when the image is decoded via restart-segment fan-out
+    #: instead of a whole-image lane placement.
+    split: bool = False
+
+
+@dataclass
+class BatchSchedule:
+    """The outcome of planning one batch: placements + predicted loads."""
+
+    policy: str
+    assignments: list[Assignment]
+    #: Predicted total busy time per lane name (us).
+    loads: dict[str, float] = field(default_factory=dict)
+    pricings: list[ImagePricing] = field(default_factory=list)
+    #: Round-robin only: lane index where the next batch's rotation
+    #: resumes, so streams of small batches keep cycling lanes.
+    rr_next_cursor: int = 0
+
+    @property
+    def makespan_us(self) -> float:
+        """Predicted batch completion time: the busiest lane's load."""
+        return max(self.loads.values(), default=0.0)
+
+    @property
+    def split_count(self) -> int:
+        """Images routed to restart-segment fan-out instead of a lane."""
+        return sum(a.split for a in self.assignments)
+
+    def format(self) -> str:
+        """One-line operator summary (CLI/benchmark output)."""
+        lanes = " ".join(
+            f"{name}={us / 1e3:.1f}ms" for name, us in sorted(self.loads.items()))
+        extra = f" split={self.split_count}" if self.split_count else ""
+        return (f"schedule[{self.policy}] makespan="
+                f"{self.makespan_us / 1e3:.1f}ms {lanes}{extra}")
+
+
+class ThroughputFeedback:
+    """Per-lane EWMA correction of the model's predictions.
+
+    After each batch the service reports ``(predicted_us, observed_us)``
+    pairs per lane; the scheduler multiplies future predictions for that
+    lane by the smoothed observed/predicted ratio.  This is the
+    cross-batch analog of the paper's Eq 17 density correction: the
+    fitted polynomials stay fixed, a single scalar absorbs what the fit
+    got wrong for the traffic actually seen.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        """*alpha* is the EWMA weight of the newest observation."""
+        if not 0.0 < alpha <= 1.0:
+            raise ServiceError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._scales: dict[str, float] = {}
+        self.observations = 0
+
+    def scale(self, lane_name: str) -> float:
+        """Current multiplier for *lane_name* (1.0 until observed)."""
+        return self._scales.get(lane_name, 1.0)
+
+    def scales(self) -> dict[str, float]:
+        """Snapshot of every lane's current multiplier."""
+        return dict(self._scales)
+
+    def observe(self, lane_name: str, predicted_us: float,
+                observed_us: float) -> None:
+        """Fold one completed image's prediction error into the lane."""
+        if predicted_us <= 0 or observed_us <= 0 \
+                or not math.isfinite(predicted_us) \
+                or not math.isfinite(observed_us):
+            return
+        ratio = observed_us / predicted_us
+        prev = self._scales.get(lane_name)
+        if prev is None:
+            self._scales[lane_name] = ratio
+        else:
+            self._scales[lane_name] = (1 - self.alpha) * prev \
+                + self.alpha * ratio
+        self.observations += 1
+
+
+def price_images(
+    infos: Sequence[tuple[int, JpegImageInfo]],
+    executors: Sequence[ExecutorLane],
+    model_for: "callable",
+) -> list[ImagePricing]:
+    """Price parsed images on every lane.
+
+    *infos* holds ``(batch_index, JpegImageInfo)`` pairs; *model_for* is
+    ``f(platform, subsampling) -> PerformanceModel`` (the scheduler's
+    lazily-profiled cache).  Lanes ineligible for an image's subsampling
+    price as ``inf``; CPU lanes on 4:2:0 fall back to the platform's
+    4:2:2 model — the closest fitted surface, since 4:2:0 is outside the
+    paper's profiling scope.
+    """
+    pricings = []
+    for index, info in infos:
+        sub = info.subsampling_mode
+        pricing = ImagePricing(
+            index=index, width=info.width, height=info.height,
+            density=info.file_density, subsampling=sub,
+            has_restarts=info.restart_interval > 0)
+        model_sub = sub if sub in MODELED_SUBSAMPLINGS else "4:2:2"
+        for lane in executors:
+            if not lane.eligible(sub):
+                pricing.costs[lane.name] = math.inf
+                continue
+            model: PerformanceModel = model_for(lane.platform, model_sub)
+            pricing.costs[lane.name] = model.price(
+                lane.kind, info.width, info.height, info.file_density)
+        pricings.append(pricing)
+    return pricings
+
+
+def _scaled_cost(pricing: ImagePricing, lane: ExecutorLane,
+                 feedback: ThroughputFeedback | None) -> float:
+    """Model cost for (image, lane), corrected by the feedback scale."""
+    cost = pricing.costs.get(lane.name, math.inf)
+    if feedback is not None and math.isfinite(cost):
+        cost *= feedback.scale(lane.name)
+    return cost
+
+
+def schedule_lpt(
+    pricings: Sequence[ImagePricing],
+    executors: Sequence[ExecutorLane],
+    feedback: ThroughputFeedback | None = None,
+    split_dominant: bool = True,
+) -> BatchSchedule:
+    """Makespan-minimizing greedy (LPT) over the priced batch.
+
+    Images are placed in descending order of their best-lane cost, each
+    onto the lane minimizing ``current load + scaled cost`` (ties break
+    toward the earlier lane in *executors*, so identical batches
+    schedule identically).  Every cost — the sort key, the dominance
+    threshold, and the placement — is feedback-scaled, so the greedy
+    keeps optimizing the *corrected* makespan once observations drift
+    the scales away from 1.0.  LPT is the classic 4/3-approximation for
+    minimum-makespan scheduling on unrelated machines' restricted
+    cousin; cost-aware placement is what the round-robin baseline lacks.
+
+    When *split_dominant* is set, an image whose best single-lane cost
+    exceeds the ideal balanced makespan (total best-cost work divided by
+    the lane count) *and* that carries restart markers is routed to
+    restart-segment fan-out instead — the one case where whole-image
+    placement cannot avoid that image defining the batch's finish line.
+
+    An image none of *executors* can take (every scaled cost ``inf`` —
+    e.g. a lane subset excluding its only eligible lanes) is returned
+    unassigned rather than raising, matching :meth:`ModelScheduler.plan`'s
+    contract for unpriceable images.
+    """
+    assignments: list[Assignment] = []
+    loads: dict[str, float] = {lane.name: 0.0 for lane in executors}
+
+    def scaled_best(pricing: ImagePricing) -> float:
+        return min((_scaled_cost(pricing, lane, feedback)
+                    for lane in executors), default=math.inf)
+
+    best = {p.index: scaled_best(p) for p in pricings}
+    placeable = [p for p in pricings if math.isfinite(best[p.index])]
+    ideal = (sum(best[p.index] for p in placeable) / max(1, len(executors))
+             if placeable else 0.0)
+
+    for pricing in sorted(pricings, key=lambda p: -best[p.index]):
+        if not math.isfinite(best[pricing.index]):
+            # No lane can take it — leave it unassigned, decoded as-is.
+            assignments.append(Assignment(index=pricing.index, executor=None))
+            continue
+        if (split_dominant and len(placeable) > 1 and pricing.has_restarts
+                and best[pricing.index] > ideal):
+            assignments.append(Assignment(
+                index=pricing.index, executor=None,
+                predicted_us=best[pricing.index], split=True))
+            continue
+        best_lane, best_total, best_cost = None, math.inf, math.inf
+        for lane in executors:
+            cost = _scaled_cost(pricing, lane, feedback)
+            total = loads[lane.name] + cost
+            if total < best_total:
+                best_lane, best_total, best_cost = lane, total, cost
+        assignments.append(Assignment(
+            index=pricing.index, executor=best_lane, predicted_us=best_cost))
+        loads[best_lane.name] += best_cost
+
+    assignments.sort(key=lambda a: a.index)
+    return BatchSchedule(policy="model", assignments=assignments,
+                         loads=loads, pricings=list(pricings))
+
+
+def schedule_roundrobin(
+    pricings: Sequence[ImagePricing],
+    executors: Sequence[ExecutorLane],
+    feedback: ThroughputFeedback | None = None,
+    start: int = 0,
+) -> BatchSchedule:
+    """Cost-blind baseline: cycle lanes in batch order.
+
+    Each image goes to the next lane in rotation (skipping lanes
+    ineligible for its subsampling), beginning at lane index *start* —
+    :class:`ModelScheduler` threads the previous batch's end position
+    through so a stream of small batches still rotates every lane.
+    Loads are accounted with the model's prices so the two policies'
+    makespans are comparable.
+    """
+    assignments: list[Assignment] = []
+    loads: dict[str, float] = {lane.name: 0.0 for lane in executors}
+    cursor = start % len(executors) if executors else 0
+    for pricing in pricings:
+        lane = None
+        for probe in range(len(executors)):
+            candidate = executors[(cursor + probe) % len(executors)]
+            if math.isfinite(pricing.costs.get(candidate.name, math.inf)):
+                lane = candidate
+                cursor = (cursor + probe + 1) % len(executors)
+                break
+        if lane is None:
+            assignments.append(Assignment(index=pricing.index, executor=None))
+            continue
+        cost = _scaled_cost(pricing, lane, feedback)
+        assignments.append(Assignment(
+            index=pricing.index, executor=lane, predicted_us=cost))
+        loads[lane.name] += cost
+    return BatchSchedule(policy="roundrobin", assignments=assignments,
+                         loads=loads, pricings=list(pricings),
+                         rr_next_cursor=cursor)
+
+
+def lane_outcomes(schedule: BatchSchedule, results: "Sequence[ImageResult]"
+                  ) -> "list[tuple[Assignment, float]]":
+    """Pair lane-placed assignments with their observed decode times.
+
+    Returns ``(assignment, observed_us)`` for every successfully decoded
+    image the schedule placed on a lane.  The observed quantity is the
+    executor's own measured time (``ImageResult.simulated_us`` — every
+    lane runs an executor mode, so it is always present), in the same
+    simulated microseconds the predictions are in.  Images decoded
+    outside a lane (split fallbacks, unassigned) have no comparable
+    observation and are excluded, as are failures.  Both the feedback
+    loop (:meth:`ModelScheduler.observe`) and the service stats
+    (:meth:`~repro.service.stats.ServiceStats.record_schedule`) consume
+    this one definition, so they can never silently diverge.
+    """
+    by_index = {a.index: a for a in schedule.assignments}
+    outcomes = []
+    for i, result in enumerate(results):
+        a = by_index.get(i)
+        if a is None or a.executor is None or not result.ok:
+            continue
+        if result.simulated_us is None:
+            continue
+        outcomes.append((a, result.simulated_us))
+    return outcomes
+
+
+class ModelScheduler:
+    """Cross-image batch scheduler: price, place, execute, adapt.
+
+    Construct with a *policy* (``"model"`` = LPT, ``"roundrobin"`` =
+    the baseline) and either a lane set or a platform whose
+    :func:`default_executors` lanes are used.  Performance models are
+    profiled lazily per (platform, subsampling) through the process-wide
+    cache :class:`~repro.core.decoder.HeterogeneousDecoder` maintains.
+
+    :class:`~repro.service.batch.BatchDecoder` calls :meth:`plan` with
+    the normalized batch; the returned rewritten requests pin each image
+    to its lane's decode mode/platform (or to restart-segment fan-out).
+    :class:`~repro.service.batch.DecodeService` calls :meth:`observe`
+    with the completed results, closing the feedback loop.
+    """
+
+    def __init__(self, policy: str = "model",
+                 executors: Sequence[ExecutorLane] | None = None,
+                 platform: Platform | None = None,
+                 split_dominant: bool = True,
+                 feedback: ThroughputFeedback | None = None) -> None:
+        """Build the lane set and the feedback state for one scheduler."""
+        if policy not in POLICIES:
+            raise ServiceError(
+                f"unknown scheduling policy {policy!r} "
+                f"(choose from {list(POLICIES)})")
+        if executors is None:
+            if platform is None:
+                from ..evaluation import platforms
+                platform = platforms.GTX560
+            executors = default_executors(platform)
+        if not executors:
+            raise ServiceError("scheduler needs at least one executor lane")
+        self.policy = policy
+        self.executors = tuple(executors)
+        self.split_dominant = split_dominant
+        self.feedback = feedback or ThroughputFeedback()
+        self._decoders: dict[str, "object"] = {}
+        self._rr_cursor = 0
+
+    # -- model access ---------------------------------------------------
+
+    def _model_for(self, platform: Platform,
+                   subsampling: str) -> PerformanceModel:
+        """Fetch (lazily profile) the model for one lane's platform."""
+        from ..core.decoder import HeterogeneousDecoder
+
+        dec = self._decoders.get(platform.name)
+        if dec is None:
+            dec = HeterogeneousDecoder.for_platform(platform)
+            self._decoders[platform.name] = dec
+        return dec.model_for(subsampling)
+
+    # -- planning -------------------------------------------------------
+
+    def price(self, blobs: Sequence[bytes]) -> list[ImagePricing]:
+        """Parse and price raw JPEG bytes on this scheduler's lanes.
+
+        The pricing half of :meth:`plan` without the placement — the
+        public entry point for benchmarks and offline what-if studies
+        (feed the result to :func:`schedule_lpt` /
+        :func:`schedule_roundrobin` directly).  Unlike :meth:`plan`,
+        parse errors propagate: a what-if study over broken bytes is a
+        caller bug, not traffic to route around.
+        """
+        infos = [(i, parse_jpeg(b)) for i, b in enumerate(blobs)]
+        return price_images(infos, self.executors, self._model_for)
+
+    def plan(self, requests: "Sequence[ImageRequest]") -> BatchSchedule:
+        """Parse, price and place one batch; returns the schedule.
+
+        Images whose headers fail to parse get an unassigned
+        :class:`Assignment` (``executor=None``) and are left for the
+        worker to fail with the precise decode error — the scheduler
+        never swallows an error the decoder would report.
+        """
+        infos: list[tuple[int, JpegImageInfo]] = []
+        unparsable: list[int] = []
+        for i, req in enumerate(requests):
+            try:
+                infos.append((i, parse_jpeg(req.data)))
+            except (ReproError, ValueError):
+                unparsable.append(i)
+        pricings = price_images(infos, self.executors, self._model_for)
+        if self.policy == "model":
+            schedule = schedule_lpt(pricings, self.executors, self.feedback,
+                                    self.split_dominant)
+        else:
+            schedule = schedule_roundrobin(pricings, self.executors,
+                                           self.feedback,
+                                           start=self._rr_cursor)
+            self._rr_cursor = schedule.rr_next_cursor
+        for i in unparsable:
+            schedule.assignments.append(Assignment(index=i, executor=None))
+        schedule.assignments.sort(key=lambda a: a.index)
+        return schedule
+
+    def apply(self, requests: "list[ImageRequest]",
+              schedule: BatchSchedule) -> "list[ImageRequest]":
+        """Rewrite each request to execute where the schedule placed it.
+
+        Lane placements pin the request to the lane's decode mode and
+        platform (whole-image task, no segment splitting); dominant-image
+        fallbacks pin the reference pixel path with restart-segment
+        fan-out forced on.  Unassigned images pass through untouched.
+        """
+        from dataclasses import replace
+
+        rewritten = list(requests)
+        for a in schedule.assignments:
+            req = rewritten[a.index]
+            if a.split:
+                rewritten[a.index] = replace(
+                    req, mode="reference", split_segments=True)
+            elif a.executor is not None:
+                rewritten[a.index] = replace(
+                    req, mode=a.executor.mode,
+                    platform=a.executor.platform.name,
+                    split_segments=False)
+        return rewritten
+
+    # -- feedback -------------------------------------------------------
+
+    def observe(self, schedule: BatchSchedule,
+                results: "Sequence[ImageResult]") -> None:
+        """Close the loop: refine lane scales from a batch's outcomes.
+
+        Every successfully decoded lane-placed image contributes its
+        observed vs. predicted time (see :func:`lane_outcomes` for the
+        exact definition); split fallbacks, unassigned images and
+        failures teach nothing and are skipped.
+        """
+        for a, observed in lane_outcomes(schedule, results):
+            self.feedback.observe(a.executor.name, a.predicted_us, observed)

@@ -107,6 +107,22 @@ class BatchStats:
 
 
 @dataclass
+class ExecutorUsage:
+    """Running per-lane totals for scheduled batches."""
+
+    images: int = 0
+    predicted_us: float = 0.0
+    observed_us: float = 0.0
+
+    @property
+    def bias(self) -> float:
+        """Observed/predicted time ratio (1.0 = the model was exact)."""
+        if self.predicted_us <= 0:
+            return 1.0
+        return self.observed_us / self.predicted_us
+
+
+@dataclass
 class ServiceStats:
     """Running totals across every batch a service instance processed."""
 
@@ -114,6 +130,11 @@ class ServiceStats:
     images_ok: int = 0
     images_failed: int = 0
     total_wall_s: float = 0.0
+    #: Scheduled batches only: images that ran via restart-segment
+    #: fan-out because they dominated their batch.
+    images_split: int = 0
+    #: Scheduled batches only: per-lane placement and prediction totals.
+    per_executor: dict[str, ExecutorUsage] = field(default_factory=dict)
     _latencies_s: list[float] = field(default_factory=list)
 
     def record(self, stats: BatchStats, latencies_s: list[float]) -> None:
@@ -124,6 +145,27 @@ class ServiceStats:
         self.total_wall_s += stats.wall_s
         self._latencies_s.extend(latencies_s)
 
+    def record_schedule(self, schedule, results) -> None:
+        """Fold one scheduled batch's placements into per-lane totals.
+
+        *schedule* is the batch's
+        :class:`~repro.service.scheduler.BatchSchedule`; *results* the
+        matching :class:`~repro.service.batch.ImageResult` list (same
+        index space).  Per-lane observed/predicted totals use the same
+        :func:`~repro.service.scheduler.lane_outcomes` extraction the
+        feedback loop uses, so the reported bias always matches what
+        the scheduler learned from.
+        """
+        from .scheduler import lane_outcomes
+
+        self.images_split += sum(a.split for a in schedule.assignments)
+        for a, observed in lane_outcomes(schedule, results):
+            usage = self.per_executor.setdefault(
+                a.executor.name, ExecutorUsage())
+            usage.images += 1
+            usage.predicted_us += a.predicted_us
+            usage.observed_us += observed
+
     @property
     def images_per_sec(self) -> float:
         """Aggregate throughput across all recorded batches."""
@@ -133,10 +175,18 @@ class ServiceStats:
     def format(self) -> str:
         """Multi-batch closing summary (printed by ``repro serve-batch``)."""
         lat = [s * 1e3 for s in self._latencies_s] or [0.0]
-        return (
+        text = (
             f"{self.batches} batches, {self.images_ok} ok / "
             f"{self.images_failed} failed, "
             f"{self.images_per_sec:.2f} img/s overall, "
             f"latency p50/p99={percentile(lat, 50):.1f}/"
             f"{percentile(lat, 99):.1f}ms"
         )
+        if self.per_executor:
+            lanes = " ".join(
+                f"{name}={u.images} (bias {u.bias:.2f})"
+                for name, u in sorted(self.per_executor.items()))
+            text += f"\nscheduled placements: {lanes}"
+            if self.images_split:
+                text += f", {self.images_split} split (restart fan-out)"
+        return text

@@ -83,3 +83,23 @@ class TestProfileEvaluate:
         out = capsys.readouterr().out
         for mode in ("sequential", "simd", "gpu", "pipeline", "sps", "pps"):
             assert mode in out
+
+
+class TestServeBatch:
+    def test_scheduled_serve_batch(self, jpeg_file, tmp_path, jpeg_422,
+                                   capsys):
+        out_dir = tmp_path / "out"
+        assert main(["serve-batch", str(jpeg_file), "--schedule", "model",
+                     "--backend", "serial", "--batch-size", "4",
+                     "--out-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "schedule=model" in out
+        assert "schedule[model]" in out and "makespan=" in out
+        assert "scheduled placements" in out
+        (ppm,) = sorted(out_dir.glob("*.ppm"))
+        assert np.array_equal(_read_ppm(ppm), decode_jpeg(jpeg_422).rgb)
+
+    def test_roundrobin_schedule_flag(self, jpeg_file, capsys):
+        assert main(["serve-batch", str(jpeg_file), "--schedule",
+                     "roundrobin", "--backend", "serial"]) == 0
+        assert "schedule[roundrobin]" in capsys.readouterr().out

@@ -1,7 +1,9 @@
 """Docstring (D1) lint over the scoped modules, run as a tier-1 test.
 
-The scope is the ISSUE-2 satellite contract: ``repro.jpeg.fast_entropy``,
-``repro.jpeg.parallel_huffman`` and every module of ``repro.service``
+The scope is the ISSUE-2 satellite contract, widened by ISSUE 3:
+``repro.jpeg.fast_entropy``, ``repro.jpeg.parallel_huffman``, every
+module of ``repro.service`` (the scheduler included), and the
+partitioning core ``repro.core.partition``/``repro.core.perfmodel``
 must document their module, every public class and every public
 function/method.  The checker itself is ``tools/check_docstrings.py``
 (stdlib ``ast``; pydocstyle/ruff are not available offline).

@@ -1,0 +1,369 @@
+"""Cross-image batch scheduler: pricing, LPT vs round-robin placement,
+dominant-image split fallback, throughput feedback, and bit-identity of
+scheduled decodes (ISSUE 3 tentpole + edge-case satellite)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_photo
+from repro.errors import ModelError, ServiceError
+from repro.evaluation import platforms
+from repro.jpeg import EncoderSettings, decode_jpeg, encode_jpeg
+from repro.service import (
+    BatchDecoder,
+    DecodeService,
+    ModelScheduler,
+    ThroughputFeedback,
+    default_executors,
+    schedule_lpt,
+    schedule_roundrobin,
+)
+from repro.service.scheduler import ExecutorLane, ImagePricing
+
+
+def encode(w, h, sub="4:2:2", dri=0, seed=7, detail=0.6, quality=85):
+    rgb = synthetic_photo(h, w, seed=seed, detail=detail)
+    return encode_jpeg(rgb, EncoderSettings(
+        quality=quality, subsampling=sub, restart_interval=dri))
+
+
+def fake_pricing(index, costs, has_restarts=False, w=64, h=64):
+    return ImagePricing(
+        index=index, width=w, height=h, density=0.2,
+        subsampling="4:2:2", has_restarts=has_restarts, costs=dict(costs))
+
+
+def lanes(*names):
+    return tuple(ExecutorLane(name=n, kind="simd", platform=platforms.GTX560)
+                 for n in names)
+
+
+# ---------------------------------------------------------------------------
+# Pure scheduling logic (no profiling, synthetic costs).
+# ---------------------------------------------------------------------------
+
+class TestLptPlacement:
+    def test_single_image_goes_to_cheapest_lane(self):
+        ex = lanes("a", "b")
+        sched = schedule_lpt(
+            [fake_pricing(0, {"a": 100.0, "b": 40.0})], ex)
+        (a,) = sched.assignments
+        assert a.executor.name == "b"
+        assert a.predicted_us == 40.0
+        assert sched.makespan_us == 40.0
+
+    def test_identical_images_balance_across_ties(self):
+        ex = lanes("a", "b")
+        pricings = [fake_pricing(i, {"a": 50.0, "b": 50.0})
+                    for i in range(4)]
+        sched = schedule_lpt(pricings, ex)
+        assert sched.loads == {"a": 100.0, "b": 100.0}
+        # Deterministic: replanning the same batch gives the same result.
+        again = schedule_lpt(pricings, ex)
+        assert [a.executor.name for a in again.assignments] \
+            == [a.executor.name for a in sched.assignments]
+
+    def test_lpt_beats_roundrobin_on_skewed_costs(self):
+        ex = lanes("a", "b")
+        # Round-robin alternates blindly: both heavy images land on "a".
+        pricings = [
+            fake_pricing(0, {"a": 100.0, "b": 100.0}),
+            fake_pricing(1, {"a": 10.0, "b": 10.0}),
+            fake_pricing(2, {"a": 100.0, "b": 100.0}),
+            fake_pricing(3, {"a": 10.0, "b": 10.0}),
+        ]
+        lpt = schedule_lpt(pricings, ex)
+        rr = schedule_roundrobin(pricings, ex)
+        assert lpt.makespan_us == 110.0
+        assert rr.makespan_us == 200.0
+
+    def test_ineligible_lane_never_assigned(self):
+        ex = lanes("cpu", "gpu")
+        pricings = [fake_pricing(i, {"cpu": 10.0, "gpu": math.inf})
+                    for i in range(3)]
+        sched = schedule_lpt(pricings, ex)
+        assert all(a.executor.name == "cpu" for a in sched.assignments)
+        assert sched.loads["gpu"] == 0.0
+
+    def test_near_zero_throughput_lane_is_starved(self):
+        # A lane whose model predicts ~zero throughput (astronomic cost
+        # per image) must never win a placement over a healthy lane.
+        ex = lanes("healthy", "stalled")
+        pricings = [fake_pricing(i, {"healthy": 50.0, "stalled": 1e12})
+                    for i in range(5)]
+        sched = schedule_lpt(pricings, ex)
+        assert sched.loads["stalled"] == 0.0
+        assert sched.loads["healthy"] == 250.0
+
+    def test_dominant_restart_image_splits(self):
+        ex = lanes("a", "b")
+        pricings = [
+            fake_pricing(0, {"a": 1000.0, "b": 900.0}, has_restarts=True),
+            fake_pricing(1, {"a": 10.0, "b": 10.0}),
+            fake_pricing(2, {"a": 10.0, "b": 12.0}),
+        ]
+        sched = schedule_lpt(pricings, ex, split_dominant=True)
+        dominant = sched.assignments[0]
+        assert dominant.split and dominant.executor is None
+        assert sched.split_count == 1
+        # Without restart markers the image must be placed whole.
+        pricings[0].has_restarts = False
+        sched2 = schedule_lpt(pricings, ex, split_dominant=True)
+        assert sched2.split_count == 0
+        assert sched2.assignments[0].executor is not None
+
+    def test_roundrobin_skips_ineligible_lanes(self):
+        ex = lanes("a", "b")
+        pricings = [
+            fake_pricing(0, {"a": 10.0, "b": math.inf}),
+            fake_pricing(1, {"a": 10.0, "b": 10.0}),
+        ]
+        rr = schedule_roundrobin(pricings, ex)
+        assert rr.assignments[0].executor.name == "a"
+        assert rr.assignments[1].executor.name == "b"
+
+    def test_empty_batch(self):
+        sched = schedule_lpt([], lanes("a"))
+        assert sched.assignments == [] and sched.makespan_us == 0.0
+
+    def test_feedback_scales_sort_and_dominance(self):
+        # Lane "a" learned a 100x slowdown; the image whose unscaled
+        # best is on "a" must be treated as the batch's biggest job and,
+        # carrying restart markers, split rather than placed whole.
+        ex = lanes("a", "b")
+        fb = ThroughputFeedback(alpha=1.0)
+        fb.observe("a", 10.0, 1000.0)  # scale("a") = 100
+        pricings = [
+            fake_pricing(0, {"a": 5.0, "b": 600.0}, has_restarts=True),
+            fake_pricing(1, {"a": 100.0, "b": 100.0}),
+        ]
+        sched = schedule_lpt(pricings, ex, feedback=fb)
+        # scaled best of image 0 is min(500, 600)=500 > ideal
+        # (500+100)/2=300 -> dominant, split.
+        assert sched.assignments[0].split
+        assert sched.assignments[0].predicted_us == pytest.approx(500.0)
+
+    def test_lane_subset_leaves_unpriceable_image_unassigned(self):
+        # Pricings priced against lanes not in the executor set must not
+        # crash the greedy; the image comes back unassigned.
+        (only,) = lanes("other")
+        sched = schedule_lpt(
+            [fake_pricing(0, {"a": 10.0, "b": 20.0})], (only,))
+        (a,) = sched.assignments
+        assert a.executor is None and not a.split
+
+
+class TestFeedback:
+    def test_ewma_converges_toward_observed_ratio(self):
+        fb = ThroughputFeedback(alpha=0.3)
+        assert fb.scale("lane") == 1.0
+        fb.observe("lane", 100.0, 200.0)
+        assert fb.scale("lane") == pytest.approx(2.0)
+        fb.observe("lane", 100.0, 100.0)
+        assert fb.scale("lane") == pytest.approx(0.7 * 2.0 + 0.3 * 1.0)
+        assert fb.observations == 2
+
+    def test_degenerate_observations_ignored(self):
+        fb = ThroughputFeedback()
+        fb.observe("lane", 0.0, 50.0)
+        fb.observe("lane", 50.0, 0.0)
+        fb.observe("lane", math.inf, 50.0)
+        assert fb.scale("lane") == 1.0 and fb.observations == 0
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ServiceError):
+            ThroughputFeedback(alpha=0.0)
+
+    def test_feedback_redirects_schedule(self):
+        # After observing that lane "a" runs 100x slower than predicted,
+        # the scheduler routes the next batch to "b".
+        ex = lanes("a", "b")
+        fb = ThroughputFeedback(alpha=1.0)
+        pricings = [fake_pricing(i, {"a": 10.0, "b": 15.0})
+                    for i in range(4)]
+        before = schedule_lpt(pricings, ex, feedback=fb)
+        assert any(a.executor.name == "a" for a in before.assignments)
+        fb.observe("a", 10.0, 1000.0)
+        after = schedule_lpt(pricings, ex, feedback=fb)
+        assert all(a.executor.name == "b" for a in after.assignments)
+
+
+# ---------------------------------------------------------------------------
+# Pricing through the fitted models.
+# ---------------------------------------------------------------------------
+
+class TestPricing:
+    def test_perfmodel_price_kinds(self):
+        sched = ModelScheduler(platform=platforms.GTX560)
+        model = sched._model_for(platforms.GTX560, "4:2:2")
+        w, h, d = 640, 480, 0.2
+        assert model.price("simd", w, h, d) == pytest.approx(
+            model.total_cpu(w, h, d, simd=True))
+        assert model.price("seq", w, h, d) == pytest.approx(
+            model.total_cpu(w, h, d, simd=False))
+        assert model.price("gpu", w, h, d) == pytest.approx(
+            model.total_gpu(w, h, d) + model.t_dispatch(w, h))
+        with pytest.raises(ModelError):
+            model.price("fpga", w, h, d)
+
+    def test_price_batch_matches_scalar(self):
+        sched = ModelScheduler(platform=platforms.GTX560)
+        model = sched._model_for(platforms.GTX560, "4:2:2")
+        images = [(640, 480, 0.2), (128, 128, 0.35)]
+        assert model.price_batch("gpu", images) == [
+            model.price("gpu", w, h, d) for (w, h, d) in images]
+
+    def test_gpu_lane_ineligible_for_420(self):
+        sched = ModelScheduler(platform=platforms.GTX560)
+        blob = encode(96, 96, sub="4:2:0")
+        (p,) = sched.price([blob])
+        gpu = next(l for l in sched.executors if l.kind == "gpu")
+        simd = next(l for l in sched.executors if l.kind == "simd")
+        assert math.isinf(p.costs[gpu.name])
+        assert math.isfinite(p.costs[simd.name])
+
+    def test_default_executors_shape(self):
+        ex = default_executors(platforms.GTX680)
+        assert [l.kind for l in ex] == ["simd", "gpu"]
+        assert all(l.platform is platforms.GTX680 for l in ex)
+        assert ex[0].mode == "simd" and ex[1].mode == "gpu"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ServiceError):
+            ModelScheduler(policy="fifo")
+        with pytest.raises(ServiceError):
+            ModelScheduler(executors=())
+
+
+# ---------------------------------------------------------------------------
+# End-to-end scheduled decodes.
+# ---------------------------------------------------------------------------
+
+class TestScheduledDecode:
+    def _mixed_blobs(self):
+        return [
+            encode(320, 240, "4:2:2", seed=1),
+            encode(96, 96, "4:2:0", seed=2),
+            encode(160, 160, "4:4:4", seed=3),
+            encode(128, 96, "4:2:2", dri=8, seed=4),
+        ]
+
+    @pytest.mark.parametrize("policy", ["model", "roundrobin"])
+    def test_bit_identity_vs_sequential(self, policy):
+        blobs = self._mixed_blobs()
+        with BatchDecoder(backend="thread", workers=2,
+                          scheduler=policy) as dec:
+            batch = dec.decode_batch(blobs)
+        assert batch.schedule is not None
+        assert batch.schedule.policy == policy
+        for i, res in enumerate(batch):
+            assert res.ok, res.error
+            assert np.array_equal(res.rgb, decode_jpeg(blobs[i]).rgb)
+
+    def test_single_image_batch(self):
+        blob = encode(160, 120, seed=5)
+        with BatchDecoder(backend="serial", scheduler="model") as dec:
+            batch = dec.decode_batch([blob])
+        (res,) = batch.results
+        assert res.ok
+        assert np.array_equal(res.rgb, decode_jpeg(blob).rgb)
+        assert len(batch.schedule.assignments) == 1
+        assert batch.schedule.assignments[0].executor is not None
+
+    def test_batch_larger_than_worker_count(self):
+        blobs = [encode(96 + 16 * i, 96, seed=i) for i in range(6)]
+        with BatchDecoder(backend="thread", workers=2,
+                          scheduler="model") as dec:
+            batch = dec.decode_batch(blobs)
+        assert len(batch) == 6 and batch.ok
+        assert [r.request_id for r in batch] == list(range(6))
+        for i, res in enumerate(batch):
+            assert np.array_equal(res.rgb, decode_jpeg(blobs[i]).rgb)
+
+    def test_lane_placed_images_report_simulated_time(self):
+        blobs = self._mixed_blobs()
+        with BatchDecoder(backend="serial", scheduler="model") as dec:
+            batch = dec.decode_batch(blobs)
+        for a, res in zip(batch.schedule.assignments, batch.results):
+            if a.executor is not None:
+                assert res.simulated_us is not None
+                assert res.simulated_us > 0
+
+    def test_dominant_dri_image_runs_split(self):
+        # One large DRI image plus one tiny image: the large one's best
+        # lane cost exceeds the balanced ideal, so it must fan out by
+        # restart segments (reference path) and still match bit-exactly.
+        blobs = [encode(640, 480, dri=16, seed=6), encode(64, 64, seed=7)]
+        with BatchDecoder(backend="thread", workers=2,
+                          scheduler="model") as dec:
+            batch = dec.decode_batch(blobs)
+        assert batch.schedule.split_count == 1
+        big = batch.results[0]
+        assert big.ok and big.segments > 1
+        assert np.array_equal(big.rgb, decode_jpeg(blobs[0]).rgb)
+
+    def test_corrupt_image_fails_alone(self):
+        blobs = [encode(128, 96, seed=8), b"\xff\xd8garbage"]
+        with BatchDecoder(backend="serial", scheduler="model") as dec:
+            batch = dec.decode_batch(blobs)
+        assert batch.results[0].ok
+        assert not batch.results[1].ok
+        assert batch.results[1].error_type is not None
+
+    def test_schedule_format_mentions_lanes(self):
+        with BatchDecoder(backend="serial", scheduler="model") as dec:
+            batch = dec.decode_batch([encode(128, 96, seed=9)])
+        text = batch.schedule.format()
+        assert "schedule[model]" in text and "makespan=" in text
+
+
+class TestServiceFeedbackLoop:
+    def test_run_once_feeds_observations_and_stats(self):
+        blobs = [encode(160, 120, seed=i) for i in range(3)]
+        sched = ModelScheduler(policy="model", platform=platforms.GTX560)
+        with DecodeService(batch_size=8, backend="serial",
+                           scheduler=sched) as svc:
+            for b in blobs:
+                svc.submit(b)
+            result = svc.run_once()
+        assert result.schedule is not None
+        assert sched.feedback.observations == 3
+        assert sum(u.images for u in svc.stats.per_executor.values()) == 3
+        for usage in svc.stats.per_executor.values():
+            assert usage.predicted_us > 0 and usage.observed_us > 0
+            assert usage.bias > 0
+        assert "scheduled placements" in svc.stats.format()
+
+    def test_scales_adapt_across_batches(self):
+        blobs = [encode(160, 120, seed=i) for i in range(3)]
+        sched = ModelScheduler(policy="model", platform=platforms.GTX560)
+        with DecodeService(batch_size=8, backend="serial",
+                           scheduler=sched) as svc:
+            for b in blobs:
+                svc.submit(b)
+            svc.run_once()
+            scales = sched.feedback.scales()
+            assert scales  # at least one lane observed
+            for b in blobs:
+                svc.submit(b)
+            svc.run_once()
+        assert sched.feedback.observations == 6
+
+    def test_roundrobin_rotation_persists_across_batches(self):
+        # A stream of single-image batches must still cycle the lanes.
+        blob = encode(128, 96, seed=10)
+        sched = ModelScheduler(policy="roundrobin",
+                               platform=platforms.GTX560)
+        with DecodeService(batch_size=1, backend="serial",
+                           scheduler=sched) as svc:
+            for _ in range(4):
+                svc.submit(blob)
+            names = []
+            while (result := svc.run_once()) is not None:
+                (a,) = result.schedule.assignments
+                names.append(a.executor.name)
+        assert len(set(names)) == 2  # both lanes saw traffic
