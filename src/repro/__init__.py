@@ -43,7 +43,8 @@ def __getattr__(name):  # lazy top-level API to keep import light
         from .evaluation import platforms
 
         return platforms
-    if name in {"BatchDecoder", "DecodeService", "ImageRequest"}:
+    if name in {"AsyncDecodeSession", "BatchDecoder", "DecodeHTTPServer",
+                "DecodeService", "DecodeSession", "ImageRequest"}:
         from . import service
 
         return getattr(service, name)

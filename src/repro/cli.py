@@ -7,8 +7,12 @@ Commands mirror the workflows the library supports:
 - ``synth OUT.jpg``            — generate + encode a synthetic image
 - ``profile``                  — run offline profiling, save model JSON
 - ``evaluate``                 — all-mode simulated timings for one file
-- ``serve-batch FILE...``      — batched decode service over a worker
-  pool (bounded queue, per-batch stats; see :mod:`repro.service`)
+- ``serve-batch FILE...``      — pull-driven batched decode service over
+  a worker pool (bounded queue, per-batch stats; see :mod:`repro.service`)
+- ``serve --port N``           — HTTP decode service over a futures-based
+  :class:`~repro.service.session.DecodeSession` (``POST /decode`` →
+  PPM/metadata, ``GET /stats``, 429 on backpressure; see
+  :mod:`repro.service.http`)
 """
 
 from __future__ import annotations
@@ -38,6 +42,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _write_ppm(path: Path, rgb: np.ndarray) -> None:
+    # Deliberately not repro.service.http.ppm_bytes: the basic decode
+    # path must not drag the whole service package into its imports.
     h, w = rgb.shape[:2]
     with open(path, "wb") as f:
         f.write(f"P6\n{w} {h}\n255\n".encode())
@@ -140,14 +146,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
 
-    scheduler = None
-    if args.schedule != "none":
-        from .evaluation import platforms
-        from .service import ModelScheduler
-
-        plat = {p.name: p for p in platforms.ALL_PLATFORMS}[args.platform]
-        scheduler = ModelScheduler(policy=args.schedule, platform=plat)
-
+    scheduler = _build_scheduler(args.schedule, args.platform)
     failures = 0
     with DecodeService(batch_size=args.batch_size,
                        queue_capacity=args.queue_capacity,
@@ -193,6 +192,45 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             handle(batch)
         print(f"summary: {svc.stats.format()}")
     return 1 if failures else 0
+
+
+def _build_scheduler(schedule: str, platform: str):
+    """Scheduler instance for serve/serve-batch (None when disabled)."""
+    if schedule == "none":
+        return None
+    from .evaluation import platforms
+    from .service import ModelScheduler
+
+    plat = {p.name: p for p in platforms.ALL_PLATFORMS}[platform]
+    return ModelScheduler(policy=schedule, platform=plat)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import DecodeHTTPServer
+
+    server = DecodeHTTPServer(
+        host=args.host, port=args.port,
+        max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+        queue_capacity=args.queue_capacity,
+        workers=args.workers, backend=args.backend,
+        scheduler=_build_scheduler(args.schedule, args.platform))
+    pool = server.session.decoder.pool
+    print(f"serve: listening on {server.url} "
+          f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms}ms, "
+          f"queue={args.queue_capacity}, "
+          f"{pool.workers} x {pool.backend} workers"
+          + (f", schedule={args.schedule}" if args.schedule != "none" else "")
+          + ")", flush=True)
+    print("endpoints: POST /decode (JPEG in, PPM out; ?format=json for "
+          "metadata), GET /stats, GET /healthz", flush=True)
+    try:
+        server.serve_forever(max_requests=args.max_requests)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    finally:
+        server.close()
+        print(f"summary: {server.session.stats.format()}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,6 +325,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out-dir", default=None,
                    help="write decoded PPMs into this directory")
     p.set_defaults(func=_cmd_serve_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP decode service over a futures-based session "
+             "(POST /decode, GET /stats)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8077,
+                   help="listening port (0 = ephemeral, printed at start)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="dispatch a batch as soon as this many requests "
+                        "are pending")
+    p.add_argument("--max-delay-ms", type=float, default=2.0,
+                   help="dispatch a partial batch once its oldest request "
+                        "has waited this long")
+    p.add_argument("--queue-capacity", type=int, default=32,
+                   help="bounded submission queue; full = HTTP 429")
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool size (default: all cores)")
+    p.add_argument("--backend", default=None,
+                   choices=["process", "thread", "serial"],
+                   help="worker pool backend (default: process on "
+                        "multi-core hosts, serial otherwise)")
+    p.add_argument("--schedule", default="none",
+                   choices=["none", "model", "roundrobin"],
+                   help="cross-image batch scheduling inside the pump "
+                        "(see serve-batch --schedule)")
+    p.add_argument("--platform", default="GTX 560",
+                   choices=["GT 430", "GTX 560", "GTX 680"],
+                   help="platform whose lanes a scheduler prices")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="exit after N connections (smoke tests/demos; "
+                        "default: serve forever)")
+    p.set_defaults(func=_cmd_serve)
 
     return parser
 

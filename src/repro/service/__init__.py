@@ -7,10 +7,20 @@ parallelism via :mod:`repro.jpeg.parallel_huffman` where DRI permits,
 whole-scan tasks otherwise), with a bounded submission queue for
 backpressure and per-batch statistics.
 
-Public surface:
+Public surface (serving front ends first — the recommended entry
+points):
 
+- :class:`~repro.service.session.DecodeSession` — futures-based
+  sessions: ``submit`` returns a per-request
+  :class:`~repro.service.session.DecodeHandle`, a background pump forms
+  batches by size/age
+- :class:`~repro.service.aio.AsyncDecodeSession` — the asyncio adapter
+  (async submit, completion stream)
+- :class:`~repro.service.http.DecodeHTTPServer` — stdlib HTTP shim
+  (``POST /decode``, ``GET /stats``, 429 backpressure)
 - :class:`BatchDecoder` — decode one batch across a worker pool
-- :class:`DecodeService` — bounded queue + batch decoder + running stats
+- :class:`DecodeService` — the legacy pull-driven front end, now a thin
+  facade over :class:`~repro.service.session.DecodeSession`
 - :class:`ImageRequest` / :class:`ImageResult` / :class:`BatchResult`
 - :class:`~repro.service.scheduler.ModelScheduler` — model-guided
   cross-image batch scheduling (LPT over per-lane predicted costs,
@@ -21,13 +31,16 @@ Public surface:
   :class:`~repro.service.stats.ServiceStats` — latency percentiles,
   images/sec, worker utilization, per-lane placement totals
 
-CLI: ``repro serve-batch`` (see :mod:`repro.cli`; ``--schedule
-model|roundrobin`` turns the scheduler on).  Benchmarks:
-``benchmarks/bench_service_throughput.py`` (throughput sweep) and
-``benchmarks/bench_batch_partition.py`` (model-guided vs round-robin
-makespan).
+CLI: ``repro serve`` (HTTP front end) and ``repro serve-batch``
+(pull-driven batch loop; ``--schedule model|roundrobin`` turns the
+scheduler on).  Benchmarks:
+``benchmarks/bench_service_throughput.py`` (throughput sweep),
+``benchmarks/bench_service_latency.py`` (open-loop latency vs offered
+load against a session) and ``benchmarks/bench_batch_partition.py``
+(model-guided vs round-robin makespan).
 """
 
+from .aio import AsyncDecodeSession
 from .batch import (
     BatchDecoder,
     BatchResult,
@@ -35,6 +48,7 @@ from .batch import (
     ImageRequest,
     ImageResult,
 )
+from .http import DecodeHTTPServer, ppm_bytes
 from .queue import SubmissionQueue
 from .scheduler import (
     BatchSchedule,
@@ -45,16 +59,21 @@ from .scheduler import (
     schedule_lpt,
     schedule_roundrobin,
 )
+from .session import DecodeHandle, DecodeSession
 from .stats import BatchStats, ExecutorUsage, ServiceStats, percentile
 from .workers import BACKENDS, WorkerPool
 
 __all__ = [
     "BACKENDS",
+    "AsyncDecodeSession",
     "BatchDecoder",
     "BatchResult",
     "BatchSchedule",
     "BatchStats",
+    "DecodeHTTPServer",
+    "DecodeHandle",
     "DecodeService",
+    "DecodeSession",
     "ExecutorLane",
     "ExecutorUsage",
     "ImageRequest",
@@ -66,6 +85,7 @@ __all__ = [
     "WorkerPool",
     "default_executors",
     "percentile",
+    "ppm_bytes",
     "schedule_lpt",
     "schedule_roundrobin",
 ]

@@ -20,14 +20,17 @@ the decode mode (``reference`` = the real sequential pixel path, or any
 heterogeneous executor), and the platform.  Failures are isolated: a
 corrupt JPEG fails its own :class:`ImageResult` and never the batch.
 
-:class:`DecodeService` wraps a :class:`BatchDecoder` behind a bounded
-:class:`~repro.service.queue.SubmissionQueue` — the long-running service
-shape (`repro serve-batch`) with backpressure and cumulative statistics.
+:class:`DecodeService` is the pull-driven long-running shape
+(`repro serve-batch`): a bounded
+:class:`~repro.service.queue.SubmissionQueue` with backpressure and
+cumulative statistics, kept as a thin compatibility facade over the
+futures-based :class:`~repro.service.session.DecodeSession` (which adds
+per-request handles and a background batch-forming pump — prefer it in
+new code).
 """
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import as_completed
 from dataclasses import dataclass, field, replace
 from time import perf_counter
@@ -52,7 +55,7 @@ from ..jpeg.parallel_huffman import (
 )
 from .queue import SubmissionQueue
 from .scheduler import BatchSchedule, ModelScheduler
-from .stats import BatchStats, ServiceStats, WorkSpan
+from .stats import BatchStats, WorkSpan
 from .workers import WorkerPool, worker_name
 
 
@@ -440,20 +443,37 @@ class BatchDecoder:
 
 
 class DecodeService:
-    """Long-running front end: bounded queue + batch decoder + stats.
+    """Pull-driven compatibility facade over
+    :class:`~repro.service.session.DecodeSession`.
 
     Producers :meth:`submit` images (raw bytes or fully-specified
     :class:`ImageRequest`\\ s); the owner drives :meth:`run_once` /
     :meth:`drain` to decode queued work in batches.  Submission is
     non-blocking by default, so a full queue surfaces immediately as
     :class:`~repro.errors.QueueFullError` — the backpressure contract.
+
+    .. deprecated:: PR 4
+        New code should use
+        :class:`~repro.service.session.DecodeSession` directly: its
+        ``submit`` returns a per-request future-like
+        :class:`~repro.service.session.DecodeHandle` and its background
+        pump overlaps submission with completion — this class survives
+        for the pull-driven call sites, running the session pump-less
+        so the ``submit``/``run_once``/``drain`` call surface and
+        batching behave as before.  One deliberate reporting change:
+        ``ImageResult.latency_s`` (and the latency percentiles built
+        from it) now measures *submit*-to-completion, so time spent
+        queued between ``run_once`` calls counts — the honest number
+        for a service, where the old dispatch-to-completion figure
+        hid queueing delay.
     """
 
     def __init__(self, batch_size: int = 8, queue_capacity: int = 32,
                  workers: int | None = None, backend: str | None = None,
                  defaults: ImageRequest | None = None,
                  scheduler: ModelScheduler | str | None = None) -> None:
-        """Build the queue and pool; *batch_size* caps one drain step.
+        """Build the underlying pump-less session; *batch_size* caps one
+        drain step.
 
         *scheduler* (policy name or
         :class:`~repro.service.scheduler.ModelScheduler`) turns on
@@ -461,15 +481,34 @@ class DecodeService:
         batch's observed per-image times back into the scheduler's
         per-lane throughput estimates after every :meth:`run_once`.
         """
+        from .session import DecodeSession
+
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        self.batch_size = batch_size
-        self.queue = SubmissionQueue(capacity=queue_capacity)
-        self.decoder = BatchDecoder(workers=workers, backend=backend,
-                                    defaults=defaults, scheduler=scheduler)
-        self.stats = ServiceStats()
-        self._next_id = 0
-        self._id_lock = threading.Lock()
+        self.session = DecodeSession(
+            max_batch=batch_size, queue_capacity=queue_capacity,
+            workers=workers, backend=backend, defaults=defaults,
+            scheduler=scheduler, pump=False)
+
+    @property
+    def batch_size(self) -> int:
+        """Maximum images decoded by one :meth:`run_once` step."""
+        return self.session.max_batch
+
+    @property
+    def queue(self) -> SubmissionQueue:
+        """The session's bounded submission queue."""
+        return self.session.queue
+
+    @property
+    def decoder(self) -> BatchDecoder:
+        """The session's batch decoder (pool + optional scheduler)."""
+        return self.session.decoder
+
+    @property
+    def stats(self):
+        """Running totals across every processed batch."""
+        return self.session.stats
 
     def submit(self, item: bytes | ImageRequest,
                timeout: float | None = 0) -> Any:
@@ -481,19 +520,12 @@ class DecodeService:
 
         Auto-assigned ids are unique and monotonically increasing even
         under concurrent producers; an id is skipped (never reissued)
-        when the queue rejects its submission.
+        when the queue rejects its submission.  (The session's
+        :class:`~repro.service.session.DecodeHandle` is dropped here —
+        this API predates per-request handles; results come back from
+        :meth:`run_once`.)
         """
-        if isinstance(item, ImageRequest):
-            req = item
-        else:
-            req = replace(self.decoder.defaults, data=bytes(item))
-        if req.request_id is None:
-            with self._id_lock:
-                assigned = self._next_id
-                self._next_id += 1
-            req = replace(req, request_id=assigned)
-        self.queue.put(req, timeout=timeout)
-        return req.request_id
+        return self.session.submit(item, timeout=timeout).request_id
 
     def run_once(self) -> BatchResult | None:
         """Decode one batch of queued requests (None when queue empty).
@@ -503,16 +535,7 @@ class DecodeService:
         adaptation loop) and (b) accumulate per-lane placement counts on
         :attr:`stats`.
         """
-        batch = self.queue.get_batch(self.batch_size)
-        if not batch:
-            return None
-        result = self.decoder.decode_batch(batch)
-        self.stats.record(result.stats,
-                          [r.latency_s for r in result.results])
-        if result.schedule is not None and self.decoder.scheduler is not None:
-            self.decoder.scheduler.observe(result.schedule, result.results)
-            self.stats.record_schedule(result.schedule, result.results)
-        return result
+        return self.session.run_once()
 
     def drain(self) -> list[BatchResult]:
         """Decode batches until the queue is empty; return all results."""
@@ -526,12 +549,15 @@ class DecodeService:
     @property
     def pending(self) -> int:
         """Requests waiting in the submission queue."""
-        return len(self.queue)
+        return self.session.pending
 
     def close(self) -> None:
-        """Close the queue (refusing new submissions) and the pool."""
-        self.queue.close()
-        self.decoder.close()
+        """Close the session (refusing new submissions) and the pool.
+
+        Matches the historical contract: queued-but-undrained requests
+        are not decoded on close (their handles are cancelled).
+        """
+        self.session.close(drain=False)
 
     def __enter__(self) -> "DecodeService":
         """Context-manager entry: the service itself."""

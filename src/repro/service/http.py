@@ -1,0 +1,247 @@
+"""Stdlib-only HTTP shim over the futures-based decode session.
+
+:class:`DecodeHTTPServer` turns a
+:class:`~repro.service.session.DecodeSession` into a network service
+(``repro serve`` on the CLI) using nothing beyond
+:mod:`http.server` — no framework, no event loop, one handler thread
+per connection (``ThreadingHTTPServer``), each blocking on its own
+:class:`~repro.service.session.DecodeHandle` while the shared pump
+forms cross-request batches underneath.  That is the serving shape the
+ROADMAP's "async/streaming front end" item asks for: concurrent
+producers exercising the bounded queue for real.
+
+Endpoints:
+
+- ``POST /decode`` — body is one JPEG; responds ``200`` with the
+  decoded image as binary PPM (``image/x-portable-pixmap``) plus
+  ``X-Request-Id``/``X-Width``/``X-Height``/``X-Segments``/
+  ``X-Latency-Ms`` headers.  ``POST /decode?format=json`` responds with
+  the metadata only (no pixels).  Malformed images answer ``400`` with
+  a JSON error body (per-request isolation: one bad upload never
+  disturbs another request's decode).
+- ``GET /stats`` — JSON snapshot of the running
+  :class:`~repro.service.stats.ServiceStats` (plus queue occupancy and
+  scheduler feedback when attached).
+- ``GET /healthz`` — liveness probe.
+
+Backpressure: a full submission queue maps to ``429 Too Many
+Requests`` with a ``Retry-After`` header — the HTTP spelling of
+:class:`~repro.errors.QueueFullError`; a closed session maps to
+``503``.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import CancelledError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from ..errors import QueueFullError, ServiceClosedError
+from .batch import ImageResult
+from .session import DecodeSession
+
+
+def ppm_bytes(rgb: np.ndarray) -> bytes:
+    """Serialize an ``(h, w, 3)`` uint8 array as a binary PPM (P6)."""
+    h, w = rgb.shape[:2]
+    return b"P6\n%d %d\n255\n" % (w, h) + np.ascontiguousarray(rgb).tobytes()
+
+
+def result_metadata(result: ImageResult) -> dict:
+    """JSON-ready metadata of one decode outcome (no pixel payload)."""
+    return {
+        "request_id": result.request_id,
+        "ok": result.ok,
+        "width": result.width,
+        "height": result.height,
+        "segments": result.segments,
+        "latency_ms": round(result.latency_s * 1e3, 3),
+        "error_type": result.error_type,
+        "error": result.error,
+    }
+
+
+class _DecodeRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP request: submit to the shared session, await the handle."""
+
+    server: "_SessionHTTPServer"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Suppress per-request stderr chatter unless the server is
+        constructed with ``quiet=False``."""
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: bytes, content_type: str,
+              extra_headers: dict[str, str] | None = None) -> None:
+        """Write one complete response."""
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict,
+                   extra_headers: dict[str, str] | None = None) -> None:
+        """Write a JSON response."""
+        self._send(status, json.dumps(payload, indent=2).encode() + b"\n",
+                   "application/json", extra_headers)
+
+    # -- endpoints ------------------------------------------------------
+
+    def do_GET(self) -> None:
+        """``/stats`` and ``/healthz``."""
+        path = urlparse(self.path).path
+        if path == "/stats":
+            self._send_json(200, self.server.session.stats_snapshot())
+        elif path == "/healthz":
+            self._send_json(200, {"status": "ok",
+                                  "closed": self.server.session.closed})
+        else:
+            self._send_json(404, {"error": f"no such resource: {path}"})
+
+    def do_POST(self) -> None:
+        """``/decode``: body in, PPM (or metadata JSON) out."""
+        url = urlparse(self.path)
+        if url.path != "/decode":
+            self._send_json(404, {"error": f"no such resource: {url.path}"})
+            return
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            self._send_json(400, {"error": "empty request body "
+                                           "(POST the JPEG bytes)"})
+            return
+        data = self.rfile.read(length)
+        try:
+            handle = self.server.session.submit(data, timeout=0)
+        except QueueFullError as exc:
+            self._send_json(429, {"error": str(exc)},
+                            {"Retry-After": "1"})
+            return
+        except ServiceClosedError as exc:
+            self._send_json(503, {"error": str(exc)})
+            return
+        try:
+            result = handle.result(timeout=self.server.result_timeout_s)
+        except TimeoutError:
+            self._send_json(504, {
+                "error": f"decode did not complete within "
+                         f"{self.server.result_timeout_s}s",
+                "request_id": handle.request_id})
+            return
+        except CancelledError:
+            # The session closed with drain=False under this request
+            # (externally-owned session); answer, don't drop the socket.
+            self._send_json(503, {
+                "error": "request cancelled: session closing",
+                "request_id": handle.request_id})
+            return
+        except Exception as exc:
+            # Infrastructure failure (dead pool): 500 beats a handler
+            # traceback and a reset connection.
+            self._send_json(500, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "request_id": handle.request_id})
+            return
+        meta = result_metadata(result)
+        if not result.ok:
+            self._send_json(400, meta)
+            return
+        fmt = parse_qs(url.query).get("format", ["ppm"])[0]
+        if fmt == "json":
+            self._send_json(200, meta)
+            return
+        self._send(200, ppm_bytes(result.rgb), "image/x-portable-pixmap", {
+            "X-Request-Id": str(result.request_id),
+            "X-Width": str(result.width),
+            "X-Height": str(result.height),
+            "X-Segments": str(result.segments),
+            "X-Latency-Ms": f"{result.latency_s * 1e3:.3f}",
+        })
+
+
+class _SessionHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared session reference."""
+
+    #: Non-daemon handler threads: ``server_close`` then joins every
+    #: in-flight request before the session shuts down, so a response
+    #: already being decoded can never observe a closed session.
+    daemon_threads = False
+
+    session: DecodeSession
+    result_timeout_s: float
+    quiet: bool
+
+
+class DecodeHTTPServer:
+    """The decode session, served over HTTP.
+
+    Either wrap an existing session (``DecodeHTTPServer(session=s)``)
+    or pass :class:`~repro.service.session.DecodeSession` keyword
+    arguments and let the server own one (closed with the server).
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction.
+    """
+
+    def __init__(self, session: DecodeSession | None = None,
+                 host: str = "127.0.0.1", port: int = 8077,
+                 result_timeout_s: float = 120.0, quiet: bool = True,
+                 **session_kwargs: Any) -> None:
+        """Bind the listening socket and attach (or build) the session."""
+        self._owns_session = session is None
+        self.session = session or DecodeSession(**session_kwargs)
+        self._httpd = _SessionHTTPServer((host, port), _DecodeRequestHandler)
+        self._httpd.session = self.session
+        self._httpd.result_timeout_s = result_timeout_s
+        self._httpd.quiet = quiet
+
+    @property
+    def host(self) -> str:
+        """Bound interface."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (the ephemeral one when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients target."""
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self, max_requests: int | None = None) -> None:
+        """Serve until :meth:`shutdown` (``max_requests=None``) or until
+        *max_requests* connections have been accepted — the bounded mode
+        tests and demos use so the call returns on its own."""
+        if max_requests is None:
+            self._httpd.serve_forever(poll_interval=0.05)
+        else:
+            for _ in range(max_requests):
+                self._httpd.handle_request()
+
+    def shutdown(self) -> None:
+        """Stop a :meth:`serve_forever` loop running in another thread."""
+        self._httpd.shutdown()
+
+    def close(self) -> None:
+        """Close the socket; drain and close the session if owned."""
+        self._httpd.server_close()
+        if self._owns_session:
+            self.session.close(drain=True)
+
+    def __enter__(self) -> "DecodeHTTPServer":
+        """Context-manager entry: the server itself."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: close socket (and owned session)."""
+        self.close()

@@ -1,11 +1,17 @@
 """Bounded submission queue with backpressure.
 
 The service's ingress: producers :meth:`~SubmissionQueue.put` requests
-and the batch loop drains them with :meth:`~SubmissionQueue.get_batch`.
-Capacity is a hard bound — when the queue is full, ``put`` either blocks
-(bounded by *timeout*) or fails fast with
-:class:`~repro.errors.QueueFullError`, which is the backpressure signal
-a front end propagates to its clients (HTTP 429, drop, retry-after).
+and a consumer — the pull-driven batch loop of
+:class:`~repro.service.batch.DecodeService`, or the
+:class:`~repro.service.session.DecodeSession` pump thread — drains them
+with :meth:`~SubmissionQueue.get_batch`.  Both ends are safe under
+concurrency: any number of producer threads may block in ``put`` while
+the consumer drains (one condition variable serializes slot claims, so
+no request is ever lost or duplicated).  Capacity is a hard bound —
+when the queue is full, ``put`` either blocks (bounded by *timeout*) or
+fails fast with :class:`~repro.errors.QueueFullError`, which is the
+backpressure signal a front end propagates to its clients (HTTP 429,
+drop, retry-after).
 
 Implemented on a ``collections.deque`` + ``threading.Condition`` rather
 than ``queue.Queue`` so that close semantics and batch draining are
@@ -43,6 +49,14 @@ class SubmissionQueue:
     def closed(self) -> bool:
         """True once :meth:`close` has been called."""
         return self._closed
+
+    @property
+    def space(self) -> int:
+        """Free request slots (advisory under concurrent producers —
+        another thread may claim a slot between reading this and
+        :meth:`put`; the ``put`` return path is the authority)."""
+        with self._cond:
+            return max(0, self._capacity - len(self._items))
 
     def __len__(self) -> int:
         """Number of requests currently pending."""

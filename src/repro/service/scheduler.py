@@ -509,6 +509,24 @@ class ModelScheduler:
                     split_segments=False)
         return rewritten
 
+    # -- observability --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of the scheduler's adaptive state.
+
+        Exposed through ``GET /stats`` on the HTTP front end: the
+        policy, the lane set, and the per-lane EWMA correction scales
+        with how many observations shaped them.
+        """
+        return {
+            "policy": self.policy,
+            "executors": [lane.name for lane in self.executors],
+            "feedback": {
+                "scales": self.feedback.scales(),
+                "observations": self.feedback.observations,
+            },
+        }
+
     # -- feedback -------------------------------------------------------
 
     def observe(self, schedule: BatchSchedule,

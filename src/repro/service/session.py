@@ -1,0 +1,372 @@
+"""Futures-based decode sessions: per-request handles over a pumped
+batch loop.
+
+:class:`~repro.service.batch.DecodeService` is pull-driven — producers
+``submit`` and the owner must interleave ``run_once``/``drain`` calls to
+make progress, so submission can never overlap completion.
+:class:`DecodeSession` inverts that: ``submit`` returns a
+:class:`DecodeHandle` (future-like — ``done()``, ``result(timeout)``,
+``add_done_callback()``) and a background **pump thread** forms batches
+on its own, by size or age:
+
+- a batch dispatches as soon as ``max_batch`` requests are pending, or
+- when the *oldest* pending request has waited ``max_delay_ms`` — the
+  latency bound that keeps a trickle of traffic from waiting forever
+  for a full batch.
+
+Formed batches run through the ordinary
+:class:`~repro.service.batch.BatchDecoder` (and therefore through the
+model-guided :class:`~repro.service.scheduler.ModelScheduler` when one
+is attached), so everything the batch layer guarantees — bit-identity
+with :func:`repro.jpeg.decoder.decode_jpeg`, per-image error isolation,
+restart-segment fan-out — holds unchanged; a failed decode *resolves*
+its handle with an ``ok=False`` :class:`~repro.service.batch.ImageResult`
+rather than raising, exactly like the batch API.  Scheduler feedback
+(:meth:`~repro.service.scheduler.ModelScheduler.observe`) and
+:class:`~repro.service.stats.ServiceStats` accumulation both happen
+inside the pump loop, under the session's stats lock, so concurrent
+readers (``GET /stats`` in :mod:`repro.service.http`) always see a
+consistent snapshot.
+
+Lifecycle: sessions are context managers.  ``close(drain=True)`` (the
+default) decodes everything already accepted, then shuts the pool down;
+``close(drain=False)`` cancels every pending handle instead
+(``handle.cancelled()`` turns true, ``result()`` raises
+``CancelledError``).  After close, ``submit`` raises
+:class:`~repro.errors.ServiceClosedError`.  Close is idempotent.
+
+The async front end (:mod:`repro.service.aio`) and the HTTP shim
+(:mod:`repro.service.http`) both layer on this class; the legacy
+pull-driven :class:`~repro.service.batch.DecodeService` survives as a
+thin facade over a pump-less session (``pump=False``).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import Any, Callable
+
+from ..errors import ServiceClosedError
+from .batch import BatchDecoder, BatchResult, ImageRequest, ImageResult
+from .queue import SubmissionQueue
+from .scheduler import ModelScheduler
+from .stats import ServiceStats
+
+
+class DecodeHandle:
+    """Future-like handle for one submitted decode request.
+
+    Thin, thread-safe wrapper over :class:`concurrent.futures.Future`
+    that resolves to an :class:`~repro.service.batch.ImageResult`.
+    Decode *failures* still resolve the handle (with ``ok=False`` on the
+    result) — only infrastructure faults (a dead worker pool) surface as
+    exceptions, and cancellation (``close(drain=False)``) as
+    ``CancelledError``.
+    """
+
+    def __init__(self, request_id: Any) -> None:
+        """Create a pending handle echoing *request_id*."""
+        self.request_id = request_id
+        #: perf_counter at submission; the pump's age deadline and the
+        #: submit-to-completion latency both measure from here.
+        self.submitted_at = perf_counter()
+        self._future: Future = Future()
+
+    def done(self) -> bool:
+        """True once resolved or cancelled."""
+        return self._future.done()
+
+    def cancelled(self) -> bool:
+        """True when the request was cancelled before it decoded."""
+        return self._future.cancelled()
+
+    def cancel(self) -> bool:
+        """Best-effort cancel; returns True when the handle was still
+        pending.  The decode may still run — only the resolution is
+        dropped."""
+        return self._future.cancel()
+
+    def result(self, timeout: float | None = None) -> ImageResult:
+        """Block up to *timeout* seconds for the decode outcome.
+
+        Raises ``TimeoutError`` at the deadline, ``CancelledError`` when
+        the handle was cancelled, and re-raises infrastructure failures.
+        """
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The infrastructure exception, or None when the decode
+        resolved normally (even with ``ok=False``)."""
+        return self._future.exception(timeout)
+
+    def add_done_callback(self, fn: Callable[["DecodeHandle"], None]) -> None:
+        """Call ``fn(handle)`` exactly once when the handle completes
+        (immediately when already done); exceptions from *fn* are
+        swallowed by the Future machinery, never propagated into the
+        pump."""
+        self._future.add_done_callback(lambda _fut: fn(self))
+
+    # -- resolution (session-internal) ---------------------------------
+
+    def _set_result(self, result: ImageResult) -> None:
+        """Resolve with *result*; a lost race against cancel is a no-op."""
+        try:
+            self._future.set_result(result)
+        except InvalidStateError:
+            pass
+
+    def _set_exception(self, exc: BaseException) -> None:
+        """Fail with an infrastructure error; no-op when cancelled."""
+        try:
+            self._future.set_exception(exc)
+        except InvalidStateError:
+            pass
+
+
+@dataclass
+class _Entry:
+    """One queued request and the handle that will carry its outcome."""
+
+    request: ImageRequest
+    handle: DecodeHandle
+
+
+class DecodeSession:
+    """Push-driven decode front end: futures in, batches underneath.
+
+    ``submit`` enqueues a request and immediately returns its
+    :class:`DecodeHandle`; the background pump thread forms batches by
+    size (``max_batch``) or age (``max_delay_ms``) and resolves handles
+    as results complete.  Construct with ``pump=False`` for the
+    pull-driven mode (no thread; the caller drives :meth:`run_once`) —
+    that is how the legacy :class:`~repro.service.batch.DecodeService`
+    facade runs, and the deterministic choice for lifecycle tests.
+    """
+
+    def __init__(self, max_batch: int = 8, max_delay_ms: float = 2.0,
+                 queue_capacity: int = 32,
+                 workers: int | None = None, backend: str | None = None,
+                 defaults: ImageRequest | None = None,
+                 scheduler: ModelScheduler | str | None = None,
+                 pump: bool = True) -> None:
+        """Build queue, decoder and (unless ``pump=False``) the pump.
+
+        *max_batch* caps one dispatched batch; *max_delay_ms* bounds how
+        long the oldest pending request may wait for the batch to fill.
+        The remaining knobs are those of
+        :class:`~repro.service.batch.BatchDecoder` /
+        :class:`~repro.service.queue.SubmissionQueue`.
+        """
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_delay_ms < 0:
+            raise ValueError(
+                f"max_delay_ms must be non-negative, got {max_delay_ms}")
+        self.max_batch = max_batch
+        self.max_delay_ms = max_delay_ms
+        self.queue = SubmissionQueue(capacity=queue_capacity)
+        self.decoder = BatchDecoder(workers=workers, backend=backend,
+                                    defaults=defaults, scheduler=scheduler)
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._cancel_pending = False
+        self._pump_thread: threading.Thread | None = None
+        if pump:
+            self._pump_thread = threading.Thread(
+                target=self._pump_loop, name="decode-session-pump",
+                daemon=True)
+            self._pump_thread.start()
+
+    # -- submission -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has begun."""
+        return self._closed
+
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet dispatched to a batch."""
+        return len(self.queue)
+
+    def submit(self, item: bytes | ImageRequest,
+               timeout: float | None = 0) -> DecodeHandle:
+        """Enqueue one image; returns its :class:`DecodeHandle`.
+
+        ``timeout=0`` (default) fails fast with
+        :class:`~repro.errors.QueueFullError` when the queue is at
+        capacity — the backpressure signal front ends propagate (HTTP
+        429); ``timeout=None`` blocks until space frees up, a positive
+        timeout blocks at most that long.  Raises
+        :class:`~repro.errors.ServiceClosedError` after :meth:`close`.
+
+        Auto-assigned request ids are unique and monotonically
+        increasing even under concurrent producers; an id is skipped
+        (never reissued) when the queue rejects its submission.
+        """
+        if self._closed:
+            raise ServiceClosedError("decode session is closed")
+        if isinstance(item, ImageRequest):
+            req = item
+        else:
+            req = replace(self.decoder.defaults, data=bytes(item))
+        if req.request_id is None:
+            with self._id_lock:
+                assigned = self._next_id
+                self._next_id += 1
+            req = replace(req, request_id=assigned)
+        handle = DecodeHandle(req.request_id)
+        self.queue.put(_Entry(request=req, handle=handle), timeout=timeout)
+        return handle
+
+    # -- the pump -------------------------------------------------------
+
+    def _collect(self) -> list[_Entry]:
+        """Block for the first pending entry, then fill the batch until
+        ``max_batch`` or the oldest entry's age deadline."""
+        entries: list[_Entry] = self.queue.get_batch(
+            self.max_batch, timeout=None)
+        if not entries:
+            return entries
+        deadline = entries[0].handle.submitted_at + self.max_delay_ms / 1e3
+        while len(entries) < self.max_batch and not self._closed:
+            remaining = deadline - perf_counter()
+            if remaining <= 0:
+                break
+            more = self.queue.get_batch(
+                self.max_batch - len(entries), timeout=remaining)
+            if more:
+                entries.extend(more)
+            elif self.queue.closed:
+                break
+        return entries
+
+    def _pump_loop(self) -> None:
+        """Form and decode batches until the session closes and (in
+        drain mode) the queue is empty."""
+        while True:
+            entries = self._collect()
+            if not entries:
+                if self.queue.closed:
+                    return
+                continue
+            if self._cancel_pending:
+                for e in entries:
+                    e.handle.cancel()
+                continue
+            try:
+                self._decode_entries(entries)
+            except Exception:
+                # The batch's handles already carry the exception; keep
+                # pumping so later submissions are not stranded pending.
+                continue
+
+    def _decode_entries(self, entries: list[_Entry]) -> BatchResult | None:
+        """Decode one formed batch, resolve its handles, fold stats and
+        scheduler feedback.  Returns the batch result (pull-mode callers
+        surface it; the pump discards it)."""
+        requests = [e.request for e in entries]
+        try:
+            batch = self.decoder.decode_batch(requests)
+        except BaseException as exc:
+            # Infrastructure failure (closed pool, interpreter teardown):
+            # fail every handle of the batch, never silently drop one.
+            for e in entries:
+                e.handle._set_exception(exc)
+            raise
+        now = perf_counter()
+        for entry, result in zip(entries, batch.results):
+            # True submit-to-completion latency (the batch loop only
+            # measured from dispatch).
+            result.latency_s = now - entry.handle.submitted_at
+        # Stats and scheduler feedback fold in *before* handles resolve,
+        # so a completion observer (done callback, HTTP /stats poll
+        # right after a response) always sees its own batch counted.
+        with self._stats_lock:
+            self.stats.record(batch.stats,
+                              [r.latency_s for r in batch.results])
+            if batch.schedule is not None and self.decoder.scheduler is not None:
+                self.decoder.scheduler.observe(batch.schedule, batch.results)
+                self.stats.record_schedule(batch.schedule, batch.results)
+        for entry, result in zip(entries, batch.results):
+            entry.handle._set_result(result)
+        return batch
+
+    # -- pull mode ------------------------------------------------------
+
+    def run_once(self) -> BatchResult | None:
+        """Pull-mode step: decode one batch of queued requests (None
+        when the queue is empty).  This is what the
+        :class:`~repro.service.batch.DecodeService` facade drives; with
+        the pump running it is also safe (the queue hands each entry to
+        exactly one consumer) but normally unnecessary."""
+        entries = self.queue.get_batch(self.max_batch, timeout=0)
+        if not entries:
+            return None
+        return self._decode_entries(entries)
+
+    # -- observability --------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """JSON-ready snapshot of the running service statistics plus
+        queue occupancy and (when scheduled) per-lane feedback state."""
+        with self._stats_lock:
+            snap = self.stats.as_dict()
+        snap["pending"] = len(self.queue)
+        snap["queue_capacity"] = self.queue.capacity
+        snap["queue_space"] = self.queue.space
+        snap["max_batch"] = self.max_batch
+        snap["max_delay_ms"] = self.max_delay_ms
+        snap["closed"] = self._closed
+        if self.decoder.scheduler is not None:
+            snap["scheduler"] = self.decoder.scheduler.snapshot()
+        return snap
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Shut the session down; idempotent.
+
+        ``drain=True`` decodes every request already accepted (the pump
+        finishes the queue; in pull mode the remaining batches run
+        inline here), then closes the pool.  ``drain=False`` cancels
+        every pending handle instead — in-flight batches still resolve.
+        Either way, subsequent :meth:`submit` calls raise
+        :class:`~repro.errors.ServiceClosedError`.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._cancel_pending = not drain
+            self._closed = True
+            self.queue.close()   # refuse new puts, wake the pump
+        if self._pump_thread is not None:
+            self._pump_thread.join()
+        # Pull mode (and the pump's post-close leftovers, which there
+        # are none of once the thread joined): finish or cancel what is
+        # still queued.
+        while True:
+            entries = self.queue.get_batch(self.max_batch, timeout=0)
+            if not entries:
+                break
+            if drain:
+                self._decode_entries(entries)
+            else:
+                for e in entries:
+                    e.handle.cancel()
+        self.decoder.close()
+
+    def __enter__(self) -> "DecodeSession":
+        """Context-manager entry: the session itself."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: close with a full drain."""
+        self.close(drain=True)

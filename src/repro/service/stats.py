@@ -13,7 +13,15 @@ long-running :class:`~repro.service.batch.DecodeService` processes.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+
+#: Sliding window of per-image latency samples retained for service
+#: percentiles.  Counters (images, wall time, throughput) are exact
+#: forever; latency percentiles cover the most recent window so a
+#: long-running ``repro serve`` neither grows without bound nor pays
+#: an O(N log N) sort per ``GET /stats`` after millions of requests.
+LATENCY_WINDOW = 4096
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -135,7 +143,8 @@ class ServiceStats:
     images_split: int = 0
     #: Scheduled batches only: per-lane placement and prediction totals.
     per_executor: dict[str, ExecutorUsage] = field(default_factory=dict)
-    _latencies_s: list[float] = field(default_factory=list)
+    _latencies_s: deque = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
 
     def record(self, stats: BatchStats, latencies_s: list[float]) -> None:
         """Fold one batch's reduced stats into the running totals."""
@@ -171,6 +180,40 @@ class ServiceStats:
         """Aggregate throughput across all recorded batches."""
         total = self.images_ok + self.images_failed
         return total / self.total_wall_s if self.total_wall_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot of the running totals.
+
+        The shape the HTTP shim's ``GET /stats`` endpoint returns (via
+        :meth:`~repro.service.session.DecodeSession.stats_snapshot`,
+        which adds queue occupancy and scheduler feedback on top).
+        Latency percentiles are 0.0 before the first image completes
+        and cover the most recent :data:`LATENCY_WINDOW` images.
+        """
+        lat = [s * 1e3 for s in self._latencies_s] or [0.0]
+        return {
+            "batches": self.batches,
+            "images_ok": self.images_ok,
+            "images_failed": self.images_failed,
+            "images_split": self.images_split,
+            "total_wall_s": self.total_wall_s,
+            "images_per_sec": self.images_per_sec,
+            "latency_ms": {
+                "p50": percentile(lat, 50),
+                "p90": percentile(lat, 90),
+                "p99": percentile(lat, 99),
+                "mean": sum(lat) / len(lat),
+            },
+            "per_executor": {
+                name: {
+                    "images": u.images,
+                    "predicted_us": u.predicted_us,
+                    "observed_us": u.observed_us,
+                    "bias": u.bias,
+                }
+                for name, u in sorted(self.per_executor.items())
+            },
+        }
 
     def format(self) -> str:
         """Multi-batch closing summary (printed by ``repro serve-batch``)."""

@@ -1,12 +1,13 @@
 """Docstring (D1) lint over the scoped modules, run as a tier-1 test.
 
-The scope is the ISSUE-2 satellite contract, widened by ISSUE 3:
-``repro.jpeg.fast_entropy``, ``repro.jpeg.parallel_huffman``, every
-module of ``repro.service`` (the scheduler included), and the
-partitioning core ``repro.core.partition``/``repro.core.perfmodel``
-must document their module, every public class and every public
-function/method.  The checker itself is ``tools/check_docstrings.py``
-(stdlib ``ast``; pydocstyle/ruff are not available offline).
+The scope is the ISSUE-2 satellite contract, widened by ISSUE 3 and
+ISSUE 4: ``repro.jpeg.fast_entropy``, ``repro.jpeg.parallel_huffman``,
+every module of ``repro.service`` (the scheduler and the serving front
+ends ``session``/``aio``/``http`` included), and the partitioning core
+``repro.core.partition``/``repro.core.perfmodel`` must document their
+module, every public class and every public function/method.  The
+checker itself is ``tools/check_docstrings.py`` (stdlib ``ast``;
+pydocstyle/ruff are not available offline).
 """
 
 from __future__ import annotations
@@ -22,6 +23,14 @@ import check_docstrings  # noqa: E402
 
 def test_scoped_modules_fully_documented(capsys):
     assert check_docstrings.main([]) == 0, capsys.readouterr().out
+
+
+def test_scope_includes_serving_front_ends():
+    """The ISSUE-4 widening: the default targets must sweep in the new
+    session/aio/http serving modules (via the service directory)."""
+    files = check_docstrings.collect(list(check_docstrings.DEFAULT_TARGETS))
+    names = {f.name for f in files if "service" in str(f)}
+    assert {"session.py", "aio.py", "http.py"} <= names
 
 
 def test_checker_flags_missing_docstrings(tmp_path):

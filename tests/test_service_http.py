@@ -1,0 +1,239 @@
+"""HTTP shim: real socket round-trips against DecodeHTTPServer —
+PPM/metadata decode responses, stats endpoint, backpressure as 429,
+error mapping, and the ``repro serve`` CLI driving the same stack."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.jpeg import EncoderSettings, decode_jpeg, encode_jpeg
+from repro.service import DecodeHTTPServer, DecodeSession, ppm_bytes
+
+
+@pytest.fixture(scope="module")
+def blob(small_rgb):
+    return encode_jpeg(small_rgb, EncoderSettings(
+        quality=85, subsampling="4:2:2"))
+
+
+@pytest.fixture(scope="module")
+def oracle(blob):
+    return decode_jpeg(blob).rgb
+
+
+@pytest.fixture()
+def server():
+    """A live server on an ephemeral port, torn down after the test."""
+    srv = DecodeHTTPServer(port=0, backend="thread", workers=2,
+                           max_batch=4, max_delay_ms=1.0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    thread.join(timeout=30)
+    srv.close()
+
+
+def _post(url: str, data: bytes, timeout: float = 60):
+    req = urllib.request.Request(url, data=data, method="POST")
+    return urllib.request.urlopen(req, timeout=timeout)
+
+
+def _parse_ppm(body: bytes) -> np.ndarray:
+    magic, dims, maxval, pixels = body.split(b"\n", 3)
+    assert magic == b"P6" and maxval == b"255"
+    w, h = map(int, dims.split())
+    return np.frombuffer(pixels, dtype=np.uint8).reshape(h, w, 3)
+
+
+class TestDecodeEndpoint:
+    def test_post_decode_returns_bit_identical_ppm(self, server, blob,
+                                                   oracle):
+        with _post(server.url + "/decode", blob) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == "image/x-portable-pixmap"
+            assert resp.headers["X-Width"] == str(oracle.shape[1])
+            assert resp.headers["X-Height"] == str(oracle.shape[0])
+            assert float(resp.headers["X-Latency-Ms"]) > 0
+            body = resp.read()
+        assert body == ppm_bytes(oracle)
+        assert np.array_equal(_parse_ppm(body), oracle)
+
+    def test_metadata_format(self, server, blob, oracle):
+        with _post(server.url + "/decode?format=json", blob) as resp:
+            assert resp.status == 200
+            meta = json.loads(resp.read())
+        assert meta["ok"] is True
+        assert (meta["width"], meta["height"]) == (oracle.shape[1],
+                                                   oracle.shape[0])
+        assert meta["latency_ms"] > 0
+
+    def test_concurrent_posts_batch_together(self, server, blob, oracle):
+        """Several in-flight requests ride the same pump; all answers
+        are correct and /stats shows a multi-image batch formed."""
+        bodies: list[bytes | None] = [None] * 4
+
+        def fetch(i: int) -> None:
+            with _post(server.url + "/decode", blob) as resp:
+                bodies[i] = resp.read()
+
+        threads = [threading.Thread(target=fetch, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = ppm_bytes(oracle)
+        assert all(b == expected for b in bodies)
+        with urllib.request.urlopen(server.url + "/stats",
+                                    timeout=30) as resp:
+            stats = json.loads(resp.read())
+        assert stats["images_ok"] == 4
+        # Batching actually happened: fewer batches than images.
+        assert stats["batches"] < 4
+
+    def test_malformed_jpeg_maps_to_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(server.url + "/decode", b"junk bytes, not a jpeg")
+        assert err.value.code == 400
+        meta = json.loads(err.value.read())
+        assert meta["ok"] is False
+        assert meta["error_type"]
+
+    def test_empty_body_maps_to_400(self, server):
+        req = urllib.request.Request(server.url + "/decode", data=b"",
+                                     method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 400
+
+    def test_unknown_paths_404(self, server, blob):
+        for method, path, data in (("GET", "/nope", None),
+                                   ("POST", "/nope", blob)):
+            req = urllib.request.Request(server.url + path, data=data,
+                                         method=method)
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=30)
+            assert err.value.code == 404
+
+
+class TestBackpressureAndStats:
+    def test_queue_full_maps_to_429(self, blob):
+        """A pump-less session never drains, so capacity-1 fills after
+        one direct submit; the HTTP submit then fails fast as 429."""
+        session = DecodeSession(queue_capacity=1, backend="serial",
+                                pump=False)
+        srv = DecodeHTTPServer(session=session, port=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            session.submit(blob)     # occupies the only slot
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(srv.url + "/decode", blob, timeout=30)
+            assert err.value.code == 429
+            assert err.value.headers["Retry-After"] == "1"
+            assert "full" in json.loads(err.value.read())["error"]
+        finally:
+            srv.shutdown()
+            thread.join(timeout=30)
+            srv.close()
+            session.close(drain=False)
+
+    def test_cancelled_request_maps_to_503(self, blob):
+        """Closing an externally-owned session with drain=False while a
+        POST is waiting answers 503 — never a dropped connection."""
+        session = DecodeSession(queue_capacity=4, backend="serial",
+                                pump=False)
+        srv = DecodeHTTPServer(session=session, port=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        codes: list[int] = []
+
+        def post() -> None:
+            try:
+                with _post(srv.url + "/decode", blob, timeout=60) as resp:
+                    codes.append(resp.status)
+            except urllib.error.HTTPError as err:
+                codes.append(err.code)
+
+        poster = threading.Thread(target=post)
+        try:
+            poster.start()
+            # Wait for the handler to have submitted (queue non-empty),
+            # then cancel everything pending.
+            deadline = time.monotonic() + 30
+            while session.pending == 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            session.close(drain=False)
+            poster.join(timeout=60)
+            assert codes == [503]
+        finally:
+            srv.shutdown()
+            thread.join(timeout=30)
+            srv.close()
+
+    def test_stats_and_healthz(self, server, blob):
+        with _post(server.url + "/decode", blob) as resp:
+            resp.read()
+        with urllib.request.urlopen(server.url + "/stats",
+                                    timeout=30) as resp:
+            stats = json.loads(resp.read())
+        assert stats["images_ok"] >= 1
+        assert stats["queue_capacity"] == 32
+        assert stats["closed"] is False
+        assert stats["latency_ms"]["p50"] > 0
+        with urllib.request.urlopen(server.url + "/healthz",
+                                    timeout=30) as resp:
+            assert json.loads(resp.read())["status"] == "ok"
+
+
+class TestServeCli:
+    def test_serve_answers_real_http_round_trip(self, blob, oracle,
+                                                capsys):
+        """`repro serve` end to end: bounded to three connections so
+        main() returns on its own, driven over a real socket."""
+        from repro.cli import main
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        rc: list[int] = []
+        thread = threading.Thread(target=lambda: rc.append(main(
+            ["serve", "--port", str(port), "--backend", "thread",
+             "--workers", "2", "--max-delay-ms", "1",
+             "--max-requests", "3"])))
+        thread.start()
+        base = f"http://127.0.0.1:{port}"
+        deadline = time.monotonic() + 30
+        while True:       # connection #1: readiness probe
+            try:
+                with urllib.request.urlopen(base + "/healthz",
+                                            timeout=1) as resp:
+                    assert resp.status == 200
+                break
+            except OSError:
+                assert time.monotonic() < deadline, "server never came up"
+                time.sleep(0.02)
+        with _post(base + "/decode", blob) as resp:           # 2
+            assert resp.status == 200
+            assert np.array_equal(_parse_ppm(resp.read()), oracle)
+        with urllib.request.urlopen(base + "/stats",
+                                    timeout=30) as resp:      # 3
+            assert json.loads(resp.read())["images_ok"] == 1
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert rc == [0]
+        out = capsys.readouterr().out
+        assert "listening on" in out
+        assert "summary:" in out

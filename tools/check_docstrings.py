@@ -19,7 +19,9 @@ Usage::
 
 With no arguments, checks the modules this repo scopes the rule to:
 ``repro.jpeg.fast_entropy``, ``repro.jpeg.parallel_huffman``, every
-module of ``repro.service``, and the partitioning core
+module of ``repro.service`` — which as of ISSUE 4 includes the serving
+front ends ``service/session.py``, ``service/aio.py`` and
+``service/http.py`` — and the partitioning core
 (``repro.core.partition``, ``repro.core.perfmodel``).  Exit status 1
 when any violation is found.
 """
@@ -34,7 +36,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Modules the docstring rule is scoped to (ISSUE 2 satellite; widened
 #: to the partitioning core by ISSUE 3 — the modules docs/partitioning.md
-#: maps the paper onto must stay documented).
+#: maps the paper onto must stay documented — and, via the service
+#: directory target, to the ISSUE-4 serving front ends
+#: session.py/aio.py/http.py; tests/test_docstrings.py pins them).
 DEFAULT_TARGETS = (
     REPO_ROOT / "src" / "repro" / "jpeg" / "fast_entropy.py",
     REPO_ROOT / "src" / "repro" / "jpeg" / "parallel_huffman.py",
