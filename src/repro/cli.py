@@ -147,16 +147,19 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
 
     scheduler = _build_scheduler(args.schedule, args.platform)
+    lane_pools = None if args.lane_pools == "none" else args.lane_pools
     failures = 0
     with DecodeService(batch_size=args.batch_size,
                        queue_capacity=args.queue_capacity,
                        workers=args.workers, backend=args.backend,
-                       scheduler=scheduler) as svc:
+                       scheduler=scheduler, transport=args.transport,
+                       lane_pools=lane_pools) as svc:
         print(f"serve-batch: {len(blobs)} inputs x{args.repeat}, "
               f"batch={args.batch_size}, queue={args.queue_capacity}, "
               f"{svc.decoder.pool.workers} x {svc.decoder.pool.backend} "
-              f"workers"
-              + (f", schedule={args.schedule}" if scheduler else ""))
+              f"workers, transport={svc.decoder.transport}"
+              + (f", schedule={args.schedule}" if scheduler else "")
+              + (f", lane-pools={args.lane_pools}" if lane_pools else ""))
 
         def handle(batch) -> None:
             nonlocal failures
@@ -213,13 +216,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
         queue_capacity=args.queue_capacity,
         workers=args.workers, backend=args.backend,
-        scheduler=_build_scheduler(args.schedule, args.platform))
+        scheduler=_build_scheduler(args.schedule, args.platform),
+        transport=args.transport,
+        lane_pools=None if args.lane_pools == "none" else args.lane_pools)
     pool = server.session.decoder.pool
     print(f"serve: listening on {server.url} "
           f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms}ms, "
           f"queue={args.queue_capacity}, "
-          f"{pool.workers} x {pool.backend} workers"
+          f"{pool.workers} x {pool.backend} workers, "
+          f"transport={server.session.decoder.transport}"
           + (f", schedule={args.schedule}" if args.schedule != "none" else "")
+          + (f", lane-pools={args.lane_pools}"
+             if args.lane_pools != "none" else "")
           + ")", flush=True)
     print("endpoints: POST /decode (JPEG in, PPM out; ?format=json for "
           "metadata), GET /stats, GET /healthz", flush=True)
@@ -320,6 +328,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "fitted performance model and place whole images "
                         "(LPT for 'model', cyclic for 'roundrobin'); "
                         "overrides --mode per image")
+    p.add_argument("--transport", default="auto",
+                   choices=["auto", "shm", "pickle"],
+                   help="how process-pool workers return decoded planes: "
+                        "shared-memory segments + descriptors ('shm') or "
+                        "the pickle result pipe; 'auto' picks shm whenever "
+                        "a process pool and working POSIX shm exist")
+    p.add_argument("--lane-pools", default="none",
+                   help="bind scheduler lanes to dedicated pools "
+                        "(requires --schedule): 'auto' for the default "
+                        "layout (each GPU lane its own pool, CPU lanes "
+                        "share the remaining cores) or a spec like "
+                        "'gpu=1,simd=process:3'")
     p.add_argument("--repeat", type=int, default=1,
                    help="feed the input set N times (soak/throughput)")
     p.add_argument("--out-dir", default=None,
@@ -351,6 +371,13 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["none", "model", "roundrobin"],
                    help="cross-image batch scheduling inside the pump "
                         "(see serve-batch --schedule)")
+    p.add_argument("--transport", default="auto",
+                   choices=["auto", "shm", "pickle"],
+                   help="worker→parent result transport "
+                        "(see serve-batch --transport)")
+    p.add_argument("--lane-pools", default="none",
+                   help="lane-bound executor pools "
+                        "(see serve-batch --lane-pools)")
     p.add_argument("--platform", default="GTX 560",
                    choices=["GT 430", "GTX 560", "GTX 680"],
                    help="platform whose lanes a scheduler prices")

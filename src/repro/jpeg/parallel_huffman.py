@@ -115,6 +115,22 @@ def decode_segment_coefficients(
     return vdec.coefficients.planes
 
 
+def segment_plane_nbytes(seg: RestartSegment,
+                         geometry: ImageGeometry) -> list[int]:
+    """Byte sizes of the planes :func:`decode_segment_coefficients`
+    returns for *seg*, in order.
+
+    Derived from the same virtual single-MCU-row geometry the decode
+    uses, so a caller sizing a transport buffer (the batched service's
+    shared-memory lease) can never drift out of step with the actual
+    payload layout: one int16 8x8 block per ``blocks_total`` entry.
+    """
+    virt = ImageGeometry(seg.mcu_count * geometry.mcu_width,
+                         geometry.mcu_height, geometry.mode)
+    block_nbytes = 8 * 8 * np.dtype(np.int16).itemsize
+    return [c.blocks_total * block_nbytes for c in virt.components]
+
+
 def scatter_segment(
     seg: RestartSegment,
     planes: list[np.ndarray],

@@ -25,6 +25,12 @@ points):
 - :class:`~repro.service.scheduler.ModelScheduler` — model-guided
   cross-image batch scheduling (LPT over per-lane predicted costs,
   round-robin baseline, EWMA throughput feedback)
+- :class:`~repro.service.executors.ExecutorRegistry` — lane-bound
+  heterogeneous executor pools (GPU lane = its own pool, CPU lanes =
+  a sized shared pool), making the scheduler's makespan win wall-clock
+- :class:`~repro.service.transport.PlaneArena` /
+  :class:`~repro.service.transport.PlaneRef` — zero-copy shared-memory
+  plane transport for process-backend results (``transport="shm"``)
 - :class:`~repro.service.queue.SubmissionQueue` — the backpressure ingress
 - :class:`~repro.service.workers.WorkerPool` — serial/thread/process pools
 - :class:`~repro.service.stats.BatchStats` /
@@ -48,8 +54,16 @@ from .batch import (
     ImageRequest,
     ImageResult,
 )
+from .executors import ExecutorRegistry, parse_lane_pools
 from .http import DecodeHTTPServer, ppm_bytes
 from .queue import SubmissionQueue
+from .transport import (
+    TRANSPORTS,
+    PlaneArena,
+    PlaneRef,
+    resolve_transport,
+    shm_available,
+)
 from .scheduler import (
     BatchSchedule,
     ExecutorLane,
@@ -65,6 +79,7 @@ from .workers import BACKENDS, WorkerPool
 
 __all__ = [
     "BACKENDS",
+    "TRANSPORTS",
     "AsyncDecodeSession",
     "BatchDecoder",
     "BatchResult",
@@ -75,17 +90,23 @@ __all__ = [
     "DecodeService",
     "DecodeSession",
     "ExecutorLane",
+    "ExecutorRegistry",
     "ExecutorUsage",
     "ImageRequest",
     "ImageResult",
     "ModelScheduler",
+    "PlaneArena",
+    "PlaneRef",
     "ServiceStats",
     "SubmissionQueue",
     "ThroughputFeedback",
     "WorkerPool",
     "default_executors",
+    "parse_lane_pools",
     "percentile",
     "ppm_bytes",
+    "resolve_transport",
     "schedule_lpt",
     "schedule_roundrobin",
+    "shm_available",
 ]

@@ -38,24 +38,37 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from ..errors import EntropyError, ReproError
+from ..errors import EntropyError, ReproError, ServiceError
 from ..jpeg.decoder import (
     DecodeOptions,
     component_tables_from_info,
     decode_jpeg,
     pixels_from_coefficients,
 )
+from ..jpeg.blocks import ImageGeometry
 from ..jpeg.entropy import CoefficientBuffers, ComponentTables
 from ..jpeg.markers import JpegImageInfo, parse_jpeg
 from ..jpeg.parallel_huffman import (
     RestartSegment,
     decode_segment_coefficients,
     scatter_segment,
+    segment_plane_nbytes,
     split_restart_segments,
 )
 from .queue import SubmissionQueue
 from .scheduler import BatchSchedule, ModelScheduler
 from .stats import BatchStats, WorkSpan
+from .transport import (
+    SHM_MIN_BYTES,
+    PlaneArena,
+    PlaneRef,
+    PlaneSlot,
+    packed_nbytes,
+    peek_dimensions,
+    publish_plane,
+    publish_planes,
+    resolve_transport,
+)
 from .workers import WorkerPool, worker_name
 
 
@@ -108,6 +121,14 @@ class ImageResult:
     latency_s: float = 0.0
     #: Worker busy spans that produced this image (utilization input).
     spans: list[WorkSpan] = field(default_factory=list)
+    #: Shared-memory descriptor of the decoded pixels while they are in
+    #: transit (worker → parent); the gather loop materializes
+    #: :attr:`rgb` from it and clears it before the result escapes.
+    plane: PlaneRef | None = None
+    #: Real worker busy time in microseconds (sum of spans) — the
+    #: wall-clock observation lane-bound scheduling feeds back into the
+    #: scheduler, as opposed to the model-world :attr:`simulated_us`.
+    wall_us: float | None = None
 
 
 @dataclass
@@ -119,6 +140,11 @@ class BatchResult:
     #: The cross-image schedule this batch ran under (None when the
     #: decoder has no scheduler attached).
     schedule: BatchSchedule | None = None
+    #: Lane→pool binding map when the batch ran on lane-bound executor
+    #: pools (:meth:`~repro.service.executors.ExecutorRegistry.describe`).
+    lane_pools: dict | None = None
+    #: Result transport the batch used (``"shm"`` or ``"pickle"``).
+    transport: str = "pickle"
 
     def __iter__(self):
         """Iterate results in request order."""
@@ -139,12 +165,19 @@ class BatchResult:
 # them by reference).
 # ---------------------------------------------------------------------------
 
-def decode_image_task(request: ImageRequest) -> ImageResult:
+def decode_image_task(request: ImageRequest,
+                      slot: PlaneSlot | None = None) -> ImageResult:
     """Decode one whole image inside a worker; never raises.
 
     Any failure (malformed bytes, truncated scan, unsupported feature,
     unknown mode) is captured on the returned :class:`ImageResult` so
     one bad image cannot poison its batch.
+
+    With a transport *slot*, the decoded pixels are written into the
+    leased shared-memory segment and the result carries only a
+    :class:`~repro.service.transport.PlaneRef` — nothing heavy rides
+    the pickle pipe.  If publishing fails for any reason the pixels
+    fall back to the pickle path rather than failing the decode.
     """
     t0 = perf_counter()
     try:
@@ -178,9 +211,16 @@ def decode_image_task(request: ImageRequest) -> ImageResult:
             error_type=type(exc).__name__, error=str(exc),
             spans=[WorkSpan(worker_name(), t0, perf_counter())])
     h, w = rgb.shape[:2]
+    plane = None
+    if slot is not None:
+        try:
+            plane = publish_plane(slot, rgb)
+            rgb = None
+        except Exception:
+            plane = None  # slot too small / segment gone: pickle instead
     return ImageResult(
         request_id=request.request_id, ok=True, rgb=rgb,
-        width=w, height=h, simulated_us=simulated_us,
+        width=w, height=h, simulated_us=simulated_us, plane=plane,
         spans=[WorkSpan(worker_name(), t0, perf_counter())])
 
 
@@ -190,16 +230,19 @@ def decode_segment_task(
     geometry_args: tuple[int, int, str],
     tables: list[ComponentTables],
     entropy_engine: str,
-) -> tuple[RestartSegment, list[np.ndarray] | None, str | None, str | None,
+    slot: PlaneSlot | None = None,
+) -> tuple[RestartSegment, "list | tuple | None", str | None, str | None,
            WorkSpan]:
     """Decode one restart segment inside a worker; never raises.
 
-    Returns ``(segment, planes, error_type, error, span)`` — *planes*
-    is None on failure.  *geometry_args* is the pickled-down
-    ``(width, height, mode)`` of the full image.
+    Returns ``(segment, payload, error_type, error, span)`` — *payload*
+    is None on failure, the list of coefficient planes on the pickle
+    path, or a tuple of :class:`~repro.service.transport.PlaneRef`
+    descriptors when a transport *slot* was leased (the planes are
+    packed into the shared segment instead of riding the result pipe).
+    *geometry_args* is the pickled-down ``(width, height, mode)`` of
+    the full image.
     """
-    from ..jpeg.blocks import ImageGeometry
-
     t0 = perf_counter()
     try:
         geometry = ImageGeometry(*geometry_args)
@@ -208,7 +251,14 @@ def decode_segment_task(
     except (ReproError, ValueError) as exc:
         return (seg, None, type(exc).__name__, str(exc),
                 WorkSpan(worker_name(), t0, perf_counter()))
-    return seg, planes, None, None, WorkSpan(worker_name(), t0, perf_counter())
+    payload: "list | tuple" = planes
+    if slot is not None:
+        try:
+            payload = publish_planes(slot, planes)
+        except Exception:
+            payload = planes  # fall back to pickling the planes
+    return seg, payload, None, None, WorkSpan(worker_name(), t0,
+                                              perf_counter())
 
 
 # ---------------------------------------------------------------------------
@@ -228,6 +278,9 @@ class _SplitJob:
     spans: list[WorkSpan] = field(default_factory=list)
     error_type: str | None = None
     error: str | None = None
+    #: Transport slots whose planes are still referenced (released only
+    #: after the merge copies them out).
+    slots: list[PlaneSlot] = field(default_factory=list)
 
 
 class BatchDecoder:
@@ -236,7 +289,10 @@ class BatchDecoder:
     def __init__(self, workers: int | None = None,
                  backend: str | None = None,
                  defaults: ImageRequest | None = None,
-                 scheduler: ModelScheduler | str | None = None) -> None:
+                 scheduler: ModelScheduler | str | None = None,
+                 transport: str = "auto",
+                 lane_pools: "object | str | bool | None" = None,
+                 shm_min_bytes: int = SHM_MIN_BYTES) -> None:
         """Create the pool (see :class:`~repro.service.workers.WorkerPool`
         for backend semantics).  *defaults* seeds the per-image knobs
         applied when a request is submitted as raw bytes.
@@ -246,12 +302,66 @@ class BatchDecoder:
         name (``"model"``/``"roundrobin"``) to build one with the
         default lane set.  A scheduled batch overrides each request's
         ``mode``/``platform``/``split_segments`` with its lane placement.
+
+        *transport* picks how process-pool workers return decoded
+        planes: ``"shm"`` (shared-memory segments + descriptors),
+        ``"pickle"`` (the classic result pipe), or ``"auto"`` (shm
+        wherever a process pool and working POSIX shared memory exist,
+        pickle everywhere else — serial/thread backends always resolve
+        to pickle since nothing crosses a process boundary).
+        *shm_min_bytes* keeps payloads below that size on the pickle
+        path (segment churn costs more than pickling a few KB; tests
+        pass 0 to force shm for every task).
+
+        *lane_pools* binds scheduler lanes to dedicated pools: pass an
+        :class:`~repro.service.executors.ExecutorRegistry`, a layout
+        spec string (``"gpu=1,simd=3"`` / ``"auto"``), or ``True`` for
+        the default layout.  Requires a scheduler; placed images then
+        dispatch to their lane's own pool and the scheduler's feedback
+        sees real per-lane wall-clock times.
         """
-        self.pool = WorkerPool(workers=workers, backend=backend)
-        self.defaults = defaults or ImageRequest(data=b"")
+        from .executors import ExecutorRegistry
+        from .transport import TRANSPORTS
+
+        # Validate everything cheap *before* any pool exists, so a
+        # bad configuration never leaks live worker processes.
+        if transport not in TRANSPORTS:
+            raise ServiceError(
+                f"unknown transport {transport!r} "
+                f"(choose from {list(TRANSPORTS)})")
         if isinstance(scheduler, str):
             scheduler = ModelScheduler(policy=scheduler)
         self.scheduler = scheduler
+        if lane_pools not in (None, False, "none") and scheduler is None:
+            raise ServiceError(
+                "lane_pools requires a scheduler (lane placements "
+                "come from ModelScheduler.plan)")
+        self.defaults = defaults or ImageRequest(data=b"")
+        self.pool = WorkerPool(workers=workers, backend=backend)
+        if lane_pools in (None, False, "none"):
+            self.registry = None
+            self._owns_registry = False
+        elif isinstance(lane_pools, ExecutorRegistry):
+            # Caller-built registry: adopted for dispatch, but its
+            # lifecycle stays with the caller (close() leaves it open,
+            # mirroring DecodeHTTPServer's session ownership rule).
+            self.registry = lane_pools
+            self._owns_registry = False
+        else:
+            layout = None if lane_pools is True else lane_pools
+            try:
+                self.registry = ExecutorRegistry(
+                    self.scheduler.executors, layout=layout, backend=backend)
+            except BaseException:
+                self.pool.close()
+                raise
+            self._owns_registry = True
+        backends = {self.pool.backend}
+        if self.registry is not None:
+            backends |= self.registry.backends
+        self.transport = resolve_transport(transport, backends)
+        self.arena = PlaneArena() if self.transport == "shm" else None
+        self.shm_min_bytes = shm_min_bytes
 
     # -- request normalization -----------------------------------------
 
@@ -288,6 +398,65 @@ class BatchDecoder:
 
     # -- the batch loop -------------------------------------------------
 
+    # -- transport helpers ---------------------------------------------
+
+    def _lease_image_slot(self, req: ImageRequest,
+                          pool: WorkerPool) -> PlaneSlot | None:
+        """Lease a shm slot sized for *req*'s decoded pixels, if the
+        transport applies to *pool* (process backend + shm resolved).
+        A failed header peek skips the lease — the worker then reports
+        the precise decode error over the pickle path."""
+        if self.arena is None or pool.backend != "process":
+            return None
+        dims = peek_dimensions(req.data)
+        if dims is None:
+            return None
+        w, h = dims
+        if w * h * 3 < self.shm_min_bytes:
+            return None
+        try:
+            return self.arena.lease(w * h * 3)
+        except ServiceError:
+            return None
+
+    def _lease_segment_slot(self, nbytes: int,
+                            pool: WorkerPool) -> PlaneSlot | None:
+        """Lease a shm slot for one restart segment's packed planes."""
+        if self.arena is None or pool.backend != "process" or nbytes <= 0:
+            return None
+        if nbytes < self.shm_min_bytes:
+            return None
+        try:
+            return self.arena.lease(nbytes)
+        except ServiceError:
+            return None
+
+    def _release_slot(self, slot: PlaneSlot | None,
+                      outstanding: dict[str, PlaneSlot]) -> None:
+        """Return one slot to the arena ring and the tracking map."""
+        if slot is None or self.arena is None:
+            return
+        outstanding.pop(slot.name, None)
+        self.arena.release(slot)
+
+    def _materialize(self, result: ImageResult,
+                     outstanding: dict[str, PlaneSlot]) -> int:
+        """Turn a transported :class:`PlaneRef` back into ``rgb``.
+
+        Returns the bytes that crossed shared memory (0 on the pickle
+        path); always leaves the result descriptor-free so nothing
+        downstream can observe a recycled segment.
+        """
+        ref = result.plane
+        if ref is None:
+            return 0
+        result.rgb = self.arena.resolve(ref, copy=True)
+        result.plane = None
+        self._release_slot(outstanding.get(ref.segment), outstanding)
+        return ref.nbytes
+
+    # -- the batch loop (continued) ------------------------------------
+
     def decode_batch(self, items: Sequence[bytes | ImageRequest]
                      ) -> BatchResult:
         """Decode *items* concurrently; results come back in order.
@@ -299,110 +468,213 @@ class BatchDecoder:
         (:meth:`~repro.service.scheduler.ModelScheduler.plan`) and each
         request rewritten to run on its assigned lane; the resulting
         :class:`~repro.service.scheduler.BatchSchedule` rides back on
-        ``BatchResult.schedule``.
+        ``BatchResult.schedule``.  With lane-bound pools
+        (``lane_pools=``), each placed image dispatches to its lane's
+        own pool, the schedule is flagged ``wall_time`` and per-image
+        ``wall_us`` carries the real heterogeneous execution time the
+        scheduler's feedback consumes.  With ``transport="shm"``,
+        process-pool workers return shared-memory descriptors and the
+        pixels are materialized here; every leased segment is released
+        (or unlinked at :meth:`close`) even when a worker dies
+        mid-batch.
         """
         requests = self._normalize(items)
         schedule = None
+        lane_by_index: dict[int, str] = {}
         if self.scheduler is not None and requests:
             schedule = self.scheduler.plan(requests)
             requests = self.scheduler.apply(requests, schedule)
+            if self.registry is not None:
+                schedule.wall_time = True
+                lane_by_index = {
+                    a.index: a.executor.name
+                    for a in schedule.assignments if a.executor is not None}
         t0 = perf_counter()
         results: list[ImageResult | None] = [None] * len(requests)
         fut_map: dict[Any, tuple[str, Any]] = {}
         split_jobs: dict[int, _SplitJob] = {}
+        #: Pools that actually received work this batch — the honest
+        #: utilization denominator (with lane-bound pools the default
+        #: pool often sits idle by construction).
+        pools_used: set[int] = set()
+        #: Slots leased to in-flight tasks, by segment name — the
+        #: cleanup authority when futures fail or the dispatch aborts.
+        outstanding: dict[str, PlaneSlot] = {}
+        bytes_shm = 0
+        bytes_pickle = 0
 
-        for i, req in enumerate(requests):
-            split = False
-            if self._split_candidate(req, len(requests)):
+        def submit_with_slot(pool, fn, *args, slot=None):
+            """Submit, guaranteeing the slot is reclaimed on failure."""
+            if slot is not None:
+                outstanding[slot.name] = slot
+            try:
+                fut = pool.submit(fn, *args, slot)
+            except BaseException:
+                self._release_slot(slot, outstanding)
+                raise
+            pools_used.add(id(pool))
+            return fut
+
+        gather_complete = False
+        try:
+            for i, req in enumerate(requests):
+                lane = lane_by_index.get(i)
+                pool = self.pool
+                if lane is not None and self.registry is not None:
+                    pool = self.registry.pool_for(lane) or self.pool
+                split = False
+                if self._split_candidate(req, len(requests)):
+                    try:
+                        info = parse_jpeg(req.data)
+                    except (ReproError, ValueError) as exc:
+                        results[i] = ImageResult(
+                            request_id=req.request_id, ok=False,
+                            error_type=type(exc).__name__, error=str(exc),
+                            latency_s=perf_counter() - t0)
+                        continue
+                    split = info.restart_interval > 0
+                if not split:
+                    slot = self._lease_image_slot(req, pool)
+                    fut = submit_with_slot(
+                        pool, decode_image_task, req, slot=slot)
+                    fut_map[fut] = ("whole", i, pool.backend == "process")
+                    continue
+                geo = info.geometry
+                # Validate the marker structure before fanning out: a
+                # truncated/corrupt scan has fewer RSTn boundaries than
+                # the DRI interval demands, and isolated segments would
+                # then zero-pad their way to silent garbage where the
+                # sequential decoder raises.
+                expected = -(-geo.total_mcus // info.restart_interval)
                 try:
-                    info = parse_jpeg(req.data)
+                    segments = split_restart_segments(
+                        info.entropy_data, geo.total_mcus,
+                        info.restart_interval)
+                    if len(segments) != expected:
+                        raise EntropyError(
+                            f"restart marker structure inconsistent: "
+                            f"expected {expected} segments, found "
+                            f"{len(segments)} (truncated or corrupt scan)")
                 except (ReproError, ValueError) as exc:
                     results[i] = ImageResult(
                         request_id=req.request_id, ok=False,
                         error_type=type(exc).__name__, error=str(exc),
                         latency_s=perf_counter() - t0)
                     continue
-                split = info.restart_interval > 0
-            if not split:
-                fut = self.pool.submit(decode_image_task, req)
-                fut_map[fut] = ("whole", i)
-                continue
-            geo = info.geometry
-            # Validate the marker structure before fanning out: a
-            # truncated/corrupt scan has fewer RSTn boundaries than the
-            # DRI interval demands, and isolated segments would then
-            # zero-pad their way to silent garbage where the sequential
-            # decoder raises.
-            expected = -(-geo.total_mcus // info.restart_interval)
-            try:
-                segments = split_restart_segments(
-                    info.entropy_data, geo.total_mcus, info.restart_interval)
-                if len(segments) != expected:
-                    raise EntropyError(
-                        f"restart marker structure inconsistent: expected "
-                        f"{expected} segments, found {len(segments)} "
-                        f"(truncated or corrupt scan)")
-            except (ReproError, ValueError) as exc:
-                results[i] = ImageResult(
-                    request_id=req.request_id, ok=False,
-                    error_type=type(exc).__name__, error=str(exc),
-                    latency_s=perf_counter() - t0)
-                continue
-            job = _SplitJob(index=i, request=req, info=info,
-                            pending=len(segments))
-            split_jobs[i] = job
-            tables = component_tables_from_info(info)
-            geo_args = (geo.width, geo.height, geo.mode)
-            for seg in segments:
-                fut = self.pool.submit(
-                    decode_segment_task, seg,
-                    info.entropy_data[seg.byte_start: seg.byte_stop],
-                    geo_args, tables, req.entropy_engine)
-                fut_map[fut] = ("segment", i)
+                job = _SplitJob(index=i, request=req, info=info,
+                                pending=len(segments))
+                split_jobs[i] = job
+                tables = component_tables_from_info(info)
+                geo_args = (geo.width, geo.height, geo.mode)
+                plane_sizes: dict[int, int] = {}
+                for seg in segments:
+                    nbytes = plane_sizes.get(seg.mcu_count)
+                    if nbytes is None:
+                        nbytes = packed_nbytes(
+                            segment_plane_nbytes(seg, geo))
+                        plane_sizes[seg.mcu_count] = nbytes
+                    slot = self._lease_segment_slot(nbytes, pool)
+                    fut = submit_with_slot(
+                        pool, decode_segment_task, seg,
+                        info.entropy_data[seg.byte_start: seg.byte_stop],
+                        geo_args, tables, req.entropy_engine, slot=slot)
+                    fut_map[fut] = ("segment", i, pool.backend == "process")
 
-        for fut in as_completed(fut_map):
-            kind, i = fut_map[fut]
-            try:
-                payload = fut.result()
-            except BaseException as exc:  # defensive: task fns don't raise
-                payload = None
-                exc_type, exc_msg = type(exc).__name__, str(exc)
-            if kind == "whole":
-                if payload is None:
-                    results[i] = ImageResult(
-                        request_id=requests[i].request_id, ok=False,
-                        error_type=exc_type, error=exc_msg)
-                else:
-                    results[i] = payload
-                results[i].latency_s = perf_counter() - t0
-            else:
-                job = split_jobs[i]
-                if payload is None:
-                    job.error_type, job.error = exc_type, exc_msg
-                else:
-                    seg, planes, err_type, err, span = payload
-                    job.spans.append(span)
-                    if planes is None:
-                        job.error_type = job.error_type or err_type
-                        job.error = job.error or err
+            for fut in as_completed(fut_map):
+                kind, i, piped = fut_map[fut]
+                try:
+                    payload = fut.result()
+                except BaseException as exc:  # defensive: tasks don't raise
+                    payload = None
+                    exc_type, exc_msg = type(exc).__name__, str(exc)
+                if kind == "whole":
+                    if payload is None:
+                        results[i] = ImageResult(
+                            request_id=requests[i].request_id, ok=False,
+                            error_type=exc_type, error=exc_msg)
                     else:
-                        job.planes_by_seg[seg.index] = (seg, planes)
-                job.pending -= 1
-                if job.pending == 0:
-                    results[i] = self._finish_split(job)
-                    results[i].latency_s = perf_counter() - t0
+                        results[i] = payload
+                        moved = self._materialize(payload, outstanding)
+                        bytes_shm += moved
+                        if (moved == 0 and payload.ok
+                                and payload.rgb is not None and piped):
+                            bytes_pickle += payload.rgb.nbytes
+                    res = results[i]
+                    res.wall_us = sum(
+                        s.duration_s for s in res.spans) * 1e6 or None
+                    res.latency_s = perf_counter() - t0
+                else:
+                    job = split_jobs[i]
+                    if payload is None:
+                        job.error_type, job.error = exc_type, exc_msg
+                    else:
+                        seg, planes, err_type, err, span = payload
+                        job.spans.append(span)
+                        if planes is None:
+                            job.error_type = job.error_type or err_type
+                            job.error = job.error or err
+                        elif isinstance(planes, tuple):
+                            # Shared-memory refs: zero-copy views; the
+                            # slot stays leased until the merge scatters
+                            # them into the whole-image grid.
+                            views = [self.arena.resolve(r, copy=False)
+                                     for r in planes]
+                            bytes_shm += sum(r.nbytes for r in planes)
+                            slot = outstanding.get(planes[0].segment)
+                            if slot is not None:
+                                job.slots.append(slot)
+                            job.planes_by_seg[seg.index] = (seg, views)
+                        else:
+                            if piped:
+                                bytes_pickle += sum(
+                                    p.nbytes for p in planes)
+                            job.planes_by_seg[seg.index] = (seg, planes)
+                    job.pending -= 1
+                    if job.pending == 0:
+                        results[i] = self._finish_split(job)
+                        for slot in job.slots:
+                            self._release_slot(slot, outstanding)
+                        results[i].wall_us = sum(
+                            s.duration_s for s in results[i].spans) * 1e6 \
+                            or None
+                        results[i].latency_s = perf_counter() - t0
+            gather_complete = True
+        finally:
+            # Crash-safety for slots whose tasks never handed them
+            # back.  After a *complete* gather every remaining slot
+            # belongs to a future that resolved with an error (its
+            # worker is dead or done), so recycling is safe.  On an
+            # aborted gather (submit raised, exception mid-loop) a
+            # sibling worker may still be writing into its lease —
+            # those names are quarantined (unlinked, never reused),
+            # not returned to the ring.
+            for slot in list(outstanding.values()):
+                if gather_complete:
+                    self._release_slot(slot, outstanding)
+                elif self.arena is not None:
+                    outstanding.pop(slot.name, None)
+                    self.arena.discard(slot)
 
         wall_s = perf_counter() - t0
         done = [r for r in results if r is not None]
         spans = [s for r in done for s in r.spans]
+        all_pools = [self.pool]
+        if self.registry is not None:
+            all_pools.extend(self.registry.pools.values())
+        workers = sum(p.workers for p in all_pools
+                      if id(p) in pools_used) or self.pool.workers
         stats = BatchStats.from_spans(
             batch_size=len(done),
             ok=sum(r.ok for r in done),
             failed=sum(not r.ok for r in done),
-            wall_s=wall_s, workers=self.pool.workers,
+            wall_s=wall_s, workers=workers,
             latencies_s=[r.latency_s for r in done],
-            spans=spans)
-        return BatchResult(results=done, stats=stats, schedule=schedule)
+            spans=spans, bytes_shm=bytes_shm, bytes_pickle=bytes_pickle)
+        return BatchResult(
+            results=done, stats=stats, schedule=schedule,
+            lane_pools=(self.registry.describe()
+                        if self.registry is not None else None),
+            transport=self.transport)
 
     def _finish_split(self, job: _SplitJob) -> ImageResult:
         """Merge a split image's segments and run the pixel stages."""
@@ -430,8 +702,16 @@ class BatchDecoder:
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down (waits for in-flight tasks)."""
+        """Shut pools down (waits for in-flight tasks), then unlink
+        every shared-memory segment the arena still holds — including
+        slots a crashed worker never returned.  A caller-supplied
+        ``ExecutorRegistry`` is left open (the caller owns it); only a
+        registry this decoder built from a layout spec is closed."""
         self.pool.close()
+        if self.registry is not None and self._owns_registry:
+            self.registry.close()
+        if self.arena is not None:
+            self.arena.close()
 
     def __enter__(self) -> "BatchDecoder":
         """Context-manager entry: the decoder itself."""
@@ -471,7 +751,9 @@ class DecodeService:
     def __init__(self, batch_size: int = 8, queue_capacity: int = 32,
                  workers: int | None = None, backend: str | None = None,
                  defaults: ImageRequest | None = None,
-                 scheduler: ModelScheduler | str | None = None) -> None:
+                 scheduler: ModelScheduler | str | None = None,
+                 transport: str = "auto",
+                 lane_pools: "object | str | bool | None" = None) -> None:
         """Build the underlying pump-less session; *batch_size* caps one
         drain step.
 
@@ -480,6 +762,9 @@ class DecodeService:
         model-guided cross-image scheduling; the service then feeds each
         batch's observed per-image times back into the scheduler's
         per-lane throughput estimates after every :meth:`run_once`.
+        *transport*/*lane_pools* are forwarded to
+        :class:`BatchDecoder` (shared-memory plane transport and
+        lane-bound executor pools).
         """
         from .session import DecodeSession
 
@@ -488,7 +773,8 @@ class DecodeService:
         self.session = DecodeSession(
             max_batch=batch_size, queue_capacity=queue_capacity,
             workers=workers, backend=backend, defaults=defaults,
-            scheduler=scheduler, pump=False)
+            scheduler=scheduler, transport=transport,
+            lane_pools=lane_pools, pump=False)
 
     @property
     def batch_size(self) -> int:

@@ -150,6 +150,11 @@ class BatchSchedule:
     #: Round-robin only: lane index where the next batch's rotation
     #: resumes, so streams of small batches keep cycling lanes.
     rr_next_cursor: int = 0
+    #: True when the batch executed on lane-bound pools
+    #: (:mod:`repro.service.executors`): observed per-lane times are
+    #: then real wall-clock (``ImageResult.wall_us``) rather than the
+    #: executor simulation's microseconds.
+    wall_time: bool = False
 
     @property
     def makespan_us(self) -> float:
@@ -366,13 +371,18 @@ def lane_outcomes(schedule: BatchSchedule, results: "Sequence[ImageResult]"
     """Pair lane-placed assignments with their observed decode times.
 
     Returns ``(assignment, observed_us)`` for every successfully decoded
-    image the schedule placed on a lane.  The observed quantity is the
-    executor's own measured time (``ImageResult.simulated_us`` — every
-    lane runs an executor mode, so it is always present), in the same
-    simulated microseconds the predictions are in.  Images decoded
-    outside a lane (split fallbacks, unassigned) have no comparable
-    observation and are excluded, as are failures.  Both the feedback
-    loop (:meth:`ModelScheduler.observe`) and the service stats
+    image the schedule placed on a lane.  The observed quantity depends
+    on how the batch executed: on one shared pool it is the executor's
+    own simulated time (``ImageResult.simulated_us`` — the same
+    model-world microseconds the predictions are in), but when the
+    schedule ran on lane-bound pools (``schedule.wall_time``) it is the
+    *real* worker wall-clock (``ImageResult.wall_us``), so the EWMA
+    scales converge to each lane's genuine hardware throughput and the
+    LPT greedy starts optimizing the measured makespan — the cross-batch
+    analog of the paper's Eq 16/17 runtime repartitioning.  Images
+    decoded outside a lane (split fallbacks, unassigned) have no
+    comparable observation and are excluded, as are failures.  Both the
+    feedback loop (:meth:`ModelScheduler.observe`) and the service stats
     (:meth:`~repro.service.stats.ServiceStats.record_schedule`) consume
     this one definition, so they can never silently diverge.
     """
@@ -382,9 +392,11 @@ def lane_outcomes(schedule: BatchSchedule, results: "Sequence[ImageResult]"
         a = by_index.get(i)
         if a is None or a.executor is None or not result.ok:
             continue
-        if result.simulated_us is None:
+        observed = result.wall_us if schedule.wall_time \
+            else result.simulated_us
+        if observed is None or observed <= 0:
             continue
-        outcomes.append((a, result.simulated_us))
+        outcomes.append((a, observed))
     return outcomes
 
 

@@ -151,14 +151,18 @@ class DecodeSession:
                  workers: int | None = None, backend: str | None = None,
                  defaults: ImageRequest | None = None,
                  scheduler: ModelScheduler | str | None = None,
+                 transport: str = "auto",
+                 lane_pools: "object | str | bool | None" = None,
+                 shm_min_bytes: int | None = None,
                  pump: bool = True) -> None:
         """Build queue, decoder and (unless ``pump=False``) the pump.
 
         *max_batch* caps one dispatched batch; *max_delay_ms* bounds how
         long the oldest pending request may wait for the batch to fill.
         The remaining knobs are those of
-        :class:`~repro.service.batch.BatchDecoder` /
-        :class:`~repro.service.queue.SubmissionQueue`.
+        :class:`~repro.service.batch.BatchDecoder` (including the
+        shared-memory *transport* selection and lane-bound executor
+        *lane_pools*) / :class:`~repro.service.queue.SubmissionQueue`.
         """
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -168,8 +172,13 @@ class DecodeSession:
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
         self.queue = SubmissionQueue(capacity=queue_capacity)
+        decoder_kwargs = {}
+        if shm_min_bytes is not None:
+            decoder_kwargs["shm_min_bytes"] = shm_min_bytes
         self.decoder = BatchDecoder(workers=workers, backend=backend,
-                                    defaults=defaults, scheduler=scheduler)
+                                    defaults=defaults, scheduler=scheduler,
+                                    transport=transport,
+                                    lane_pools=lane_pools, **decoder_kwargs)
         self.stats = ServiceStats()
         self._stats_lock = threading.Lock()
         self._next_id = 0
@@ -294,7 +303,8 @@ class DecodeSession:
                               [r.latency_s for r in batch.results])
             if batch.schedule is not None and self.decoder.scheduler is not None:
                 self.decoder.scheduler.observe(batch.schedule, batch.results)
-                self.stats.record_schedule(batch.schedule, batch.results)
+                self.stats.record_schedule(batch.schedule, batch.results,
+                                           lane_pools=batch.lane_pools)
         for entry, result in zip(entries, batch.results):
             entry.handle._set_result(result)
         return batch
@@ -325,8 +335,11 @@ class DecodeSession:
         snap["max_batch"] = self.max_batch
         snap["max_delay_ms"] = self.max_delay_ms
         snap["closed"] = self._closed
+        snap["transport"]["mode"] = self.decoder.transport
         if self.decoder.scheduler is not None:
             snap["scheduler"] = self.decoder.scheduler.snapshot()
+        if self.decoder.registry is not None:
+            snap["lane_pools"] = self.decoder.registry.describe()
         return snap
 
     # -- lifecycle ------------------------------------------------------

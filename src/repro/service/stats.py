@@ -75,12 +75,18 @@ class BatchStats:
     worker_utilization: float
     #: Busy seconds keyed by worker name (thread name or "pid-<n>").
     per_worker_busy_s: dict[str, float] = field(default_factory=dict)
+    #: Result bytes that crossed shared memory (descriptor transport).
+    bytes_shm: int = 0
+    #: Result bytes that crossed a process boundary pickled.
+    bytes_pickle: int = 0
 
     @classmethod
     def from_spans(cls, *, batch_size: int, ok: int, failed: int,
                    wall_s: float, workers: int,
                    latencies_s: list[float],
-                   spans: list[WorkSpan]) -> "BatchStats":
+                   spans: list[WorkSpan],
+                   bytes_shm: int = 0,
+                   bytes_pickle: int = 0) -> "BatchStats":
         """Reduce per-image latencies and worker spans into one record."""
         lat_ms = [s * 1e3 for s in latencies_s] or [0.0]
         busy: dict[str, float] = {}
@@ -98,6 +104,8 @@ class BatchStats:
             latency_mean_ms=sum(lat_ms) / len(lat_ms),
             worker_utilization=util,
             per_worker_busy_s=busy,
+            bytes_shm=bytes_shm,
+            bytes_pickle=bytes_pickle,
         )
 
     def format(self) -> str:
@@ -121,13 +129,32 @@ class ExecutorUsage:
     images: int = 0
     predicted_us: float = 0.0
     observed_us: float = 0.0
+    #: Real worker busy seconds spent on this lane's images (only
+    #: meaningful once the lane runs on its own bound pool).
+    busy_s: float = 0.0
+    #: The lane's bound pool, when lane-bound execution is active.
+    pool_backend: str = ""
+    pool_workers: int = 0
 
     @property
     def bias(self) -> float:
-        """Observed/predicted time ratio (1.0 = the model was exact)."""
+        """Observed/predicted time ratio (1.0 = the model was exact).
+
+        With lane-bound pools the observation is real wall-clock while
+        the prediction stays in the model's simulated microseconds, so
+        the bias is the lane's wall-per-simulated-us factor rather than
+        a dimensionless error — still exactly what the feedback scale
+        converges to.
+        """
         if self.predicted_us <= 0:
             return 1.0
         return self.observed_us / self.predicted_us
+
+    def utilization(self, total_wall_s: float) -> float:
+        """Busy fraction of this lane's pool over *total_wall_s*."""
+        if total_wall_s <= 0 or self.pool_workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / (total_wall_s * self.pool_workers))
 
 
 @dataclass
@@ -143,6 +170,9 @@ class ServiceStats:
     images_split: int = 0
     #: Scheduled batches only: per-lane placement and prediction totals.
     per_executor: dict[str, ExecutorUsage] = field(default_factory=dict)
+    #: Result bytes moved through each transport across all batches.
+    bytes_shm: int = 0
+    bytes_pickle: int = 0
     _latencies_s: deque = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
 
@@ -152,9 +182,12 @@ class ServiceStats:
         self.images_ok += stats.ok
         self.images_failed += stats.failed
         self.total_wall_s += stats.wall_s
+        self.bytes_shm += stats.bytes_shm
+        self.bytes_pickle += stats.bytes_pickle
         self._latencies_s.extend(latencies_s)
 
-    def record_schedule(self, schedule, results) -> None:
+    def record_schedule(self, schedule, results,
+                        lane_pools: dict | None = None) -> None:
         """Fold one scheduled batch's placements into per-lane totals.
 
         *schedule* is the batch's
@@ -163,17 +196,34 @@ class ServiceStats:
         index space).  Per-lane observed/predicted totals use the same
         :func:`~repro.service.scheduler.lane_outcomes` extraction the
         feedback loop uses, so the reported bias always matches what
-        the scheduler learned from.
+        the scheduler learned from.  *lane_pools* (the batch's
+        lane→pool binding map, when it ran on lane-bound executor
+        pools) attributes each lane's real busy seconds to its pool so
+        :meth:`as_dict` can report per-lane pool utilization.
         """
         from .scheduler import lane_outcomes
 
         self.images_split += sum(a.split for a in schedule.assignments)
+        by_index = {a.index: a for a in schedule.assignments}
         for a, observed in lane_outcomes(schedule, results):
             usage = self.per_executor.setdefault(
                 a.executor.name, ExecutorUsage())
             usage.images += 1
             usage.predicted_us += a.predicted_us
             usage.observed_us += observed
+        if lane_pools:
+            for i, result in enumerate(results):
+                a = by_index.get(i)
+                if a is None or a.executor is None:
+                    continue
+                pool = lane_pools.get(a.executor.name)
+                if pool is None:
+                    continue
+                usage = self.per_executor.setdefault(
+                    a.executor.name, ExecutorUsage())
+                usage.busy_s += sum(s.duration_s for s in result.spans)
+                usage.pool_backend = pool.get("backend", "")
+                usage.pool_workers = pool.get("workers", 0)
 
     @property
     def images_per_sec(self) -> float:
@@ -204,12 +254,22 @@ class ServiceStats:
                 "p99": percentile(lat, 99),
                 "mean": sum(lat) / len(lat),
             },
+            "transport": {
+                "shm_bytes": self.bytes_shm,
+                "pickle_bytes": self.bytes_pickle,
+            },
             "per_executor": {
                 name: {
                     "images": u.images,
                     "predicted_us": u.predicted_us,
                     "observed_us": u.observed_us,
                     "bias": u.bias,
+                    "busy_s": u.busy_s,
+                    "pool": {
+                        "backend": u.pool_backend,
+                        "workers": u.pool_workers,
+                    },
+                    "utilization": u.utilization(self.total_wall_s),
                 }
                 for name, u in sorted(self.per_executor.items())
             },

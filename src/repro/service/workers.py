@@ -63,12 +63,16 @@ class WorkerPool:
     """Uniform submit/close wrapper over the three pool backends."""
 
     def __init__(self, workers: int | None = None,
-                 backend: str | None = None) -> None:
+                 backend: str | None = None,
+                 name: str | None = None) -> None:
         """Create a pool of *workers* workers on *backend*.
 
         ``workers=None`` uses every core; ``backend=None`` picks
-        :func:`default_backend`.
+        :func:`default_backend`.  *name* labels the pool (lane-bound
+        pools use the lane name) and prefixes its worker threads so
+        utilization spans attribute to the right pool.
         """
+        self.name = name or "decode"
         self.backend = backend or default_backend()
         if self.backend not in BACKENDS:
             raise ServiceError(
@@ -83,7 +87,8 @@ class WorkerPool:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         elif self.backend == "thread":
             self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="decode-worker")
+                max_workers=self.workers,
+                thread_name_prefix=f"{self.name}-worker")
         else:
             self._pool = None
             self.workers = 1

@@ -1,11 +1,13 @@
 """Docstring (D1) lint over the scoped modules, run as a tier-1 test.
 
-The scope is the ISSUE-2 satellite contract, widened by ISSUE 3 and
-ISSUE 4: ``repro.jpeg.fast_entropy``, ``repro.jpeg.parallel_huffman``,
-every module of ``repro.service`` (the scheduler and the serving front
-ends ``session``/``aio``/``http`` included), and the partitioning core
-``repro.core.partition``/``repro.core.perfmodel`` must document their
-module, every public class and every public function/method.  The
+The scope is the ISSUE-2 satellite contract, widened by ISSUEs 3-5:
+``repro.jpeg.fast_entropy``, ``repro.jpeg.parallel_huffman``,
+every module of ``repro.service`` (the scheduler, the serving front
+ends ``session``/``aio``/``http``, and the ISSUE-5 lane-pool
+``executors``/shared-memory ``transport`` modules included), and the
+partitioning core ``repro.core.partition``/``repro.core.perfmodel``
+must document their module, every public class and every public
+function/method.  The
 checker itself is ``tools/check_docstrings.py`` (stdlib ``ast``;
 pydocstyle/ruff are not available offline).
 """
@@ -31,6 +33,14 @@ def test_scope_includes_serving_front_ends():
     files = check_docstrings.collect(list(check_docstrings.DEFAULT_TARGETS))
     names = {f.name for f in files if "service" in str(f)}
     assert {"session.py", "aio.py", "http.py"} <= names
+
+
+def test_scope_includes_executors_and_transport():
+    """The ISSUE-5 widening: the lane-pool executors and the
+    shared-memory transport modules must stay fully documented."""
+    files = check_docstrings.collect(list(check_docstrings.DEFAULT_TARGETS))
+    names = {f.name for f in files if "service" in str(f)}
+    assert {"executors.py", "transport.py"} <= names
 
 
 def test_checker_flags_missing_docstrings(tmp_path):

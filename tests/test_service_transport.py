@@ -1,0 +1,428 @@
+"""Shared-memory plane transport: arena lifecycle, leak accounting
+(including a killed worker mid-batch), bit-identity of ``transport=shm``
+across engines x schedulers x lane-pool layouts, and the N-producer
+session stress with shm enabled."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.jpeg import EncoderSettings, decode_jpeg, encode_jpeg
+from repro.jpeg.markers import parse_jpeg
+from repro.service import (
+    BatchDecoder,
+    DecodeSession,
+    ExecutorRegistry,
+    ImageRequest,
+    ModelScheduler,
+    PlaneArena,
+    WorkerPool,
+    resolve_transport,
+    shm_available,
+)
+from repro.service.transport import (
+    PlaneRef,
+    packed_nbytes,
+    peek_dimensions,
+    publish_plane,
+    publish_planes,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable")
+
+
+def shm_files(prefix: str = "repro-") -> list[str]:
+    """Residual /dev/shm entries created by this subsystem."""
+    try:
+        return sorted(f for f in os.listdir("/dev/shm")
+                      if f.startswith(prefix))
+    except FileNotFoundError:  # non-Linux: nothing to check
+        return []
+
+
+@pytest.fixture(scope="module")
+def corpus(small_rgb, tiny_rgb):
+    """Mixed corpus: subsampling modes, a DRI image, a tiny image."""
+    return [
+        encode_jpeg(small_rgb, EncoderSettings(
+            quality=85, subsampling="4:2:2")),
+        encode_jpeg(small_rgb, EncoderSettings(
+            quality=85, subsampling="4:4:4", restart_interval=4)),
+        encode_jpeg(tiny_rgb, EncoderSettings(
+            quality=75, subsampling="4:2:0")),
+    ]
+
+
+@pytest.fixture(scope="module")
+def sequential_rgbs(corpus):
+    """Oracle: single-image sequential decodes of the corpus."""
+    return [decode_jpeg(b).rgb for b in corpus]
+
+
+class TestPlaneArena:
+    def test_lease_release_reuse(self):
+        with PlaneArena() as arena:
+            slot = arena.lease(1000)
+            assert slot.capacity >= 1000
+            assert arena.leaked() == [slot.name]
+            arena.release(slot)
+            assert arena.leaked() == []
+            again = arena.lease(500)
+            assert again.name == slot.name  # ring reuse, not a new segment
+            assert arena.created == 1 and arena.reused == 1
+
+    def test_discard_quarantines_instead_of_recycling(self):
+        """Discarded slots are unlinked, never returned to the ring —
+        the aborted-batch path where a stale worker may still write."""
+        with PlaneArena() as arena:
+            slot = arena.lease(1024)
+            arena.discard(slot)
+            assert arena.leaked() == []
+            assert slot.name not in shm_files()
+            arena.discard(slot)  # idempotent
+            fresh = arena.lease(1024)
+            assert fresh.name != slot.name  # the name was not reused
+
+    def test_release_is_idempotent(self):
+        with PlaneArena() as arena:
+            slot = arena.lease(10)
+            arena.release(slot)
+            arena.release(slot)          # no-op
+            arena.release("no-such-segment")
+            assert arena.leaked() == []
+
+    def test_close_unlinks_everything_even_leased(self):
+        arena = PlaneArena()
+        leased = arena.lease(1024)
+        freed = arena.lease(1024)
+        arena.release(freed)
+        names = {leased.name, freed.name}
+        assert set(shm_files()) & names == names
+        arena.close()
+        assert set(shm_files()) & names == set()
+        arena.close()  # idempotent
+        with pytest.raises(ServiceError):
+            arena.lease(1)
+
+    def test_max_free_bounds_the_ring(self):
+        with PlaneArena(max_free=1) as arena:
+            slots = [arena.lease(10) for _ in range(3)]
+            for slot in slots:
+                arena.release(slot)
+            # one parked segment, the surplus unlinked immediately
+            assert arena.segments == 1
+
+    def test_publish_and_resolve_roundtrip(self):
+        rng = np.random.default_rng(7)
+        arr = rng.integers(0, 255, size=(40, 30, 3), dtype=np.uint8)
+        with PlaneArena() as arena:
+            slot = arena.lease(arr.nbytes)
+            ref = publish_plane(slot, arr)
+            assert ref.nbytes == arr.nbytes
+            copy = arena.resolve(ref)
+            view = arena.resolve(ref, copy=False)
+            assert np.array_equal(copy, arr)
+            assert np.array_equal(view, arr)
+            # the copy is independent of the segment, the view is not
+            view[0, 0, 0] ^= 0xFF
+            assert not np.array_equal(arena.resolve(ref), copy) or \
+                copy[0, 0, 0] == arr[0, 0, 0]
+
+    def test_publish_planes_packs_with_alignment(self):
+        planes = [np.full((5, 8, 8), i, dtype=np.int16) for i in range(3)]
+        nbytes = packed_nbytes(p.nbytes for p in planes)
+        with PlaneArena() as arena:
+            slot = arena.lease(nbytes)
+            refs = publish_planes(slot, planes)
+            assert all(r.offset % 64 == 0 for r in refs)
+            for ref, plane in zip(refs, planes):
+                assert np.array_equal(arena.resolve(ref), plane)
+
+    def test_publish_overflow_raises(self):
+        with PlaneArena(granularity=4096) as arena:
+            slot = arena.lease(16)
+            with pytest.raises(ServiceError):
+                publish_plane(slot, np.zeros(slot.capacity + 1,
+                                             dtype=np.uint8))
+
+    def test_resolve_unknown_segment_raises(self):
+        with PlaneArena() as arena:
+            ref = PlaneRef(segment="repro-nope", offset=0,
+                           shape=(1,), dtype="|u1")
+            with pytest.raises(ServiceError):
+                arena.resolve(ref)
+
+
+class TestTransportResolution:
+    def test_pickle_always_allowed(self):
+        assert resolve_transport("pickle", {"process"}) == "pickle"
+
+    def test_auto_uses_shm_only_with_process_pools(self):
+        assert resolve_transport("auto", {"process"}) == "shm"
+        assert resolve_transport("auto", {"thread"}) == "pickle"
+        assert resolve_transport("auto", {"serial"}) == "pickle"
+        assert resolve_transport("shm", {"serial", "process"}) == "shm"
+        assert resolve_transport("shm", {"thread"}) == "pickle"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ServiceError):
+            resolve_transport("carrier-pigeon", {"process"})
+
+    def test_bad_config_spawns_no_pools(self):
+        """Constructor validation fires before any pool exists, so a
+        misconfigured decoder cannot leak worker processes."""
+        with pytest.raises(ServiceError):
+            BatchDecoder(backend="process", transport="carrier-pigeon")
+        with pytest.raises(ServiceError):
+            BatchDecoder(backend="process", lane_pools="auto")  # no scheduler
+
+
+class TestPeekDimensions:
+    def test_matches_full_parse(self, corpus):
+        for blob in corpus:
+            info = parse_jpeg(blob)
+            assert peek_dimensions(blob) == (info.width, info.height)
+
+    def test_garbage_returns_none(self, corpus):
+        assert peek_dimensions(b"") is None
+        assert peek_dimensions(b"\x00" * 64) is None
+        assert peek_dimensions(corpus[0][:8]) is None
+        # SOI followed by immediate EOI: no frame header
+        assert peek_dimensions(b"\xff\xd8\xff\xd9") is None
+
+
+# ---------------------------------------------------------------------------
+# Leak accounting under worker death.
+# ---------------------------------------------------------------------------
+
+def _sigkill_self(slot=None):
+    """Module-level task: die exactly like a crashed/OOM-killed worker."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestCrashSafety:
+    def test_killed_worker_slot_is_reclaimed_and_unlinked(self):
+        """A worker that dies holding a leased slot must not leak its
+        segment: the pool breaks, the caller releases, close unlinks."""
+        arena = PlaneArena()
+        pool = WorkerPool(workers=1, backend="process")
+        slot = arena.lease(4096)
+        fut = pool.submit(_sigkill_self, slot)
+        with pytest.raises(BaseException):
+            fut.result(timeout=60)
+        assert arena.leaked() == [slot.name]  # accounting sees the loss
+        arena.release(slot)                   # the error-path reclaim
+        assert arena.leaked() == []
+        name = slot.name
+        arena.close()
+        pool.close()
+        assert name not in shm_files()
+
+    def test_worker_killed_mid_batch_leaves_no_segments(self, corpus,
+                                                        sequential_rgbs):
+        """Kill the pool's worker while it decodes a shm-transported
+        batch: results fail, but every segment is released and close()
+        unlinks the arena without residue."""
+        dec = BatchDecoder(workers=1, backend="process", transport="shm",
+                           shm_min_bytes=0)
+        # Warm the pool and the ring with a healthy batch first.
+        batch = dec.decode_batch([corpus[0]])
+        assert batch.ok
+        assert np.array_equal(batch.results[0].rgb, sequential_rgbs[0])
+        assert dec.arena.leaked() == []
+        pid = dec.pool.submit(os.getpid).result(timeout=60)
+
+        killer = threading.Timer(0.05, os.kill, (pid, signal.SIGKILL))
+        killer.start()
+        try:
+            result = dec.decode_batch([corpus[0], corpus[1]])
+            # Worker died mid-flight: the batch reports per-image
+            # failures rather than raising.
+            assert not result.ok
+        except Exception:
+            # Or the pool was already broken at submit time — equally
+            # acceptable; the transport contract is about cleanup.
+            pass
+        finally:
+            killer.cancel()
+        assert dec.arena.leaked() == []
+        names = shm_files()
+        dec.close()
+        assert dec.arena.leaked() == []
+        assert not shm_files()
+        assert names is not None  # silence lint; names captured pre-close
+
+    def test_batch_completion_releases_every_slot(self, corpus):
+        """After any successful shm batch the ring holds zero leases."""
+        with BatchDecoder(workers=2, backend="process", transport="shm",
+                          shm_min_bytes=0) as dec:
+            reqs = [ImageRequest(data=corpus[1], split_segments=True),
+                    ImageRequest(data=corpus[0])]
+            batch = dec.decode_batch(reqs)
+            assert batch.ok
+            assert dec.arena.leaked() == []
+        assert not shm_files()
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity matrix: engines x schedulers x lane-pool layouts.
+# ---------------------------------------------------------------------------
+
+def _identity_requests(corpus, engine):
+    """The corpus as requests, including a forced DRI fan-out image."""
+    reqs = [ImageRequest(data=b, entropy_engine=engine) for b in corpus]
+    reqs.append(ImageRequest(data=corpus[1], entropy_engine=engine,
+                             split_segments=True))
+    return reqs
+
+
+class TestShmBitIdentity:
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_unscheduled(self, corpus, sequential_rgbs, engine):
+        oracle = sequential_rgbs + [sequential_rgbs[1]]
+        with BatchDecoder(workers=2, backend="process", transport="shm",
+                          shm_min_bytes=0) as dec:
+            assert dec.transport == "shm"
+            batch = dec.decode_batch(_identity_requests(corpus, engine))
+            assert batch.ok, [(r.error_type, r.error) for r in batch]
+            assert batch.results[-1].segments > 1  # DRI fan-out ran
+            assert batch.stats.bytes_shm > 0
+            for res, want in zip(batch, oracle):
+                assert np.array_equal(res.rgb, want)
+            assert dec.arena.leaked() == []
+
+    @pytest.mark.parametrize("policy", ["model", "roundrobin"])
+    @pytest.mark.parametrize("layout", [None, "gpu=process:1,cpu=process:1"])
+    def test_scheduled_lane_layouts(self, corpus, sequential_rgbs,
+                                    policy, layout):
+        """Scheduled batches stay bit-identical with shm transport, with
+        and without lane-bound pools."""
+        scheduler = ModelScheduler(policy=policy)
+        lane_pools = None if layout is None else ExecutorRegistry(
+            scheduler.executors, layout=layout)
+        try:
+            with BatchDecoder(workers=2, backend="process", transport="shm",
+                              shm_min_bytes=0, scheduler=scheduler,
+                              lane_pools=lane_pools) as dec:
+                batch = dec.decode_batch(corpus)
+                assert batch.ok, [(r.error_type, r.error) for r in batch]
+                assert batch.schedule is not None
+                assert batch.schedule.wall_time == (lane_pools is not None)
+                for res, want in zip(batch, sequential_rgbs):
+                    assert np.array_equal(res.rgb, want)
+                assert dec.arena.leaked() == []
+        finally:
+            if lane_pools is not None:  # caller-owned: decoder leaves open
+                lane_pools.close()
+        assert not shm_files()
+
+
+# ---------------------------------------------------------------------------
+# Transport stats plumbing.
+# ---------------------------------------------------------------------------
+
+class TestTransportStats:
+    def test_bytes_moved_counters(self, corpus):
+        with BatchDecoder(workers=2, backend="process",
+                          transport="shm", shm_min_bytes=0) as dec:
+            shm_batch = dec.decode_batch([corpus[0]])
+        with BatchDecoder(workers=2, backend="process",
+                          transport="pickle") as dec:
+            pickle_batch = dec.decode_batch([corpus[0]])
+        rgb_bytes = decode_jpeg(corpus[0]).rgb.nbytes
+        assert shm_batch.stats.bytes_shm == rgb_bytes
+        assert shm_batch.stats.bytes_pickle == 0
+        assert pickle_batch.stats.bytes_pickle == rgb_bytes
+        assert pickle_batch.stats.bytes_shm == 0
+
+    def test_session_snapshot_has_transport_and_lane_detail(self, corpus):
+        scheduler = ModelScheduler(policy="model")
+        with ExecutorRegistry(scheduler.executors,
+                              layout="gpu=thread:1,cpu=thread:1") as registry, \
+                DecodeSession(max_batch=4, backend="serial", pump=False,
+                              scheduler=scheduler, lane_pools=registry) as s:
+            for blob in corpus:
+                s.submit(blob)
+            while s.run_once() is not None:
+                pass
+            snap = s.stats_snapshot()
+        assert snap["transport"]["mode"] == "pickle"  # serial default pool
+        assert set(snap["lane_pools"]) == {ln.name
+                                           for ln in scheduler.executors}
+        lanes = snap["per_executor"]
+        assert lanes, "scheduled batch must report lane usage"
+        for entry in lanes.values():
+            assert {"busy_s", "pool", "utilization"} <= set(entry)
+
+    def test_http_stats_surface_transport(self, corpus):
+        """GET /stats (repro serve) carries the new transport keys."""
+        import json
+        from urllib.request import urlopen
+
+        from repro.service import DecodeHTTPServer
+
+        with DecodeHTTPServer(port=0, backend="serial", max_batch=2,
+                              pump=True) as server:
+            thread = threading.Thread(target=server.serve_forever,
+                                      kwargs={"max_requests": 1},
+                                      daemon=True)
+            thread.start()
+            with urlopen(f"{server.url}/stats", timeout=30) as resp:
+                snap = json.loads(resp.read())
+            thread.join(timeout=30)
+        assert "transport" in snap
+        assert {"mode", "shm_bytes", "pickle_bytes"} <= set(snap["transport"])
+
+
+# ---------------------------------------------------------------------------
+# N-producer session stress with shm transport enabled.
+# ---------------------------------------------------------------------------
+
+class TestSessionStressShm:
+    def test_many_producers_blocking_mode(self, corpus, sequential_rgbs):
+        """Concurrent producers over a small queue, process pool + shm:
+        nothing lost, nothing duplicated, everything bit-identical."""
+        producers, per_producer = 4, 6
+        session = DecodeSession(max_batch=4, max_delay_ms=1.0,
+                                queue_capacity=8, workers=2,
+                                backend="process", transport="shm",
+                                shm_min_bytes=0)
+        assert session.decoder.transport == "shm"
+        handles: dict[int, list] = {i: [] for i in range(producers)}
+
+        def produce(k: int) -> None:
+            for j in range(per_producer):
+                blob = corpus[(k + j) % len(corpus)]
+                handles[k].append(
+                    (session.submit(blob, timeout=None), (k + j) % len(corpus)))
+
+        threads = [threading.Thread(target=produce, args=(k,))
+                   for k in range(producers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seen = set()
+        for k in range(producers):
+            assert len(handles[k]) == per_producer
+            for handle, oracle_idx in handles[k]:
+                result = handle.result(timeout=120)
+                assert result.ok, (result.error_type, result.error)
+                assert np.array_equal(result.rgb, sequential_rgbs[oracle_idx])
+                assert result.request_id not in seen
+                seen.add(result.request_id)
+        assert len(seen) == producers * per_producer
+        assert session.stats.bytes_shm > 0
+        session.close()
+        assert session.decoder.arena.leaked() == []
+        # allow the ring unlinks to settle, then check the filesystem
+        time.sleep(0.05)
+        assert not shm_files()
