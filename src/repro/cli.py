@@ -146,14 +146,17 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
 
-    scheduler = _build_scheduler(args.schedule, args.platform)
+    scheduler = _build_scheduler(args.schedule, args.platform,
+                                 args.breaker_threshold)
     lane_pools = None if args.lane_pools == "none" else args.lane_pools
     failures = 0
     with DecodeService(batch_size=args.batch_size,
                        queue_capacity=args.queue_capacity,
                        workers=args.workers, backend=args.backend,
                        scheduler=scheduler, transport=args.transport,
-                       lane_pools=lane_pools) as svc:
+                       lane_pools=lane_pools,
+                       retry_budget=args.retry_budget,
+                       default_deadline_ms=args.default_deadline_ms) as svc:
         print(f"serve-batch: {len(blobs)} inputs x{args.repeat}, "
               f"batch={args.batch_size}, queue={args.queue_capacity}, "
               f"{svc.decoder.pool.workers} x {svc.decoder.pool.backend} "
@@ -197,18 +200,29 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def _build_scheduler(schedule: str, platform: str):
-    """Scheduler instance for serve/serve-batch (None when disabled)."""
+def _build_scheduler(schedule: str, platform: str,
+                     breaker_threshold: int | None = None):
+    """Scheduler instance for serve/serve-batch (None when disabled).
+
+    *breaker_threshold* tunes the lane circuit breakers (consecutive
+    infrastructure failures before a lane trips open); None keeps the
+    :class:`~repro.service.scheduler.LaneBreakerBoard` defaults.
+    """
     if schedule == "none":
         return None
     from .evaluation import platforms
-    from .service import ModelScheduler
+    from .service import LaneBreakerBoard, ModelScheduler
 
     plat = {p.name: p for p in platforms.ALL_PLATFORMS}[platform]
-    return ModelScheduler(policy=schedule, platform=plat)
+    breakers = (LaneBreakerBoard(threshold=breaker_threshold)
+                if breaker_threshold is not None else None)
+    return ModelScheduler(policy=schedule, platform=plat, breakers=breakers)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from .service import DecodeHTTPServer
 
     server = DecodeHTTPServer(
@@ -216,9 +230,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
         queue_capacity=args.queue_capacity,
         workers=args.workers, backend=args.backend,
-        scheduler=_build_scheduler(args.schedule, args.platform),
+        scheduler=_build_scheduler(args.schedule, args.platform,
+                                   args.breaker_threshold),
         transport=args.transport,
-        lane_pools=None if args.lane_pools == "none" else args.lane_pools)
+        lane_pools=None if args.lane_pools == "none" else args.lane_pools,
+        retry_budget=args.retry_budget,
+        default_deadline_ms=args.default_deadline_ms)
     pool = server.session.decoder.pool
     print(f"serve: listening on {server.url} "
           f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms}ms, "
@@ -231,11 +248,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           + ")", flush=True)
     print("endpoints: POST /decode (JPEG in, PPM out; ?format=json for "
           "metadata), GET /stats, GET /healthz", flush=True)
+
+    # Graceful drain on SIGTERM/SIGINT: stop accepting connections,
+    # decode everything already accepted, exit 0.  The handler must not
+    # call server.shutdown() inline — it runs on the main thread, which
+    # is inside serve_forever, and shutdown() blocks until that loop
+    # exits — so a helper thread issues the stop.
+    draining = threading.Event()
+
+    def _graceful(signum: int, frame: object) -> None:
+        if draining.is_set():
+            return
+        draining.set()
+        print(f"received {signal.Signals(signum).name}: draining, "
+              f"no longer accepting requests", file=sys.stderr, flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous: dict[int, object] = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _graceful)
+        except ValueError:
+            pass  # not the main thread (embedded use): no signal hooks
     try:
         server.serve_forever(max_requests=args.max_requests)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
     finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        # close() drains the owned session: every accepted request's
+        # handle resolves before the pool shuts down.
         server.close()
         print(f"summary: {server.session.stats.format()}")
     return 0
@@ -344,6 +387,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="feed the input set N times (soak/throughput)")
     p.add_argument("--out-dir", default=None,
                    help="write decoded PPMs into this directory")
+    p.add_argument("--retry-budget", type=int, default=None,
+                   help="redispatches per image after a worker crash "
+                        "before the request fails (default: 2)")
+    p.add_argument("--breaker-threshold", type=int, default=None,
+                   help="consecutive infrastructure failures before a "
+                        "scheduler lane's circuit breaker trips open "
+                        "(requires --schedule; default: 3)")
+    p.add_argument("--default-deadline-ms", type=float, default=None,
+                   help="queueing deadline applied to requests that do "
+                        "not carry one; expired requests are shed "
+                        "before decode (default: none)")
     p.set_defaults(func=_cmd_serve_batch)
 
     p = sub.add_parser(
@@ -384,6 +438,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-requests", type=int, default=None,
                    help="exit after N connections (smoke tests/demos; "
                         "default: serve forever)")
+    p.add_argument("--retry-budget", type=int, default=None,
+                   help="redispatches per image after a worker crash "
+                        "before the request fails (default: 2)")
+    p.add_argument("--breaker-threshold", type=int, default=None,
+                   help="consecutive infrastructure failures before a "
+                        "scheduler lane's circuit breaker trips open "
+                        "(requires --schedule; default: 3)")
+    p.add_argument("--default-deadline-ms", type=float, default=None,
+                   help="queueing deadline applied to requests without "
+                        "an X-Deadline-Ms header; expired requests "
+                        "answer 504 (default: none)")
     p.set_defaults(func=_cmd_serve)
 
     return parser

@@ -77,3 +77,14 @@ class QueueFullError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """Operation attempted on a closed queue, pool, or service."""
+
+
+class WorkerCrashError(ServiceError):
+    """A pool worker died (or was killed) while decoding; the request's
+    retry budget is exhausted.  Raised inside thread/serial workers by
+    injected ``kill`` faults to simulate the process-pool crash path."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline passed before its decode started; the
+    request was shed instead of decoded (HTTP 504)."""

@@ -33,6 +33,12 @@ points):
   plane transport for process-backend results (``transport="shm"``)
 - :class:`~repro.service.queue.SubmissionQueue` — the backpressure ingress
 - :class:`~repro.service.workers.WorkerPool` — serial/thread/process pools
+  (self-healing: a broken process pool is rebuilt in place)
+- :class:`~repro.service.faults.FaultPlan` — deterministic fault
+  injection (worker kills, decode exceptions, shm-publish failures,
+  lane delays) for chaos tests and ``benchmarks/bench_chaos.py``
+- :class:`~repro.service.scheduler.LaneBreakerBoard` — per-lane circuit
+  breakers (closed → open → half-open) feeding the scheduler
 - :class:`~repro.service.stats.BatchStats` /
   :class:`~repro.service.stats.ServiceStats` — latency percentiles,
   images/sec, worker utilization, per-lane placement totals
@@ -55,6 +61,7 @@ from .batch import (
     ImageResult,
 )
 from .executors import ExecutorRegistry, parse_lane_pools
+from .faults import FaultDirective, FaultPlan, apply_dispatch_fault
 from .http import DecodeHTTPServer, ppm_bytes
 from .queue import SubmissionQueue
 from .transport import (
@@ -67,6 +74,7 @@ from .transport import (
 from .scheduler import (
     BatchSchedule,
     ExecutorLane,
+    LaneBreakerBoard,
     ModelScheduler,
     ThroughputFeedback,
     default_executors,
@@ -92,8 +100,11 @@ __all__ = [
     "ExecutorLane",
     "ExecutorRegistry",
     "ExecutorUsage",
+    "FaultDirective",
+    "FaultPlan",
     "ImageRequest",
     "ImageResult",
+    "LaneBreakerBoard",
     "ModelScheduler",
     "PlaneArena",
     "PlaneRef",
@@ -101,6 +112,7 @@ __all__ = [
     "SubmissionQueue",
     "ThroughputFeedback",
     "WorkerPool",
+    "apply_dispatch_fault",
     "default_executors",
     "parse_lane_pools",
     "percentile",

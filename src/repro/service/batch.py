@@ -31,9 +31,9 @@ new code).
 
 from __future__ import annotations
 
-from concurrent.futures import as_completed
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field, replace
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Any, Sequence
 
 import numpy as np
@@ -55,6 +55,7 @@ from ..jpeg.parallel_huffman import (
     segment_plane_nbytes,
     split_restart_segments,
 )
+from .faults import FaultDirective, FaultPlan, apply_dispatch_fault
 from .queue import SubmissionQueue
 from .scheduler import BatchSchedule, ModelScheduler
 from .stats import BatchStats, WorkSpan
@@ -98,6 +99,12 @@ class ImageRequest:
     #: ``False`` forbids it, ``None`` lets the batch decoder decide
     #: (split only when the batch alone cannot fill the worker pool).
     split_segments: bool | None = None
+    #: Relative deadline in milliseconds from submission; ``None``
+    #: means no deadline.  A request whose deadline passes before its
+    #: decode starts is shed with
+    #: :class:`~repro.errors.DeadlineExceededError` (HTTP 504) instead
+    #: of being decoded (enforced by the session's batch forming).
+    deadline_ms: float | None = None
 
 
 @dataclass
@@ -129,6 +136,14 @@ class ImageResult:
     #: wall-clock observation lane-bound scheduling feeds back into the
     #: scheduler, as opposed to the model-world :attr:`simulated_us`.
     wall_us: float | None = None
+    #: Decode attempts this image consumed (> 1 after a worker-crash
+    #: retry; decode is pure, so a retried success is bit-identical).
+    attempts: int = 1
+    #: True when ``ok=False`` came from infrastructure (a dead worker
+    #: after the retry budget) rather than the image's own bytes — the
+    #: failure class lane circuit breakers count, since a corrupt JPEG
+    #: fails on *any* lane but a crashing lane fails every image.
+    infra_failure: bool = False
 
 
 @dataclass
@@ -145,6 +160,9 @@ class BatchResult:
     lane_pools: dict | None = None
     #: Result transport the batch used (``"shm"`` or ``"pickle"``).
     transport: str = "pickle"
+    #: Tasks re-dispatched after an infrastructure failure (dead
+    #: worker) inside this batch.
+    retries: int = 0
 
     def __iter__(self):
         """Iterate results in request order."""
@@ -166,21 +184,34 @@ class BatchResult:
 # ---------------------------------------------------------------------------
 
 def decode_image_task(request: ImageRequest,
-                      slot: PlaneSlot | None = None) -> ImageResult:
-    """Decode one whole image inside a worker; never raises.
+                      slot: PlaneSlot | None = None,
+                      fault: FaultDirective | None = None) -> ImageResult:
+    """Decode one whole image inside a worker; never raises (except by
+    injected crash faults, which model a worker that never returns).
 
-    Any failure (malformed bytes, truncated scan, unsupported feature,
-    unknown mode) is captured on the returned :class:`ImageResult` so
-    one bad image cannot poison its batch.
+    *Any* failure — malformed bytes, truncated scan, unsupported
+    feature, unknown mode, but also the unexpected (``MemoryError``,
+    numpy shape errors) — is captured on the returned
+    :class:`ImageResult` so one bad image cannot poison its batch.
+    Per-image isolation holds for arbitrary exceptions, not just the
+    library's own.
 
     With a transport *slot*, the decoded pixels are written into the
     leased shared-memory segment and the result carries only a
     :class:`~repro.service.transport.PlaneRef` — nothing heavy rides
     the pickle pipe.  If publishing fails for any reason the pixels
     fall back to the pickle path rather than failing the decode.
+
+    *fault* is an injected :class:`~repro.service.faults.FaultDirective`
+    (chaos testing only): ``kill``/``delay`` apply at entry,
+    ``exception`` raises inside the decode, ``shm_fail`` fails the
+    publish (exercising the pickle fallback).
     """
+    apply_dispatch_fault(fault)
     t0 = perf_counter()
     try:
+        if fault is not None and fault.kind == "exception":
+            raise RuntimeError(fault.message)
         if request.mode == "reference":
             decoded = decode_jpeg(request.data, DecodeOptions(
                 idct_method=request.idct_method,
@@ -205,7 +236,7 @@ def decode_image_task(request: ImageRequest,
             error_type="KeyError",
             error=f"unknown platform {request.platform!r}",
             spans=[WorkSpan(worker_name(), t0, perf_counter())])
-    except (ReproError, ValueError) as exc:
+    except Exception as exc:  # ANY failure stays on this image's result
         return ImageResult(
             request_id=request.request_id, ok=False,
             error_type=type(exc).__name__, error=str(exc),
@@ -214,6 +245,8 @@ def decode_image_task(request: ImageRequest,
     plane = None
     if slot is not None:
         try:
+            if fault is not None and fault.kind == "shm_fail":
+                raise ServiceError(fault.message)
             plane = publish_plane(slot, rgb)
             rgb = None
         except Exception:
@@ -231,9 +264,11 @@ def decode_segment_task(
     tables: list[ComponentTables],
     entropy_engine: str,
     slot: PlaneSlot | None = None,
+    fault: FaultDirective | None = None,
 ) -> tuple[RestartSegment, "list | tuple | None", str | None, str | None,
            WorkSpan]:
-    """Decode one restart segment inside a worker; never raises.
+    """Decode one restart segment inside a worker; never raises (except
+    by injected crash faults).
 
     Returns ``(segment, payload, error_type, error, span)`` — *payload*
     is None on failure, the list of coefficient planes on the pickle
@@ -241,19 +276,26 @@ def decode_segment_task(
     descriptors when a transport *slot* was leased (the planes are
     packed into the shared segment instead of riding the result pipe).
     *geometry_args* is the pickled-down ``(width, height, mode)`` of
-    the full image.
+    the full image.  Any exception class is captured — per-segment
+    isolation mirrors :func:`decode_image_task`.  *fault* injects
+    chaos the same way as for whole-image tasks.
     """
+    apply_dispatch_fault(fault)
     t0 = perf_counter()
     try:
+        if fault is not None and fault.kind == "exception":
+            raise RuntimeError(fault.message)
         geometry = ImageGeometry(*geometry_args)
         planes = decode_segment_coefficients(
             seg, segment_bytes, geometry, tables, entropy_engine)
-    except (ReproError, ValueError) as exc:
+    except Exception as exc:  # ANY failure stays on this segment
         return (seg, None, type(exc).__name__, str(exc),
                 WorkSpan(worker_name(), t0, perf_counter()))
     payload: "list | tuple" = planes
     if slot is not None:
         try:
+            if fault is not None and fault.kind == "shm_fail":
+                raise ServiceError(fault.message)
             payload = publish_planes(slot, planes)
         except Exception:
             payload = planes  # fall back to pickling the planes
@@ -281,6 +323,38 @@ class _SplitJob:
     #: Transport slots whose planes are still referenced (released only
     #: after the merge copies them out).
     slots: list[PlaneSlot] = field(default_factory=list)
+    #: True when a segment failed on infrastructure (worker crash past
+    #: the retry budget) rather than the scan bytes.
+    infra: bool = False
+    #: Max dispatch attempts any of this image's segments consumed.
+    attempts: int = 1
+
+
+@dataclass
+class _InFlight:
+    """Book-keeping for one dispatched task: everything the gather loop
+    needs to requeue it after its worker dies (a fresh slot is leased on
+    redispatch — the old one is quarantined, the dead worker may still
+    hold a view into it)."""
+
+    #: ``"whole"`` or ``"segment"``.
+    kind: str
+    #: Batch index of the image this task belongs to.
+    index: int
+    #: Pool the task ran on (redispatch targets the same, healed, pool).
+    pool: WorkerPool
+    #: True when the task crossed a process boundary (pickle accounting).
+    piped: bool
+    #: Dispatch attempts so far (1 = first try).
+    attempts: int
+    #: Shared-memory slot leased to this dispatch, if any.
+    slot: PlaneSlot | None
+    #: Scheduler lane the task was placed on (fault-plan targeting).
+    lane: str | None
+    #: Segment redispatch arguments
+    #: ``(seg, seg_bytes, geo_args, tables, engine, nbytes)``; empty for
+    #: whole-image tasks (those redispatch from ``requests[index]``).
+    args: tuple = ()
 
 
 class BatchDecoder:
@@ -292,7 +366,10 @@ class BatchDecoder:
                  scheduler: ModelScheduler | str | None = None,
                  transport: str = "auto",
                  lane_pools: "object | str | bool | None" = None,
-                 shm_min_bytes: int = SHM_MIN_BYTES) -> None:
+                 shm_min_bytes: int = SHM_MIN_BYTES,
+                 retry_budget: int = 2,
+                 retry_backoff_s: float = 0.01,
+                 faults: FaultPlan | None = None) -> None:
         """Create the pool (see :class:`~repro.service.workers.WorkerPool`
         for backend semantics).  *defaults* seeds the per-image knobs
         applied when a request is submitted as raw bytes.
@@ -319,6 +396,15 @@ class BatchDecoder:
         the default layout.  Requires a scheduler; placed images then
         dispatch to their lane's own pool and the scheduler's feedback
         sees real per-lane wall-clock times.
+
+        *retry_budget* bounds how many times one task is re-dispatched
+        after an *infrastructure* failure (its worker died and the pool
+        was rebuilt) — decode is pure, so a retried decode is
+        bit-identical.  Decode errors (``ok=False`` results) are never
+        retried: they are deterministic properties of the bytes.
+        *retry_backoff_s* is the base of the exponential back-off slept
+        before each re-dispatch.  *faults* attaches a
+        :class:`~repro.service.faults.FaultPlan` for chaos testing.
         """
         from .executors import ExecutorRegistry
         from .transport import TRANSPORTS
@@ -329,6 +415,17 @@ class BatchDecoder:
             raise ServiceError(
                 f"unknown transport {transport!r} "
                 f"(choose from {list(TRANSPORTS)})")
+        if retry_budget < 0:
+            raise ServiceError(
+                f"retry_budget must be >= 0, got {retry_budget}")
+        if retry_backoff_s < 0:
+            raise ServiceError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+        self.retry_budget = retry_budget
+        self.retry_backoff_s = retry_backoff_s
+        self.faults = faults
+        #: Cumulative infrastructure-failure re-dispatches, all batches.
+        self.retries_total = 0
         if isinstance(scheduler, str):
             scheduler = ModelScheduler(policy=scheduler)
         self.scheduler = scheduler
@@ -439,6 +536,32 @@ class BatchDecoder:
         outstanding.pop(slot.name, None)
         self.arena.release(slot)
 
+    def _quarantine_slot(self, slot: PlaneSlot | None,
+                         outstanding: dict[str, PlaneSlot]) -> None:
+        """Unlink a failed dispatch's slot without recycling it: the
+        dead (or killed) worker may have been mid-memcpy into the
+        segment, so the name must never be reused."""
+        if slot is None or self.arena is None:
+            return
+        outstanding.pop(slot.name, None)
+        self.arena.discard(slot)
+
+    def _next_fault(self, lane: str | None) -> FaultDirective | None:
+        """Consult the attached fault plan for this dispatch (None when
+        no plan is attached or the plan stays quiet)."""
+        if self.faults is None:
+            return None
+        return self.faults.next_directive(lane)
+
+    @property
+    def rebuilds(self) -> int:
+        """Worker-pool rebuilds across the default pool and every
+        lane-bound pool — the self-healing activity counter."""
+        total = self.pool.rebuilds
+        if self.registry is not None:
+            total += sum(p.rebuilds for p in self.registry.pools.values())
+        return total
+
     def _materialize(self, result: ImageResult,
                      outstanding: dict[str, PlaneSlot]) -> int:
         """Turn a transported :class:`PlaneRef` back into ``rgb``.
@@ -491,7 +614,7 @@ class BatchDecoder:
                     for a in schedule.assignments if a.executor is not None}
         t0 = perf_counter()
         results: list[ImageResult | None] = [None] * len(requests)
-        fut_map: dict[Any, tuple[str, Any]] = {}
+        pending: dict[Any, _InFlight] = {}
         split_jobs: dict[int, _SplitJob] = {}
         #: Pools that actually received work this batch — the honest
         #: utilization denominator (with lane-bound pools the default
@@ -502,18 +625,41 @@ class BatchDecoder:
         outstanding: dict[str, PlaneSlot] = {}
         bytes_shm = 0
         bytes_pickle = 0
+        retries = 0
 
-        def submit_with_slot(pool, fn, *args, slot=None):
+        def submit_with_slot(pool, fn, *args, slot=None, fault=None):
             """Submit, guaranteeing the slot is reclaimed on failure."""
             if slot is not None:
                 outstanding[slot.name] = slot
             try:
-                fut = pool.submit(fn, *args, slot)
+                fut = pool.submit(fn, *args, slot, fault)
             except BaseException:
                 self._release_slot(slot, outstanding)
                 raise
             pools_used.add(id(pool))
             return fut
+
+        def dispatch_whole(i, pool, lane, attempts=1):
+            """(Re)dispatch one whole-image task; registers in-flight."""
+            req = requests[i]
+            slot = self._lease_image_slot(req, pool)
+            fut = submit_with_slot(pool, decode_image_task, req,
+                                   slot=slot, fault=self._next_fault(lane))
+            pending[fut] = _InFlight(
+                "whole", i, pool, pool.backend == "process",
+                attempts, slot, lane)
+
+        def dispatch_segment(i, pool, lane, seg, seg_bytes, geo_args,
+                             tables, engine, nbytes, attempts=1):
+            """(Re)dispatch one restart-segment task."""
+            slot = self._lease_segment_slot(nbytes, pool)
+            fut = submit_with_slot(pool, decode_segment_task, seg,
+                                   seg_bytes, geo_args, tables, engine,
+                                   slot=slot, fault=self._next_fault(lane))
+            pending[fut] = _InFlight(
+                "segment", i, pool, pool.backend == "process",
+                attempts, slot, lane,
+                (seg, seg_bytes, geo_args, tables, engine, nbytes))
 
         gather_complete = False
         try:
@@ -534,10 +680,7 @@ class BatchDecoder:
                         continue
                     split = info.restart_interval > 0
                 if not split:
-                    slot = self._lease_image_slot(req, pool)
-                    fut = submit_with_slot(
-                        pool, decode_image_task, req, slot=slot)
-                    fut_map[fut] = ("whole", i, pool.backend == "process")
+                    dispatch_whole(i, pool, lane)
                     continue
                 geo = info.geometry
                 # Validate the marker structure before fanning out: a
@@ -573,41 +716,82 @@ class BatchDecoder:
                         nbytes = packed_nbytes(
                             segment_plane_nbytes(seg, geo))
                         plane_sizes[seg.mcu_count] = nbytes
-                    slot = self._lease_segment_slot(nbytes, pool)
-                    fut = submit_with_slot(
-                        pool, decode_segment_task, seg,
+                    dispatch_segment(
+                        i, pool, lane, seg,
                         info.entropy_data[seg.byte_start: seg.byte_stop],
-                        geo_args, tables, req.entropy_engine, slot=slot)
-                    fut_map[fut] = ("segment", i, pool.backend == "process")
+                        geo_args, tables, req.entropy_engine, nbytes)
 
-            for fut in as_completed(fut_map):
-                kind, i, piped = fut_map[fut]
-                try:
-                    payload = fut.result()
-                except BaseException as exc:  # defensive: tasks don't raise
-                    payload = None
-                    exc_type, exc_msg = type(exc).__name__, str(exc)
-                if kind == "whole":
-                    if payload is None:
-                        results[i] = ImageResult(
-                            request_id=requests[i].request_id, ok=False,
-                            error_type=exc_type, error=exc_msg)
-                    else:
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    task = pending.pop(fut)
+                    i = task.index
+                    try:
+                        payload = fut.result()
+                        failure = None
+                    except BaseException as exc:
+                        # The task function catches everything, so a
+                        # raising future means infrastructure died under
+                        # it: BrokenProcessPool (worker SIGKILLed/OOMed)
+                        # or an injected WorkerCrashError.
+                        payload, failure = None, exc
+                    if failure is not None:
+                        # The dead worker may still hold a view into
+                        # its slot — quarantine, never recycle.
+                        self._quarantine_slot(task.slot, outstanding)
+                        task.pool.heal()
+                        if task.attempts <= self.retry_budget:
+                            retries += 1
+                            sleep(self.retry_backoff_s
+                                  * (2 ** (task.attempts - 1)))
+                            if task.kind == "whole":
+                                dispatch_whole(i, task.pool, task.lane,
+                                               attempts=task.attempts + 1)
+                            else:
+                                dispatch_segment(
+                                    i, task.pool, task.lane, *task.args,
+                                    attempts=task.attempts + 1)
+                            continue
+                        exc_msg = (
+                            f"worker crashed after {task.attempts} "
+                            f"attempt(s): {type(failure).__name__}: "
+                            f"{failure}")
+                        if task.kind == "whole":
+                            results[i] = ImageResult(
+                                request_id=requests[i].request_id,
+                                ok=False, error_type="WorkerCrashError",
+                                error=exc_msg, infra_failure=True,
+                                attempts=task.attempts,
+                                latency_s=perf_counter() - t0)
+                        else:
+                            job = split_jobs[i]
+                            job.error_type = (job.error_type
+                                              or "WorkerCrashError")
+                            job.error = job.error or exc_msg
+                            job.infra = True
+                            job.attempts = max(job.attempts, task.attempts)
+                            job.pending -= 1
+                            if job.pending == 0:
+                                results[i] = self._finish_split(job)
+                                for slot in job.slots:
+                                    self._release_slot(slot, outstanding)
+                                results[i].latency_s = perf_counter() - t0
+                        continue
+                    if task.kind == "whole":
                         results[i] = payload
+                        payload.attempts = task.attempts
                         moved = self._materialize(payload, outstanding)
                         bytes_shm += moved
                         if (moved == 0 and payload.ok
-                                and payload.rgb is not None and piped):
+                                and payload.rgb is not None and task.piped):
                             bytes_pickle += payload.rgb.nbytes
-                    res = results[i]
-                    res.wall_us = sum(
-                        s.duration_s for s in res.spans) * 1e6 or None
-                    res.latency_s = perf_counter() - t0
-                else:
-                    job = split_jobs[i]
-                    if payload is None:
-                        job.error_type, job.error = exc_type, exc_msg
+                        res = results[i]
+                        res.wall_us = sum(
+                            s.duration_s for s in res.spans) * 1e6 or None
+                        res.latency_s = perf_counter() - t0
                     else:
+                        job = split_jobs[i]
+                        job.attempts = max(job.attempts, task.attempts)
                         seg, planes, err_type, err, span = payload
                         job.spans.append(span)
                         if planes is None:
@@ -625,19 +809,19 @@ class BatchDecoder:
                                 job.slots.append(slot)
                             job.planes_by_seg[seg.index] = (seg, views)
                         else:
-                            if piped:
+                            if task.piped:
                                 bytes_pickle += sum(
                                     p.nbytes for p in planes)
                             job.planes_by_seg[seg.index] = (seg, planes)
-                    job.pending -= 1
-                    if job.pending == 0:
-                        results[i] = self._finish_split(job)
-                        for slot in job.slots:
-                            self._release_slot(slot, outstanding)
-                        results[i].wall_us = sum(
-                            s.duration_s for s in results[i].spans) * 1e6 \
-                            or None
-                        results[i].latency_s = perf_counter() - t0
+                        job.pending -= 1
+                        if job.pending == 0:
+                            results[i] = self._finish_split(job)
+                            for slot in job.slots:
+                                self._release_slot(slot, outstanding)
+                            results[i].wall_us = sum(
+                                s.duration_s
+                                for s in results[i].spans) * 1e6 or None
+                            results[i].latency_s = perf_counter() - t0
             gather_complete = True
         finally:
             # Crash-safety for slots whose tasks never handed them
@@ -670,11 +854,12 @@ class BatchDecoder:
             wall_s=wall_s, workers=workers,
             latencies_s=[r.latency_s for r in done],
             spans=spans, bytes_shm=bytes_shm, bytes_pickle=bytes_pickle)
+        self.retries_total += retries
         return BatchResult(
             results=done, stats=stats, schedule=schedule,
             lane_pools=(self.registry.describe()
                         if self.registry is not None else None),
-            transport=self.transport)
+            transport=self.transport, retries=retries)
 
     def _finish_split(self, job: _SplitJob) -> ImageResult:
         """Merge a split image's segments and run the pixel stages."""
@@ -683,7 +868,8 @@ class BatchDecoder:
             return ImageResult(
                 request_id=req.request_id, ok=False,
                 error_type=job.error_type, error=job.error,
-                segments=len(job.planes_by_seg) + 1, spans=job.spans)
+                segments=len(job.planes_by_seg) + 1, spans=job.spans,
+                infra_failure=job.infra, attempts=job.attempts)
         t0 = perf_counter()
         geo = info.geometry
         merged = CoefficientBuffers.empty(geo)
@@ -697,7 +883,8 @@ class BatchDecoder:
         return ImageResult(
             request_id=req.request_id, ok=True, rgb=rgb,
             width=info.width, height=info.height,
-            segments=len(job.planes_by_seg), spans=job.spans)
+            segments=len(job.planes_by_seg), spans=job.spans,
+            attempts=job.attempts)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -753,7 +940,10 @@ class DecodeService:
                  defaults: ImageRequest | None = None,
                  scheduler: ModelScheduler | str | None = None,
                  transport: str = "auto",
-                 lane_pools: "object | str | bool | None" = None) -> None:
+                 lane_pools: "object | str | bool | None" = None,
+                 retry_budget: int | None = None,
+                 faults: FaultPlan | None = None,
+                 default_deadline_ms: float | None = None) -> None:
         """Build the underlying pump-less session; *batch_size* caps one
         drain step.
 
@@ -764,7 +954,11 @@ class DecodeService:
         per-lane throughput estimates after every :meth:`run_once`.
         *transport*/*lane_pools* are forwarded to
         :class:`BatchDecoder` (shared-memory plane transport and
-        lane-bound executor pools).
+        lane-bound executor pools), as are the fault-tolerance knobs
+        *retry_budget*/*faults*; *default_deadline_ms* applies a
+        deadline to every request that carries none (expired requests
+        are shed at :meth:`run_once` batch forming, their handles
+        failing with :class:`~repro.errors.DeadlineExceededError`).
         """
         from .session import DecodeSession
 
@@ -774,7 +968,9 @@ class DecodeService:
             max_batch=batch_size, queue_capacity=queue_capacity,
             workers=workers, backend=backend, defaults=defaults,
             scheduler=scheduler, transport=transport,
-            lane_pools=lane_pools, pump=False)
+            lane_pools=lane_pools, retry_budget=retry_budget,
+            faults=faults, default_deadline_ms=default_deadline_ms,
+            pump=False)
 
     @property
     def batch_size(self) -> int:

@@ -169,6 +169,11 @@ class ExecutorRegistry:
         """Worker count summed over every pool."""
         return sum(pool.workers for pool in self._pools.values())
 
+    @property
+    def rebuilds(self) -> int:
+        """Self-heal rebuild count summed over every pool."""
+        return sum(pool.rebuilds for pool in self._pools.values())
+
     def describe(self) -> dict:
         """JSON-ready lane→pool binding map (stats / ``GET /stats``)."""
         out = {}
@@ -180,6 +185,7 @@ class ExecutorRegistry:
                 "backend": pool.backend,
                 "workers": pool.workers,
                 "kind": lane.kind,
+                "rebuilds": pool.rebuilds,
             }
         return out
 

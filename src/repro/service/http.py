@@ -27,20 +27,30 @@ Endpoints:
 Backpressure: a full submission queue maps to ``429 Too Many
 Requests`` with a ``Retry-After`` header — the HTTP spelling of
 :class:`~repro.errors.QueueFullError`; a closed session maps to
-``503``.
+``503``.  Deadlines: an ``X-Deadline-Ms`` request header bounds how
+long the request may wait before its decode starts; a request shed at
+its deadline (:class:`~repro.errors.DeadlineExceededError`) answers
+``504`` with ``Retry-After`` — the client should back off, the service
+is load-shedding.
 """
 
 from __future__ import annotations
 
 import json
 from concurrent.futures import CancelledError
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
-from ..errors import QueueFullError, ServiceClosedError
+from ..errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+)
 from .batch import ImageResult
 from .session import DecodeSession
 
@@ -120,8 +130,21 @@ class _DecodeRequestHandler(BaseHTTPRequestHandler):
                                            "(POST the JPEG bytes)"})
             return
         data = self.rfile.read(length)
+        deadline_header = self.headers.get("X-Deadline-Ms")
+        item: "bytes | Any" = data
+        if deadline_header is not None:
+            try:
+                deadline_ms = float(deadline_header)
+            except ValueError:
+                self._send_json(400, {
+                    "error": f"invalid X-Deadline-Ms header: "
+                             f"{deadline_header!r} (want a positive "
+                             f"number of milliseconds)"})
+                return
+            item = replace(self.server.session.decoder.defaults,
+                           data=data, deadline_ms=deadline_ms)
         try:
-            handle = self.server.session.submit(data, timeout=0)
+            handle = self.server.session.submit(item, timeout=0)
         except QueueFullError as exc:
             self._send_json(429, {"error": str(exc)},
                             {"Retry-After": "1"})
@@ -129,8 +152,20 @@ class _DecodeRequestHandler(BaseHTTPRequestHandler):
         except ServiceClosedError as exc:
             self._send_json(503, {"error": str(exc)})
             return
+        except ServiceError as exc:
+            # Invalid per-request knob (e.g. non-positive deadline).
+            self._send_json(400, {"error": str(exc)})
+            return
         try:
             result = handle.result(timeout=self.server.result_timeout_s)
+        except DeadlineExceededError as exc:
+            # The request expired before a worker picked it up: the
+            # service is shedding load, tell the client to back off.
+            self._send_json(504, {
+                "error": str(exc),
+                "request_id": handle.request_id},
+                {"Retry-After": "1"})
+            return
         except TimeoutError:
             self._send_json(504, {
                 "error": f"decode did not complete within "
@@ -180,6 +215,15 @@ class _SessionHTTPServer(ThreadingHTTPServer):
     result_timeout_s: float
     quiet: bool
 
+    #: Connections accepted so far (bounded serve_forever counts these,
+    #: not accept-timeout ticks).
+    handled = 0
+
+    def process_request(self, request: Any, client_address: Any) -> None:
+        """Count the accepted connection, then dispatch as usual."""
+        self.handled += 1
+        super().process_request(request, client_address)
+
 
 class DecodeHTTPServer:
     """The decode session, served over HTTP.
@@ -197,6 +241,7 @@ class DecodeHTTPServer:
                  **session_kwargs: Any) -> None:
         """Bind the listening socket and attach (or build) the session."""
         self._owns_session = session is None
+        self._stopping = False
         self.session = session or DecodeSession(**session_kwargs)
         self._httpd = _SessionHTTPServer((host, port), _DecodeRequestHandler)
         self._httpd.session = self.session
@@ -225,11 +270,16 @@ class DecodeHTTPServer:
         if max_requests is None:
             self._httpd.serve_forever(poll_interval=0.05)
         else:
-            for _ in range(max_requests):
+            # Short accept timeout so a shutdown() from another thread
+            # (the graceful-drain signal path) stops this loop too.
+            self._httpd.timeout = 0.05
+            target = self._httpd.handled + max_requests
+            while not self._stopping and self._httpd.handled < target:
                 self._httpd.handle_request()
 
     def shutdown(self) -> None:
         """Stop a :meth:`serve_forever` loop running in another thread."""
+        self._stopping = True
         self._httpd.shutdown()
 
     def close(self) -> None:

@@ -38,8 +38,10 @@ before submission and :meth:`ModelScheduler.observe` after completion.
 from __future__ import annotations
 
 import math
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..core.modes import DecodeMode
 from ..core.perfmodel import PerformanceModel
@@ -55,6 +57,9 @@ MODELED_SUBSAMPLINGS = ("4:4:4", "4:2:2")
 
 #: Scheduling policies :class:`ModelScheduler` implements.
 POLICIES = ("model", "roundrobin")
+
+#: Circuit-breaker states a lane can be in.
+BREAKER_STATES = ("closed", "open", "half_open")
 
 
 @dataclass(frozen=True)
@@ -150,6 +155,9 @@ class BatchSchedule:
     #: Round-robin only: lane index where the next batch's rotation
     #: resumes, so streams of small batches keep cycling lanes.
     rr_next_cursor: int = 0
+    #: Per-lane placement caps the batch was planned under
+    #: (:meth:`LaneBreakerBoard.limits`); empty = no breakers active.
+    lane_limits: dict = field(default_factory=dict)
     #: True when the batch executed on lane-bound pools
     #: (:mod:`repro.service.executors`): observed per-lane times are
     #: then real wall-clock (``ImageResult.wall_us``) rather than the
@@ -218,6 +226,170 @@ class ThroughputFeedback:
                 + self.alpha * ratio
         self.observations += 1
 
+    def reset(self, lane_name: str) -> None:
+        """Forget one lane's learned scale (back to 1.0).
+
+        Called when that lane's circuit breaker trips: the EWMA was
+        shaped by a device that is now failing, so after the lane heals
+        the scale must re-learn from scratch rather than anchor on the
+        sick-lane history.
+        """
+        self._scales.pop(lane_name, None)
+
+
+@dataclass
+class _LaneBreaker:
+    """Per-lane circuit-breaker state (see :class:`LaneBreakerBoard`)."""
+
+    state: str = "closed"
+    #: Consecutive infrastructure failures while closed.
+    consecutive_failures: int = 0
+    #: Monotonic clock reading when the breaker last tripped open.
+    tripped_at: float = 0.0
+    #: Times the breaker tripped open (lifetime).
+    trips: int = 0
+    #: Times a half-open canary closed the breaker again (lifetime).
+    recoveries: int = 0
+
+
+class LaneBreakerBoard:
+    """Circuit breakers for executor lanes, one per lane name.
+
+    The paper's scheduler assumes every lane completes its work; a lane
+    whose pool keeps crashing (GPU driver wedged, its processes OOMing)
+    violates that silently — the LPT greedy would keep routing images
+    into the failure.  The board runs the classic three-state breaker
+    per lane:
+
+    - **closed** — normal service.  *threshold* consecutive
+      infrastructure failures (``ImageResult.infra_failure``; decode
+      errors are properties of the bytes and never count) trip the lane
+      **open**.
+    - **open** — the lane is excluded from placement
+      (:meth:`limits` reports 0, the schedulers treat every cost as
+      ``inf``).  After *cooldown_s* the next :meth:`limits` call moves
+      it to **half_open**.
+    - **half_open** — exactly one canary image may be placed
+      (:meth:`limits` reports 1).  A successful canary closes the
+      breaker; another infrastructure failure re-trips it open for a
+      fresh cooldown.
+
+    *clock* defaults to :func:`time.monotonic`; tests inject a fake to
+    step through cooldowns deterministically.  All methods are
+    thread-safe.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 5.0,
+                 clock: Callable[[], float] | None = None) -> None:
+        """Build an empty board; breakers materialize per lane on first
+        :meth:`record`/:meth:`limits` touch."""
+        if threshold < 1:
+            raise ServiceError(
+                f"breaker threshold must be >= 1, got {threshold}")
+        if cooldown_s < 0:
+            raise ServiceError(
+                f"breaker cooldown must be >= 0, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._breakers: dict[str, _LaneBreaker] = {}
+
+    def _get(self, lane_name: str) -> _LaneBreaker:
+        """Fetch-or-create one lane's breaker (lock held by caller)."""
+        breaker = self._breakers.get(lane_name)
+        if breaker is None:
+            breaker = self._breakers[lane_name] = _LaneBreaker()
+        return breaker
+
+    def record(self, lane_name: str, ok: bool) -> bool:
+        """Fold one lane-placed image's infrastructure outcome.
+
+        *ok* is False only for infrastructure failures (worker crashed
+        past its retry budget), True for any completed decode — a
+        corrupt JPEG proves the lane *works*.  Returns True when this
+        very record tripped the breaker open (callers use the edge to
+        reset the lane's feedback scale exactly once per trip).
+        """
+        with self._lock:
+            breaker = self._get(lane_name)
+            if ok:
+                if breaker.state == "half_open":
+                    breaker.recoveries += 1
+                breaker.state = "closed"
+                breaker.consecutive_failures = 0
+                return False
+            if breaker.state == "half_open":
+                breaker.state = "open"
+                breaker.tripped_at = self._clock()
+                breaker.trips += 1
+                breaker.consecutive_failures = 0
+                return True
+            breaker.consecutive_failures += 1
+            if (breaker.state == "closed"
+                    and breaker.consecutive_failures >= self.threshold):
+                breaker.state = "open"
+                breaker.tripped_at = self._clock()
+                breaker.trips += 1
+                breaker.consecutive_failures = 0
+                return True
+            return False
+
+    def state(self, lane_name: str) -> str:
+        """Current state name for *lane_name* (untracked lanes are
+        closed); advances open→half_open when the cooldown elapsed."""
+        self.limit(lane_name)  # advance open→half_open when due
+        with self._lock:
+            breaker = self._breakers.get(lane_name)
+            return breaker.state if breaker is not None else "closed"
+
+    def limit(self, lane_name: str) -> int | None:
+        """Placement cap for one lane this batch.
+
+        ``None`` = unlimited (closed), ``0`` = excluded (open, cooling
+        down), ``1`` = a single canary (half-open).  An open breaker
+        whose cooldown has elapsed transitions to half-open here — the
+        read is the probe trigger, so no background timer is needed.
+        """
+        with self._lock:
+            breaker = self._breakers.get(lane_name)
+            if breaker is None or breaker.state == "closed":
+                return None
+            if breaker.state == "open":
+                if self._clock() - breaker.tripped_at >= self.cooldown_s:
+                    breaker.state = "half_open"
+                    return 1
+                return 0
+            return 1  # half_open: one canary at a time
+
+    def limits(self, lane_names: "Sequence[str]") -> dict[str, int | None]:
+        """Placement caps for a lane set (see :meth:`limit`), suitable
+        for :func:`schedule_lpt`'s ``lane_limits`` argument."""
+        return {name: self.limit(name) for name in lane_names}
+
+    def trips(self) -> int:
+        """Lifetime count of breaker trips across every lane."""
+        with self._lock:
+            return sum(b.trips for b in self._breakers.values())
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-lane breaker state for ``GET /stats``."""
+        with self._lock:
+            now = self._clock()
+            out: dict[str, dict] = {}
+            for name, b in self._breakers.items():
+                entry = {
+                    "state": b.state,
+                    "consecutive_failures": b.consecutive_failures,
+                    "trips": b.trips,
+                    "recoveries": b.recoveries,
+                }
+                if b.state == "open":
+                    entry["cooldown_remaining_s"] = max(
+                        0.0, self.cooldown_s - (now - b.tripped_at))
+                out[name] = entry
+            return out
+
 
 def price_images(
     infos: Sequence[tuple[int, JpegImageInfo]],
@@ -266,6 +438,7 @@ def schedule_lpt(
     executors: Sequence[ExecutorLane],
     feedback: ThroughputFeedback | None = None,
     split_dominant: bool = True,
+    lane_limits: "dict[str, int | None] | None" = None,
 ) -> BatchSchedule:
     """Makespan-minimizing greedy (LPT) over the priced batch.
 
@@ -289,17 +462,32 @@ def schedule_lpt(
     e.g. a lane subset excluding its only eligible lanes) is returned
     unassigned rather than raising, matching :meth:`ModelScheduler.plan`'s
     contract for unpriceable images.
+
+    *lane_limits* (from
+    :meth:`LaneBreakerBoard.limits`) caps placements per lane: ``0``
+    excludes a tripped lane entirely, ``1`` admits the half-open canary,
+    ``None``/absent is unlimited.  Images no admissible lane can take
+    degrade to unassigned (decoded as submitted on the default pool)
+    rather than being forced onto a tripped lane.
     """
+    limits = lane_limits or {}
+    placed: dict[str, int] = {lane.name: 0 for lane in executors}
     assignments: list[Assignment] = []
     loads: dict[str, float] = {lane.name: 0.0 for lane in executors}
 
+    def admissible(lane: ExecutorLane) -> bool:
+        cap = limits.get(lane.name)
+        return cap is None or placed[lane.name] < cap
+
     def scaled_best(pricing: ImagePricing) -> float:
         return min((_scaled_cost(pricing, lane, feedback)
-                    for lane in executors), default=math.inf)
+                    for lane in executors if admissible(lane)),
+                   default=math.inf)
 
     best = {p.index: scaled_best(p) for p in pricings}
     placeable = [p for p in pricings if math.isfinite(best[p.index])]
-    ideal = (sum(best[p.index] for p in placeable) / max(1, len(executors))
+    lanes_open = sum(1 for lane in executors if admissible(lane))
+    ideal = (sum(best[p.index] for p in placeable) / max(1, lanes_open)
              if placeable else 0.0)
 
     for pricing in sorted(pricings, key=lambda p: -best[p.index]):
@@ -315,17 +503,25 @@ def schedule_lpt(
             continue
         best_lane, best_total, best_cost = None, math.inf, math.inf
         for lane in executors:
+            if not admissible(lane):
+                continue
             cost = _scaled_cost(pricing, lane, feedback)
             total = loads[lane.name] + cost
             if total < best_total:
                 best_lane, best_total, best_cost = lane, total, cost
+        if best_lane is None or not math.isfinite(best_cost):
+            # Capacity (breaker caps) ran out mid-batch: degrade.
+            assignments.append(Assignment(index=pricing.index, executor=None))
+            continue
         assignments.append(Assignment(
             index=pricing.index, executor=best_lane, predicted_us=best_cost))
         loads[best_lane.name] += best_cost
+        placed[best_lane.name] += 1
 
     assignments.sort(key=lambda a: a.index)
     return BatchSchedule(policy="model", assignments=assignments,
-                         loads=loads, pricings=list(pricings))
+                         loads=loads, pricings=list(pricings),
+                         lane_limits=dict(limits))
 
 
 def schedule_roundrobin(
@@ -333,16 +529,20 @@ def schedule_roundrobin(
     executors: Sequence[ExecutorLane],
     feedback: ThroughputFeedback | None = None,
     start: int = 0,
+    lane_limits: "dict[str, int | None] | None" = None,
 ) -> BatchSchedule:
     """Cost-blind baseline: cycle lanes in batch order.
 
     Each image goes to the next lane in rotation (skipping lanes
-    ineligible for its subsampling), beginning at lane index *start* —
-    :class:`ModelScheduler` threads the previous batch's end position
-    through so a stream of small batches still rotates every lane.
-    Loads are accounted with the model's prices so the two policies'
-    makespans are comparable.
+    ineligible for its subsampling and lanes at their *lane_limits*
+    breaker cap — see :func:`schedule_lpt`), beginning at lane index
+    *start* — :class:`ModelScheduler` threads the previous batch's end
+    position through so a stream of small batches still rotates every
+    lane.  Loads are accounted with the model's prices so the two
+    policies' makespans are comparable.
     """
+    limits = lane_limits or {}
+    placed: dict[str, int] = {lane.name: 0 for lane in executors}
     assignments: list[Assignment] = []
     loads: dict[str, float] = {lane.name: 0.0 for lane in executors}
     cursor = start % len(executors) if executors else 0
@@ -350,6 +550,9 @@ def schedule_roundrobin(
         lane = None
         for probe in range(len(executors)):
             candidate = executors[(cursor + probe) % len(executors)]
+            cap = limits.get(candidate.name)
+            if cap is not None and placed[candidate.name] >= cap:
+                continue
             if math.isfinite(pricing.costs.get(candidate.name, math.inf)):
                 lane = candidate
                 cursor = (cursor + probe + 1) % len(executors)
@@ -361,9 +564,10 @@ def schedule_roundrobin(
         assignments.append(Assignment(
             index=pricing.index, executor=lane, predicted_us=cost))
         loads[lane.name] += cost
+        placed[lane.name] += 1
     return BatchSchedule(policy="roundrobin", assignments=assignments,
                          loads=loads, pricings=list(pricings),
-                         rr_next_cursor=cursor)
+                         rr_next_cursor=cursor, lane_limits=dict(limits))
 
 
 def lane_outcomes(schedule: BatchSchedule, results: "Sequence[ImageResult]"
@@ -420,8 +624,17 @@ class ModelScheduler:
                  executors: Sequence[ExecutorLane] | None = None,
                  platform: Platform | None = None,
                  split_dominant: bool = True,
-                 feedback: ThroughputFeedback | None = None) -> None:
-        """Build the lane set and the feedback state for one scheduler."""
+                 feedback: ThroughputFeedback | None = None,
+                 breakers: LaneBreakerBoard | None = None) -> None:
+        """Build the lane set and the feedback state for one scheduler.
+
+        *breakers* is the lane circuit-breaker board consulted at every
+        :meth:`plan` and fed by every :meth:`observe`; the default board
+        trips a lane after 3 consecutive infrastructure failures and
+        probes it again after a 5 s cooldown.  Pass a configured
+        :class:`LaneBreakerBoard` to tune (the CLI's
+        ``--breaker-threshold`` does).
+        """
         if policy not in POLICIES:
             raise ServiceError(
                 f"unknown scheduling policy {policy!r} "
@@ -437,6 +650,7 @@ class ModelScheduler:
         self.executors = tuple(executors)
         self.split_dominant = split_dominant
         self.feedback = feedback or ThroughputFeedback()
+        self.breakers = breakers or LaneBreakerBoard()
         self._decoders: dict[str, "object"] = {}
         self._rr_cursor = 0
 
@@ -484,13 +698,15 @@ class ModelScheduler:
             except (ReproError, ValueError):
                 unparsable.append(i)
         pricings = price_images(infos, self.executors, self._model_for)
+        limits = self.breakers.limits([l.name for l in self.executors])
         if self.policy == "model":
             schedule = schedule_lpt(pricings, self.executors, self.feedback,
-                                    self.split_dominant)
+                                    self.split_dominant, lane_limits=limits)
         else:
             schedule = schedule_roundrobin(pricings, self.executors,
                                            self.feedback,
-                                           start=self._rr_cursor)
+                                           start=self._rr_cursor,
+                                           lane_limits=limits)
             self._rr_cursor = schedule.rr_next_cursor
         for i in unparsable:
             schedule.assignments.append(Assignment(index=i, executor=None))
@@ -537,6 +753,7 @@ class ModelScheduler:
                 "scales": self.feedback.scales(),
                 "observations": self.feedback.observations,
             },
+            "breakers": self.breakers.snapshot(),
         }
 
     # -- feedback -------------------------------------------------------
@@ -548,7 +765,24 @@ class ModelScheduler:
         Every successfully decoded lane-placed image contributes its
         observed vs. predicted time (see :func:`lane_outcomes` for the
         exact definition); split fallbacks, unassigned images and
-        failures teach nothing and are skipped.
+        failures teach the feedback nothing and are skipped.
+
+        The breaker board additionally sees every lane-placed image's
+        *infrastructure* outcome: completed decodes (ok or decode
+        error) count as lane successes, ``infra_failure`` results count
+        against the lane, and the trip edge resets the lane's feedback
+        scale — a sick lane's EWMA history describes the failure, not
+        the device it becomes after recovery.
         """
         for a, observed in lane_outcomes(schedule, results):
             self.feedback.observe(a.executor.name, a.predicted_us, observed)
+        by_index = {a.index: a for a in schedule.assignments}
+        for i, result in enumerate(results):
+            a = by_index.get(i)
+            if a is None or a.executor is None:
+                continue
+            lane = a.executor.name
+            if result.ok or not result.infra_failure:
+                self.breakers.record(lane, ok=True)
+            elif self.breakers.record(lane, ok=False):
+                self.feedback.reset(lane)

@@ -43,13 +43,14 @@ thin facade over a pump-less session (``pump=False``).
 
 from __future__ import annotations
 
+import math
 import threading
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Any, Callable
 
-from ..errors import ServiceClosedError
+from ..errors import DeadlineExceededError, ServiceClosedError, ServiceError
 from .batch import BatchDecoder, BatchResult, ImageRequest, ImageResult
 from .queue import SubmissionQueue
 from .scheduler import ModelScheduler
@@ -132,6 +133,16 @@ class _Entry:
 
     request: ImageRequest
     handle: DecodeHandle
+    #: Absolute ``perf_counter`` instant the request expires (None = no
+    #: deadline): submission time plus ``deadline_ms``.
+    deadline_at: float | None = None
+
+    @property
+    def edf_key(self) -> tuple[float, float]:
+        """Earliest-deadline-first sort key (deadline, then FIFO age);
+        deadline-free requests sort after every deadlined one."""
+        return (self.deadline_at if self.deadline_at is not None
+                else math.inf, self.handle.submitted_at)
 
 
 class DecodeSession:
@@ -154,12 +165,23 @@ class DecodeSession:
                  transport: str = "auto",
                  lane_pools: "object | str | bool | None" = None,
                  shm_min_bytes: int | None = None,
+                 retry_budget: int | None = None,
+                 retry_backoff_s: float | None = None,
+                 faults: "object | None" = None,
+                 default_deadline_ms: float | None = None,
                  pump: bool = True) -> None:
         """Build queue, decoder and (unless ``pump=False``) the pump.
 
         *max_batch* caps one dispatched batch; *max_delay_ms* bounds how
         long the oldest pending request may wait for the batch to fill.
-        The remaining knobs are those of
+        *default_deadline_ms* applies to every request that does not
+        carry its own ``deadline_ms`` (None = no default deadline);
+        batch forming orders pending requests earliest-deadline-first
+        and requests whose deadline passes before their decode starts
+        resolve with :class:`~repro.errors.DeadlineExceededError`.
+        *retry_budget*/*retry_backoff_s*/*faults* forward to
+        :class:`~repro.service.batch.BatchDecoder` (worker-crash retry
+        policy and chaos injection); the remaining knobs are those of
         :class:`~repro.service.batch.BatchDecoder` (including the
         shared-memory *transport* selection and lane-bound executor
         *lane_pools*) / :class:`~repro.service.queue.SubmissionQueue`.
@@ -169,18 +191,34 @@ class DecodeSession:
         if max_delay_ms < 0:
             raise ValueError(
                 f"max_delay_ms must be non-negative, got {max_delay_ms}")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ServiceError(
+                f"default_deadline_ms must be positive, "
+                f"got {default_deadline_ms}")
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
+        self.default_deadline_ms = default_deadline_ms
         self.queue = SubmissionQueue(capacity=queue_capacity)
         decoder_kwargs = {}
         if shm_min_bytes is not None:
             decoder_kwargs["shm_min_bytes"] = shm_min_bytes
+        if retry_budget is not None:
+            decoder_kwargs["retry_budget"] = retry_budget
+        if retry_backoff_s is not None:
+            decoder_kwargs["retry_backoff_s"] = retry_backoff_s
+        if faults is not None:
+            decoder_kwargs["faults"] = faults
         self.decoder = BatchDecoder(workers=workers, backend=backend,
                                     defaults=defaults, scheduler=scheduler,
                                     transport=transport,
                                     lane_pools=lane_pools, **decoder_kwargs)
         self.stats = ServiceStats()
         self._stats_lock = threading.Lock()
+        #: EDF window: entries pulled off the queue but not yet
+        #: dispatched (bounded by the queue capacity, so backpressure
+        #: semantics are unchanged).
+        self._backlog: list[_Entry] = []
+        self._backlog_lock = threading.Lock()
         self._next_id = 0
         self._id_lock = threading.Lock()
         self._closed = False
@@ -202,8 +240,10 @@ class DecodeSession:
 
     @property
     def pending(self) -> int:
-        """Requests accepted but not yet dispatched to a batch."""
-        return len(self.queue)
+        """Requests accepted but not yet dispatched to a batch
+        (queued plus buffered in the EDF window)."""
+        with self._backlog_lock:
+            return len(self.queue) + len(self._backlog)
 
     def submit(self, item: bytes | ImageRequest,
                timeout: float | None = 0) -> DecodeHandle:
@@ -226,36 +266,89 @@ class DecodeSession:
             req = item
         else:
             req = replace(self.decoder.defaults, data=bytes(item))
+        if req.deadline_ms is None and self.default_deadline_ms is not None:
+            req = replace(req, deadline_ms=self.default_deadline_ms)
+        if req.deadline_ms is not None and req.deadline_ms <= 0:
+            raise ServiceError(
+                f"deadline_ms must be positive, got {req.deadline_ms}")
         if req.request_id is None:
             with self._id_lock:
                 assigned = self._next_id
                 self._next_id += 1
             req = replace(req, request_id=assigned)
         handle = DecodeHandle(req.request_id)
-        self.queue.put(_Entry(request=req, handle=handle), timeout=timeout)
+        deadline_at = (handle.submitted_at + req.deadline_ms / 1e3
+                       if req.deadline_ms is not None else None)
+        self.queue.put(_Entry(request=req, handle=handle,
+                              deadline_at=deadline_at), timeout=timeout)
         return handle
 
     # -- the pump -------------------------------------------------------
 
     def _collect(self) -> list[_Entry]:
-        """Block for the first pending entry, then fill the batch until
-        ``max_batch`` or the oldest entry's age deadline."""
-        entries: list[_Entry] = self.queue.get_batch(
-            self.max_batch, timeout=None)
-        if not entries:
-            return entries
-        deadline = entries[0].handle.submitted_at + self.max_delay_ms / 1e3
-        while len(entries) < self.max_batch and not self._closed:
-            remaining = deadline - perf_counter()
+        """Block for the first pending entry, then fill the window until
+        ``max_batch`` or the oldest entry's age deadline; returns the
+        formed batch in earliest-deadline-first order."""
+        with self._backlog_lock:
+            buffered = len(self._backlog)
+        if buffered == 0:
+            first = self.queue.get_batch(self.max_batch, timeout=None)
+            if not first:
+                return []
+            with self._backlog_lock:
+                self._backlog.extend(first)
+                buffered = len(self._backlog)
+        with self._backlog_lock:
+            oldest = min(e.handle.submitted_at for e in self._backlog)
+        age_deadline = oldest + self.max_delay_ms / 1e3
+        while buffered < self.max_batch and not self._closed:
+            remaining = age_deadline - perf_counter()
             if remaining <= 0:
                 break
             more = self.queue.get_batch(
-                self.max_batch - len(entries), timeout=remaining)
+                self.max_batch - buffered, timeout=remaining)
             if more:
-                entries.extend(more)
+                with self._backlog_lock:
+                    self._backlog.extend(more)
+                    buffered = len(self._backlog)
             elif self.queue.closed:
                 break
-        return entries
+        return self._form_batch()
+
+    def _form_batch(self) -> list[_Entry]:
+        """Shed expired entries, then take the ``max_batch`` most urgent
+        from the EDF window.
+
+        Expired entries (their absolute deadline passed before a decode
+        slot arrived) resolve with
+        :class:`~repro.errors.DeadlineExceededError` — shedding them
+        here, *before* dispatch, is the point: under overload the
+        service spends workers only on requests whose clients are still
+        waiting.  The survivors dispatch earliest-deadline-first, the
+        order that minimizes deadline misses for a single shared
+        resource; deadline-free requests keep FIFO order after every
+        deadlined one.
+        """
+        now = perf_counter()
+        expired: list[_Entry] = []
+        with self._backlog_lock:
+            live: list[_Entry] = []
+            for e in self._backlog:
+                if e.deadline_at is not None and now >= e.deadline_at:
+                    expired.append(e)
+                else:
+                    live.append(e)
+            live.sort(key=lambda e: e.edf_key)
+            batch = live[:self.max_batch]
+            self._backlog = live[self.max_batch:]
+        for e in expired:
+            e.handle._set_exception(DeadlineExceededError(
+                f"request {e.handle.request_id} missed its "
+                f"{e.request.deadline_ms:g} ms deadline before decode"))
+        if expired:
+            with self._stats_lock:
+                self.stats.record_faults(deadline_expired=len(expired))
+        return batch
 
     def _pump_loop(self) -> None:
         """Form and decode batches until the session closes and (in
@@ -301,6 +394,11 @@ class DecodeSession:
         with self._stats_lock:
             self.stats.record(batch.stats,
                               [r.latency_s for r in batch.results])
+            self.stats.record_faults(
+                retries=batch.retries,
+                infra_failures=sum(1 for r in batch.results
+                                   if not r.ok and r.infra_failure),
+                pool_rebuilds=self.decoder.rebuilds)
             if batch.schedule is not None and self.decoder.scheduler is not None:
                 self.decoder.scheduler.observe(batch.schedule, batch.results)
                 self.stats.record_schedule(batch.schedule, batch.results,
@@ -313,14 +411,21 @@ class DecodeSession:
 
     def run_once(self) -> BatchResult | None:
         """Pull-mode step: decode one batch of queued requests (None
-        when the queue is empty).  This is what the
+        when nothing is pending, or when every pending request had
+        already expired and was shed).  This is what the
         :class:`~repro.service.batch.DecodeService` facade drives; with
         the pump running it is also safe (the queue hands each entry to
         exactly one consumer) but normally unnecessary."""
         entries = self.queue.get_batch(self.max_batch, timeout=0)
-        if not entries:
+        with self._backlog_lock:
+            self._backlog.extend(entries)
+            buffered = len(self._backlog)
+        if buffered == 0:
             return None
-        return self._decode_entries(entries)
+        batch = self._form_batch()
+        if not batch:
+            return None
+        return self._decode_entries(batch)
 
     # -- observability --------------------------------------------------
 
@@ -334,6 +439,8 @@ class DecodeSession:
         snap["queue_space"] = self.queue.space
         snap["max_batch"] = self.max_batch
         snap["max_delay_ms"] = self.max_delay_ms
+        snap["default_deadline_ms"] = self.default_deadline_ms
+        snap["retry_budget"] = self.decoder.retry_budget
         snap["closed"] = self._closed
         snap["transport"]["mode"] = self.decoder.transport
         if self.decoder.scheduler is not None:
@@ -364,15 +471,20 @@ class DecodeSession:
             self._pump_thread.join()
         # Pull mode (and the pump's post-close leftovers, which there
         # are none of once the thread joined): finish or cancel what is
-        # still queued.
+        # still queued or buffered in the EDF window.
         while True:
             entries = self.queue.get_batch(self.max_batch, timeout=0)
-            if not entries:
+            with self._backlog_lock:
+                self._backlog.extend(entries)
+                buffered = len(self._backlog)
+            if buffered == 0:
                 break
+            batch = self._form_batch()
             if drain:
-                self._decode_entries(entries)
+                if batch:
+                    self._decode_entries(batch)
             else:
-                for e in entries:
+                for e in batch:
                     e.handle.cancel()
         self.decoder.close()
 

@@ -173,6 +173,14 @@ class ServiceStats:
     #: Result bytes moved through each transport across all batches.
     bytes_shm: int = 0
     bytes_pickle: int = 0
+    #: Fault-tolerance counters: task re-dispatches after worker
+    #: crashes, images failed on infrastructure (crash past the retry
+    #: budget), requests shed at their deadline, and worker-pool
+    #: rebuilds observed so far.
+    retries: int = 0
+    infra_failures: int = 0
+    deadline_expired: int = 0
+    pool_rebuilds: int = 0
     _latencies_s: deque = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
 
@@ -185,6 +193,22 @@ class ServiceStats:
         self.bytes_shm += stats.bytes_shm
         self.bytes_pickle += stats.bytes_pickle
         self._latencies_s.extend(latencies_s)
+
+    def record_faults(self, *, retries: int = 0, infra_failures: int = 0,
+                      deadline_expired: int = 0,
+                      pool_rebuilds: int | None = None) -> None:
+        """Fold one batch's fault-tolerance activity into the totals.
+
+        *pool_rebuilds* is the decoder's *cumulative* rebuild counter
+        (it replaces rather than adds — pools heal outside the
+        per-batch accounting); the other arguments are per-batch
+        increments.
+        """
+        self.retries += retries
+        self.infra_failures += infra_failures
+        self.deadline_expired += deadline_expired
+        if pool_rebuilds is not None:
+            self.pool_rebuilds = pool_rebuilds
 
     def record_schedule(self, schedule, results,
                         lane_pools: dict | None = None) -> None:
@@ -258,6 +282,12 @@ class ServiceStats:
                 "shm_bytes": self.bytes_shm,
                 "pickle_bytes": self.bytes_pickle,
             },
+            "faults": {
+                "retries": self.retries,
+                "infra_failures": self.infra_failures,
+                "deadline_expired": self.deadline_expired,
+                "pool_rebuilds": self.pool_rebuilds,
+            },
             "per_executor": {
                 name: {
                     "images": u.images,
@@ -292,4 +322,10 @@ class ServiceStats:
             text += f"\nscheduled placements: {lanes}"
             if self.images_split:
                 text += f", {self.images_split} split (restart fan-out)"
+        if (self.retries or self.infra_failures or self.deadline_expired
+                or self.pool_rebuilds):
+            text += (f"\nfaults: {self.retries} retries, "
+                     f"{self.infra_failures} infra failures, "
+                     f"{self.deadline_expired} deadline-expired, "
+                     f"{self.pool_rebuilds} pool rebuilds")
         return text

@@ -23,7 +23,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, Callable
 
 from ..errors import ServiceClosedError, ServiceError
@@ -83,6 +88,9 @@ class WorkerPool:
             raise ServiceError(
                 f"worker count must be positive, got {self.workers}")
         self._closed = False
+        #: Times a broken pool was rebuilt in place (see :meth:`heal`).
+        self.rebuilds = 0
+        self._heal_lock = threading.Lock()
         if self.backend == "process":
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         elif self.backend == "thread":
@@ -99,17 +107,52 @@ class WorkerPool:
 
         The serial backend runs the task inline and returns an
         already-resolved Future, so callers never branch on backend.
+        A process pool found broken at submit time (an earlier worker
+        crash poisoned it) is rebuilt in place and the submission
+        retried once — a crashed worker never bricks the pool.
         """
         if self._closed:
             raise ServiceClosedError("worker pool is closed")
         if self._pool is not None:
-            return self._pool.submit(fn, *args, **kwargs)
+            try:
+                return self._pool.submit(fn, *args, **kwargs)
+            except BrokenExecutor:
+                if not self.heal():
+                    raise
+                return self._pool.submit(fn, *args, **kwargs)
         fut: Future = Future()
         try:
             fut.set_result(fn(*args, **kwargs))
         except BaseException as exc:  # propagate via the Future contract
             fut.set_exception(exc)
         return fut
+
+    def heal(self) -> bool:
+        """Rebuild a broken process pool in place; returns True when a
+        rebuild happened.
+
+        A ``ProcessPoolExecutor`` whose worker died (SIGKILL, OOM,
+        segfault) is permanently broken: every pending and future
+        submission raises ``BrokenProcessPool``.  Healing swaps in a
+        fresh executor of the same size and discards the broken one
+        (its workers are already dead; ``shutdown(wait=False)`` just
+        reaps bookkeeping).  Thread and serial backends cannot break
+        and always return False, as does a healthy or closed pool —
+        callers may invoke this speculatively after any task failure.
+        """
+        if self._closed or self.backend != "process":
+            return False
+        with self._heal_lock:
+            if self._closed or not getattr(self._pool, "_broken", False):
+                return False
+            old = self._pool
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self.rebuilds += 1
+            try:
+                old.shutdown(wait=False)
+            except Exception:
+                pass
+            return True
 
     def close(self) -> None:
         """Shut the pool down, waiting for in-flight tasks to finish."""

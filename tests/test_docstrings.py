@@ -43,6 +43,14 @@ def test_scope_includes_executors_and_transport():
     assert {"executors.py", "transport.py"} <= names
 
 
+def test_scope_includes_fault_injection():
+    """The ISSUE-6 widening: the fault-injection module rides the same
+    service-directory sweep and must stay fully documented."""
+    files = check_docstrings.collect(list(check_docstrings.DEFAULT_TARGETS))
+    names = {f.name for f in files if "service" in str(f)}
+    assert "faults.py" in names
+
+
 def test_checker_flags_missing_docstrings(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text(
