@@ -1,0 +1,91 @@
+"""S6 — extension ablation: speculative marker-free parallel Huffman.
+
+A7 showed restart markers recover the Amdahl ceiling — but most wild
+JPEGs carry no markers, so PR-7's speculative self-synchronizing decode
+(repro.jpeg.speculative) is the path that matters.  This bench sweeps
+chunk count on a marker-free 4:2:2 image and reports the modeled
+multi-core speedup (LPT makespan over per-chunk costs, misspeculated
+chunks re-charged serially as repairs) plus the misspeculation rate.
+
+Every configuration is verified bit-identical to the sequential decode
+before its row is emitted: the speedup is only worth reporting if the
+answer is exact.
+
+Env: SPECULATIVE_MIN_RATIO overrides the asserted 4-core speedup floor
+(CI smoke uses a conservative value; the local default is 1.5x per the
+PR acceptance bar).
+"""
+
+import os
+from functools import lru_cache
+
+import numpy as np
+
+from repro.data import synthetic_photo
+from repro.evaluation import format_table
+from repro.jpeg import EncoderSettings, encode_jpeg, parse_jpeg
+from repro.jpeg.decoder import component_tables_from_info
+from repro.jpeg.fast_entropy import FastEntropyDecoder
+from repro.jpeg.parallel_huffman import SpeculativeEntropyDecoder
+
+from common import write_result
+
+MIN_RATIO = float(os.environ.get("SPECULATIVE_MIN_RATIO", "1.5"))
+
+
+@lru_cache(maxsize=1)
+def marker_free_image() -> bytes:
+    rgb = synthetic_photo(256, 256, seed=41, detail=0.6)
+    return encode_jpeg(rgb, EncoderSettings(
+        quality=85, subsampling="4:2:2", restart_interval=0))
+
+
+def sequential_planes(info):
+    dec = FastEntropyDecoder(info.geometry,
+                             component_tables_from_info(info), 0)
+    dec.start(info.entropy_data)
+    dec.decode_mcu_rows(info.geometry.mcu_rows)
+    return dec.coefficients.planes
+
+
+def render() -> str:
+    data = marker_free_image()
+    info = parse_jpeg(data)
+    assert info.restart_interval == 0
+    oracle = sequential_planes(info)
+    rows = []
+    speedup_at = {}
+    for chunks in (1, 2, 4, 8, 16):
+        dec = SpeculativeEntropyDecoder(
+            info.geometry, component_tables_from_info(info),
+            chunk_count=chunks)
+        r = dec.decode(info.entropy_data, cores=min(chunks, 8))
+        for got, want in zip(r.coefficients.planes, oracle):
+            assert np.array_equal(got, want), \
+                f"speculative decode diverged at chunks={chunks}"
+        rep = r.report
+        miss = len(rep.misspeculated)
+        speedup_at[chunks] = r.speedup
+        rows.append([
+            str(chunks), str(r.cores),
+            f"{r.sequential_us / 1e3:.3f}", f"{r.parallel_us / 1e3:.3f}",
+            f"{r.speedup:.2f}x",
+            f"{miss}/{max(1, rep.chunks - 1)}",
+            "yes" if rep.fallback else "no",
+        ])
+    assert abs(speedup_at[1] - 1.0) < 1e-9
+    assert speedup_at[4] >= MIN_RATIO, (
+        f"4-chunk modeled speedup {speedup_at[4]:.2f}x below the "
+        f"{MIN_RATIO:.2f}x floor")
+    assert speedup_at[8] <= 8.0
+    return format_table(
+        ["Chunks", "Cores", "Sequential (ms)", "Parallel (ms)",
+         "Speedup", "Misspec", "Fallback"],
+        rows,
+        title=("Ablation S6 (extension): speculative self-synchronizing "
+               "Huffman decode, 256x256 4:2:2, DRI=0"))
+
+
+def test_abl_speculative(benchmark):
+    out = benchmark(render)
+    write_result("abl_speculative", out)

@@ -156,7 +156,8 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                        scheduler=scheduler, transport=args.transport,
                        lane_pools=lane_pools,
                        retry_budget=args.retry_budget,
-                       default_deadline_ms=args.default_deadline_ms) as svc:
+                       default_deadline_ms=args.default_deadline_ms,
+                       speculative=args.speculative) as svc:
         print(f"serve-batch: {len(blobs)} inputs x{args.repeat}, "
               f"batch={args.batch_size}, queue={args.queue_capacity}, "
               f"{svc.decoder.pool.workers} x {svc.decoder.pool.backend} "
@@ -235,7 +236,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         transport=args.transport,
         lane_pools=None if args.lane_pools == "none" else args.lane_pools,
         retry_budget=args.retry_budget,
-        default_deadline_ms=args.default_deadline_ms)
+        default_deadline_ms=args.default_deadline_ms,
+        speculative=args.speculative)
     pool = server.session.decoder.pool
     print(f"serve: listening on {server.url} "
           f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms}ms, "
@@ -364,6 +366,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--split-segments", default="auto",
                    choices=["auto", "always", "never"],
                    help="restart-segment fan-out for DRI images")
+    p.add_argument("--speculative", default="auto",
+                   choices=["auto", "on", "off"],
+                   help="speculative chunk fan-out for marker-free "
+                        "(DRI=0) images: optimistic parallel Huffman "
+                        "decode stitched by bit-position convergence; "
+                        "'auto' fans out only when the batch cannot "
+                        "fill the pool")
     p.add_argument("--schedule", default="none",
                    choices=["none", "model", "roundrobin"],
                    help="cross-image batch scheduling: price each image "
@@ -449,6 +458,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="queueing deadline applied to requests without "
                         "an X-Deadline-Ms header; expired requests "
                         "answer 504 (default: none)")
+    p.add_argument("--speculative", default="auto",
+                   choices=["auto", "on", "off"],
+                   help="speculative chunk fan-out for marker-free "
+                        "images (see serve-batch --speculative)")
     p.set_defaults(func=_cmd_serve)
 
     return parser

@@ -115,10 +115,52 @@ def synthetic_skewed(height: int, width: int, seed: int = 0,
     return out
 
 
+def synthetic_gray(height: int, width: int, seed: int = 0) -> np.ndarray:
+    """Gray-content RGB (R = G = B): the grayscale corpus member.
+
+    The pipeline is three-component YCbCr end to end, so "grayscale"
+    images are encoded as RGB whose channels agree — the chroma planes
+    quantize to near-empty blocks, giving the luma-dominated entropy
+    profile of a true grayscale scan.
+    """
+    luma = synthetic_photo(height, width, seed).mean(axis=2)
+    return _to_uint8(np.repeat(luma[:, :, None], 3, axis=2))
+
+
 #: Named generators, for corpus specs and CLI-ish example scripts.
 GENERATORS = {
     "photo": synthetic_photo,
     "smooth": synthetic_smooth,
     "detail": synthetic_detail,
     "skewed": synthetic_skewed,
+    "gray": synthetic_gray,
 }
+
+
+def marker_free_corpus(
+    sizes: tuple[tuple[int, int], ...] = ((320, 240), (640, 480)),
+    subsamplings: tuple[str, ...] = ("4:2:0", "4:2:2", "4:4:4"),
+    kinds: tuple[str, ...] = ("photo", "detail", "smooth", "gray"),
+    quality: int = 85,
+    seed: int = 0,
+) -> list[tuple[str, bytes]]:
+    """Encode a deterministic DRI=0 corpus for speculative-decode work.
+
+    Every member is encoded *without* restart markers, which the
+    restart-segment fan-out cannot split — the corpus the speculative
+    decoder (:mod:`repro.jpeg.speculative`) exists for.  Returns
+    ``(name, jpeg_bytes)`` pairs; names encode the full recipe so test
+    failures identify the member.
+    """
+    from ..jpeg.encoder import EncoderSettings, encode_jpeg
+
+    corpus = []
+    for kind in kinds:
+        gen = GENERATORS[kind]
+        for w, h in sizes:
+            for sub in subsamplings:
+                rgb = gen(h, w, seed=seed)
+                data = encode_jpeg(rgb, EncoderSettings(
+                    quality=quality, subsampling=sub, restart_interval=0))
+                corpus.append((f"{kind}-{w}x{h}-{sub}-q{quality}", data))
+    return corpus

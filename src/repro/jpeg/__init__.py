@@ -8,6 +8,9 @@ Public surface:
 - :data:`repro.jpeg.ENTROPY_ENGINES` / the ``entropy_engine=`` knob on
   :class:`DecodeOptions` select the Huffman decode path ("fast" fused
   engine by default, "reference" per-symbol oracle)
+- :func:`repro.jpeg.speculative.decode_coefficients_speculative` /
+  :class:`repro.jpeg.speculative.SpeculativeReport` — speculative
+  self-synchronizing parallel Huffman decode for marker-free scans
 - submodules for each decoding stage (bitstream, huffman, quantization,
   dct/idct, sampling, color, blocks, entropy, fast_entropy, markers)
 """
@@ -27,6 +30,12 @@ from .fast_entropy import (
     destuff_scan,
 )
 from .markers import JpegImageInfo, parse_jpeg
+from .speculative import (
+    SpeculativeReport,
+    decode_coefficients_speculative,
+    plan_chunks,
+    speculative_eligible,
+)
 
 __all__ = [
     "DecodeOptions",
@@ -36,10 +45,14 @@ __all__ = [
     "FastEntropyDecoder",
     "ImageGeometry",
     "JpegImageInfo",
+    "SpeculativeReport",
     "create_entropy_decoder",
+    "decode_coefficients_speculative",
     "decode_jpeg",
     "decode_jpeg_rowwise",
     "destuff_scan",
     "encode_jpeg",
     "parse_jpeg",
+    "plan_chunks",
+    "speculative_eligible",
 ]

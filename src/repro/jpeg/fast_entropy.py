@@ -366,9 +366,23 @@ class FastEntropyDecoder:
         geometry: ImageGeometry,
         tables: list[ComponentTables],
         restart_interval: int = 0,
+        *,
+        tolerant: bool = False,
     ) -> None:
         """Bind fused tables for *tables* and allocate decode state
-        (same signature as the reference :class:`EntropyDecoder`)."""
+        (same signature as the reference :class:`EntropyDecoder`).
+
+        *tolerant* relaxes structural checks for speculative decoding
+        (:mod:`~repro.jpeg.speculative`): a mid-stream guess parses
+        garbage until it self-synchronizes, and that garbage routinely
+        overruns blocks or overflows the int16 DC range.  Tolerant mode
+        clamps instead of raising — AC overruns and bad AC symbols end
+        the block, out-of-range DC categories decode as empty, and DC
+        stores wrap modulo 2**16 (the stitcher's DC-delta patch is also
+        modular, so wrapped speculative values still patch to the exact
+        sequential result).  Undecodable Huffman codes still raise:
+        with no codeword length there is nothing to skip.
+        """
         if len(tables) != len(geometry.components):
             raise EntropyError(
                 f"{len(geometry.components)} components but "
@@ -376,6 +390,7 @@ class FastEntropyDecoder:
             )
         self.geometry = geometry
         self.restart_interval = restart_interval
+        self.tolerant = tolerant
         self._dc_tables = [fused_tables(t.dc, "dc") for t in tables]
         self._ac_tables = [fused_tables(t.ac, "ac") for t in tables]
         self._scan: ScanPrescan | None = None
@@ -383,6 +398,11 @@ class FastEntropyDecoder:
         self._acc = 0
         self._nbits = 0
         self._pos = 0
+        #: Phantom (zero-fed) bits currently counted in ``_nbits``: the
+        #: reference reader pads past a marker with zeros, and those
+        #: bits must not be mistaken for consumed payload when mapping
+        #: the reader position back to original-stream offsets.
+        self._phantom = 0
         self._seg_end = 0
         self._seg_zero_feed = False
         self._seg_trunc = False
@@ -404,6 +424,7 @@ class FastEntropyDecoder:
         self._acc = 0
         self._nbits = 0
         self._pos = 0
+        self._phantom = 0
         self._rst_idx = 0
         self._set_segment_bounds()
         self._preds = [0] * len(self._preds)
@@ -411,6 +432,50 @@ class FastEntropyDecoder:
         self._next_rst = 0
         self._rows_done = 0
         self._row_byte_offsets = [0]
+        self.coefficients = CoefficientBuffers.empty(self.geometry)
+        self._flat_planes = [p.reshape(-1) for p in self.coefficients.planes]
+
+    def start_prescanned(self, scan: ScanPrescan, bit_offset: int = 0) -> None:
+        """Attach an existing prescan and start decoding at *bit_offset*.
+
+        The speculative engine (:mod:`repro.jpeg.speculative`) shares one
+        destuffing prescan across many chunk decoders; feeding a payload
+        back through :meth:`start` would destuff it a second time and
+        misread destuffed 0xFF data bytes as markers.  *bit_offset* is an
+        absolute bit position into ``scan.payload`` — sub-byte offsets
+        prime the accumulator with the tail bits of the containing byte,
+        so :attr:`bit_position` equals *bit_offset* exactly.  Restart
+        sequencing (``RST0..RST7`` modulo checks) is only meaningful from
+        offset 0; speculative starts target marker-free scans.
+        """
+        payload = scan.payload
+        if not 0 <= bit_offset <= len(payload) * 8:
+            raise EntropyError(
+                f"bit offset {bit_offset} outside the "
+                f"{len(payload)}-byte payload")
+        self._scan = scan
+        self._payload = payload
+        byte, rem = bit_offset >> 3, bit_offset & 7
+        if rem:
+            self._acc = payload[byte] & ((1 << (8 - rem)) - 1)
+            self._nbits = 8 - rem
+            self._pos = byte + 1
+        else:
+            self._acc = 0
+            self._nbits = 0
+            self._pos = byte
+        self._phantom = 0
+        self._rst_idx = 0
+        while (self._rst_idx < scan.restart_count
+               and scan.marker_payload_offsets[self._rst_idx] * 8
+               <= bit_offset):
+            self._rst_idx += 1
+        self._set_segment_bounds()
+        self._preds = [0] * len(self._preds)
+        self._mcus_done = 0
+        self._next_rst = self._rst_idx & 7
+        self._rows_done = 0
+        self._row_byte_offsets = [scan.orig_offset(byte)]
         self.coefficients = CoefficientBuffers.empty(self.geometry)
         self._flat_planes = [p.reshape(-1) for p in self.coefficients.planes]
 
@@ -444,6 +509,31 @@ class FastEntropyDecoder:
         complete MCU rows (original-stream units)."""
         return list(self._row_byte_offsets)
 
+    @property
+    def bit_position(self) -> int:
+        """Exact destuffed-payload bit offset consumed so far.
+
+        Phantom zero-fed bits (marker padding) are excluded, so two
+        decoders standing at the same :attr:`bit_position` are in the
+        same bitstream state — the convergence predicate the speculative
+        engine matches on.
+        """
+        real = self._nbits - self._phantom
+        if real < 0:
+            real = 0
+        return self._pos * 8 - real
+
+    @property
+    def dc_predictors(self) -> tuple[int, ...]:
+        """Current per-component DC predictor values.
+
+        The speculative stitcher snapshots these at every MCU boundary:
+        after two decoders converge, their predictor difference is the
+        constant per-component delta patched onto the speculative
+        chunk's DC coefficients.
+        """
+        return tuple(self._preds)
+
     # -- core decode ----------------------------------------------------
 
     def decode_mcu_rows(self, nrows: int) -> int:
@@ -464,9 +554,11 @@ class FastEntropyDecoder:
         from_bytes = int.from_bytes
 
         # Reader state -> locals.
+        tolerant = self.tolerant
         acc = self._acc
         nbits = self._nbits
         pos = self._pos
+        phantom = self._phantom
         seg_end = self._seg_end
         zero_feed = self._seg_zero_feed
         trunc = self._seg_trunc
@@ -510,6 +602,7 @@ class FastEntropyDecoder:
                     rst_idx += 1
                     acc = 0
                     nbits = 0
+                    phantom = 0
                     if rst_idx < n_markers:
                         seg_end = marker_pay[rst_idx]
                         zero_feed, trunc = True, False
@@ -548,6 +641,7 @@ class FastEntropyDecoder:
                                     # the accumulator bounded)
                                     acc = (acc & ((1 << nbits) - 1)) << 32
                                     nbits += 32
+                                    phantom += 32
                             if nbits >= _REFILL_THRESHOLD:
                                 e = d_fused[(acc >> (nbits - 10)) & 0x3FF]
                                 if e:
@@ -573,8 +667,11 @@ class FastEntropyDecoder:
                                             raise HuffmanError(
                                                 "undecodable Huffman code")
                                     if s > 11:
-                                        raise EntropyError(
-                                            f"DC category {s} out of range")
+                                        if tolerant:
+                                            s = 0
+                                        else:
+                                            raise EntropyError(
+                                                f"DC category {s} out of range")
                                     if s:
                                         nbits -= s
                                         m = (acc >> nbits) & ((1 << s) - 1)
@@ -585,15 +682,24 @@ class FastEntropyDecoder:
                                     acc, nbits, pos, seg_end, zero_feed,
                                     trunc, payload, dct)
                                 if s > 11:
-                                    raise EntropyError(
-                                        f"DC category {s} out of range")
+                                    if tolerant:
+                                        s = 0
+                                    else:
+                                        raise EntropyError(
+                                            f"DC category {s} out of range")
                                 if s:
                                     m, acc, nbits, pos = _careful_read_bits(
                                         s, acc, nbits, pos, seg_end,
                                         zero_feed, trunc, payload)
                                     pred += (m - (1 << s) + 1
                                              if m < (1 << (s - 1)) else m)
-                            flat[base] = pred
+                            if tolerant:
+                                # Garbage prefixes drift the predictor
+                                # past int16; wrap like the modular
+                                # DC-delta patch does.
+                                flat[base] = ((pred + 0x8000) & 0xFFFF) - 0x8000
+                            else:
+                                flat[base] = pred
 
                             # ---------------- AC ----------------
                             k = 1
@@ -614,6 +720,7 @@ class FastEntropyDecoder:
                                         acc = ((acc & ((1 << nbits) - 1))
                                                << 32)
                                         nbits += 32
+                                        phantom += 32
                                     if nbits < _REFILL_THRESHOLD:
                                         # careful tail path, one symbol
                                         sym, acc, nbits, pos = _careful_symbol(
@@ -626,10 +733,19 @@ class FastEntropyDecoder:
                                             if sym == 0xF0:
                                                 k += 16
                                                 continue
+                                            if tolerant:
+                                                break
                                             raise EntropyError(
                                                 f"bad AC symbol {sym:#x}")
                                         k += run
                                         if k > 63:
+                                            if tolerant:
+                                                _, acc, nbits, pos = \
+                                                    _careful_read_bits(
+                                                        size, acc, nbits, pos,
+                                                        seg_end, zero_feed,
+                                                        trunc, payload)
+                                                break
                                             raise EntropyError(
                                                 "AC coefficient index overran "
                                                 "the block")
@@ -648,6 +764,8 @@ class FastEntropyDecoder:
                                     if val:
                                         k += (e >> 12) & 0xF
                                         if k > 63:
+                                            if tolerant:
+                                                break
                                             raise EntropyError(
                                                 "AC coefficient index overran "
                                                 "the block")
@@ -683,10 +801,15 @@ class FastEntropyDecoder:
                                     if sym == 0xF0:
                                         k += 16
                                         continue
+                                    if tolerant:
+                                        break
                                     raise EntropyError(
                                         f"bad AC symbol {sym:#x}")
                                 k += run
                                 if k > 63:
+                                    if tolerant:
+                                        nbits -= size
+                                        break
                                     raise EntropyError(
                                         "AC coefficient index overran the "
                                         "block")
@@ -699,7 +822,15 @@ class FastEntropyDecoder:
                     preds[ci] = pred
                 mcus_done += 1
             rows_done += 1
-            off = scan.orig_offset(max(0, pos - (nbits >> 3)))
+            # Only real buffered bits roll the position back: phantom
+            # zero-fed padding is not payload, and subtracting it used
+            # to under-report rows ending at a restart marker by the
+            # padding width (landing mid-tail instead of just past the
+            # RSTn pair).
+            real = nbits - phantom
+            if real < 0:
+                real = 0
+            off = scan.orig_offset(max(0, pos - (real >> 3)))
             last = self._row_byte_offsets[-1]
             self._row_byte_offsets.append(off if off > last else last)
 
@@ -707,6 +838,7 @@ class FastEntropyDecoder:
         self._acc = acc
         self._nbits = nbits
         self._pos = pos
+        self._phantom = phantom
         self._seg_end = seg_end
         self._seg_zero_feed = zero_feed
         self._seg_trunc = trunc

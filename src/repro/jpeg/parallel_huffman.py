@@ -26,6 +26,11 @@ The executors do not use it by default — the paper's pipeline relies on
 but the A7 ablation benchmark quantifies the opportunity, and the
 batched decode service (:mod:`repro.service`) exploits it for real
 wall-clock parallelism across processes.
+
+Marker-free scans get a third fan-out mode: speculative
+self-synchronizing decode (:mod:`repro.jpeg.speculative`), wrapped here
+by :class:`SpeculativeEntropyDecoder` with the same modeled-schedule
+reporting as :class:`ParallelEntropyDecoder`.
 """
 
 from __future__ import annotations
@@ -237,3 +242,102 @@ class ParallelEntropyDecoder:
             parallel_us=_lpt_makespan(work, cores),
             cores=cores,
         )
+
+
+@dataclass
+class SpeculativeDecodeResult:
+    """Output of a speculative (marker-free) parallel entropy decode."""
+
+    coefficients: CoefficientBuffers
+    report: "SpeculativeReport"
+    chunks: list["SpeculativeChunk"]
+    sequential_us: float      # simulated single-core time
+    parallel_us: float        # simulated LPT makespan + serial repairs
+    cores: int
+
+    @property
+    def speedup(self) -> float:
+        """Modeled multi-core speedup (sequential time / LPT makespan)."""
+        return self.sequential_us / self.parallel_us
+
+
+class SpeculativeEntropyDecoder:
+    """Marker-free fan-out: chunk, decode optimistically, stitch.
+
+    The restart-segment decoder above needs a DRI interval; this one
+    does not — it guesses chunk boundaries and relies on Huffman
+    self-synchronization (:mod:`repro.jpeg.speculative`).  The modeled
+    schedule mirrors :class:`ParallelEntropyDecoder`: chunk costs are
+    LPT-packed onto ``cores`` workers, and every misspeculated chunk
+    adds its span again as a serial repair on the critical path.
+    """
+
+    def __init__(self, geometry: ImageGeometry,
+                 tables: list[ComponentTables],
+                 chunk_count: int | None = None,
+                 overlap: int | None = None) -> None:
+        """Bind decode inputs; *chunk_count* None = one chunk per core."""
+        self.geometry = geometry
+        self.tables = tables
+        self.chunk_count = chunk_count
+        self.overlap = overlap if overlap is not None else DEFAULT_OVERLAP_BYTES
+
+    def decode(self, entropy_data: bytes, cores: int = 4,
+               ns_per_byte: float = 13.0,
+               ns_per_mcu: float = 70.0,
+               map_fn=map) -> SpeculativeDecodeResult:
+        """Decode the whole scan speculatively; model the schedule.
+
+        ``ns_per_byte``/``ns_per_mcu`` mirror the sequential Huffman
+        cost model (Figure 7's slope and per-pixel base re-expressed
+        per MCU), applied to each chunk's shipped window.
+        """
+        geo = self.geometry
+        scan = destuff_scan(entropy_data)
+        n_chunks = self.chunk_count if self.chunk_count else max(1, cores)
+        chunks = plan_chunks(len(scan.payload), n_chunks, self.overlap)
+        geo_args = (geo.width, geo.height, geo.mode)
+        payload = scan.payload
+        tasks = [
+            (c, payload[c.start:c.slice_stop], geo_args, self.tables,
+             "fast", scan.terminator if c.slice_stop == len(payload)
+             else None)
+            for c in chunks
+        ]
+        traces = list(map_fn(_decode_chunk_star, tasks))
+        out, report = stitch_chunks(
+            traces, chunks, geo,
+            repair=make_repairer(scan, geo, self.tables))
+        mcus_per_chunk = geo.total_mcus / len(chunks)
+        work = [
+            ((c.window_stop - c.start) * ns_per_byte
+             + mcus_per_chunk * ns_per_mcu) / 1e3
+            for c in chunks
+        ]
+        sequential_us = (len(payload) * ns_per_byte
+                         + geo.total_mcus * ns_per_mcu) / 1e3
+        parallel_us = _lpt_makespan(work, cores)
+        if out is None:
+            # Whole-scan fallback: the sequential decode IS the path.
+            parallel_us = parallel_us + sequential_us
+            out = _sequential_oracle(scan, geo, self.tables, 0)
+        else:
+            parallel_us += sum(work[k] for k in report.misspeculated)
+        return SpeculativeDecodeResult(
+            coefficients=out, report=report, chunks=chunks,
+            sequential_us=sequential_us, parallel_us=parallel_us,
+            cores=cores)
+
+
+# Late imports keep module load order simple: speculative.py imports
+# nothing from this module.
+from .speculative import (  # noqa: E402
+    DEFAULT_OVERLAP_BYTES,
+    SpeculativeChunk,
+    SpeculativeReport,
+    _decode_chunk_star,
+    _sequential as _sequential_oracle,
+    make_repairer,
+    plan_chunks,
+    stitch_chunks,
+)

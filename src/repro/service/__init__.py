@@ -4,8 +4,9 @@ This package scales the single-image pipeline to traffic: batches of
 JPEG bytes fan out across a process/thread worker pool, each image
 riding the PR-1 fused fast-path entropy engine (restart-segment
 parallelism via :mod:`repro.jpeg.parallel_huffman` where DRI permits,
-whole-scan tasks otherwise), with a bounded submission queue for
-backpressure and per-batch statistics.
+speculative chunk fan-out via :mod:`repro.jpeg.speculative` for
+marker-free scans, whole-scan tasks otherwise), with a bounded
+submission queue for backpressure and per-batch statistics.
 
 Public surface (serving front ends first — the recommended entry
 points):

@@ -12,7 +12,13 @@ requests out over a :class:`~repro.service.workers.WorkerPool`:
   cannot fill the pool, one task per *restart segment*
   (:func:`repro.jpeg.parallel_huffman.decode_segment_coefficients`),
   merged back into a whole-image coefficient grid and finished through
-  :func:`repro.jpeg.decoder.pixels_from_coefficients`.
+  :func:`repro.jpeg.decoder.pixels_from_coefficients`;
+- or, for *marker-free* scans (DRI=0) under the same underfilled-pool
+  condition, one task per *speculative chunk*
+  (:mod:`repro.jpeg.speculative`): optimistic decoders started at
+  guessed byte offsets, stitched back by bit-position convergence with
+  per-chunk sequential repair of misspeculated gaps — bit-identical to
+  the sequential oracle either way.
 
 Per image, requests choose the entropy engine (``fast``/``reference``),
 the decode mode (``reference`` = the real sequential pixel path, or any
@@ -48,12 +54,25 @@ from ..jpeg.decoder import (
 from ..jpeg.blocks import ImageGeometry
 from ..jpeg.entropy import CoefficientBuffers, ComponentTables
 from ..jpeg.markers import JpegImageInfo, parse_jpeg
+from ..jpeg.fast_entropy import ScanPrescan, destuff_scan
 from ..jpeg.parallel_huffman import (
     RestartSegment,
     decode_segment_coefficients,
     scatter_segment,
     segment_plane_nbytes,
     split_restart_segments,
+)
+from ..jpeg.speculative import (
+    DEFAULT_OVERLAP_BYTES,
+    ChunkTrace,
+    SpeculativeChunk,
+    chunk_mcu_budget,
+    decode_speculative_chunk,
+    make_repairer,
+    plan_chunks,
+    speculative_eligible,
+    stitch_chunks,
+    _sequential as _decode_sequential_prescanned,
 )
 from .faults import FaultDirective, FaultPlan, apply_dispatch_fault
 from .queue import SubmissionQueue
@@ -99,6 +118,11 @@ class ImageRequest:
     #: ``False`` forbids it, ``None`` lets the batch decoder decide
     #: (split only when the batch alone cannot fill the worker pool).
     split_segments: bool | None = None
+    #: Speculative chunk fan-out for marker-free scans: ``True`` forces
+    #: it (where eligibility permits — DRI=0, fast engine, reference
+    #: mode), ``False`` forbids it, ``None`` defers to the batch
+    #: decoder's ``speculative`` policy knob.
+    speculative: bool | None = None
     #: Relative deadline in milliseconds from submission; ``None``
     #: means no deadline.  A request whose deadline passes before its
     #: decode starts is shed with
@@ -120,8 +144,17 @@ class ImageResult:
     error_type: str | None = None
     #: Human-readable failure message when ``ok`` is False.
     error: str | None = None
-    #: Number of independently decoded restart segments (1 = whole scan).
+    #: Number of independently decoded restart segments or speculative
+    #: chunks (1 = whole scan).
     segments: int = 1
+    #: True when the image's coefficients came from the *stitched*
+    #: speculative chunk fan-out (False for the whole-scan fallback —
+    #: the result is bit-identical either way, this records which path
+    #: produced it).
+    speculative: bool = False
+    #: Speculative chunk boundaries that failed to converge and were
+    #: healed by sequential gap repair (0 on a clean stitch).
+    misspeculated: int = 0
     #: Simulated executor time in microseconds (executor modes only).
     simulated_us: float | None = None
     #: Submit-to-completion latency, seconds (filled by the batch loop).
@@ -303,6 +336,54 @@ def decode_segment_task(
                                               perf_counter())
 
 
+def decode_speculative_chunk_task(
+    chunk: SpeculativeChunk,
+    slice_bytes: bytes,
+    geometry_args: tuple[int, int, str],
+    tables: list[ComponentTables],
+    terminator: int | None,
+    slot: PlaneSlot | None = None,
+    fault: FaultDirective | None = None,
+) -> tuple[SpeculativeChunk, "ChunkTrace | None", "list | tuple | None",
+           str | None, str | None, WorkSpan]:
+    """Speculatively decode one chunk inside a worker; never raises
+    (except by injected crash faults).
+
+    Returns ``(chunk, trace, payload, error_type, error, span)``.
+    Decode errors inside the chunk are *not* task errors — the
+    optimistic decoder records them on the trace and the stitcher
+    decides whether they matter (misspeculation repairs sequentially,
+    a hostile stream falls back to the oracle).  *trace* is None only
+    when the task itself failed structurally (then ``error_type`` is
+    set).  *payload* carries the trace's coefficient planes: a list on
+    the pickle path or :class:`~repro.service.transport.PlaneRef`
+    descriptors when a transport *slot* was leased — the trace rides
+    the pickle pipe with ``planes`` stripped either way, and the
+    gather loop reattaches them.
+    """
+    apply_dispatch_fault(fault)
+    t0 = perf_counter()
+    try:
+        if fault is not None and fault.kind == "exception":
+            raise RuntimeError(fault.message)
+        trace = decode_speculative_chunk(
+            chunk, slice_bytes, geometry_args, tables, "fast", terminator)
+    except Exception as exc:  # ANY failure stays on this chunk
+        return (chunk, None, None, type(exc).__name__, str(exc),
+                WorkSpan(worker_name(), t0, perf_counter()))
+    payload: "list | tuple" = trace.planes
+    if slot is not None:
+        try:
+            if fault is not None and fault.kind == "shm_fail":
+                raise ServiceError(fault.message)
+            payload = publish_planes(slot, trace.planes)
+        except Exception:
+            payload = trace.planes  # fall back to pickling the planes
+    trace.planes = None
+    return (chunk, trace, payload, None, None,
+            WorkSpan(worker_name(), t0, perf_counter()))
+
+
 # ---------------------------------------------------------------------------
 # Batch orchestration.
 # ---------------------------------------------------------------------------
@@ -331,13 +412,43 @@ class _SplitJob:
 
 
 @dataclass
+class _SpecJob:
+    """Book-keeping for one marker-free image decoded speculatively."""
+
+    index: int
+    request: ImageRequest
+    info: JpegImageInfo
+    #: The destuffed scan — sliced for the chunk tasks, and the substrate
+    #: the stitcher's gap repair (and the whole-scan fallback) decode.
+    prescan: ScanPrescan
+    chunks: list[SpeculativeChunk]
+    tables: list[ComponentTables]
+    pending: int
+    #: Traces by chunk index; None marks a chunk whose task failed or
+    #: whose worker crashed past the retry budget — the stitcher treats
+    #: both as misspeculation (repair or fall back), never as an image
+    #: error.
+    traces_by_chunk: dict[int, "ChunkTrace | None"] = \
+        field(default_factory=dict)
+    spans: list[WorkSpan] = field(default_factory=list)
+    #: Transport slots whose planes are still referenced (released only
+    #: after the stitch copies them out).
+    slots: list[PlaneSlot] = field(default_factory=list)
+    #: True when any chunk died on infrastructure past the retry budget
+    #: (reported on the result only if the image ultimately fails).
+    infra: bool = False
+    #: Max dispatch attempts any of this image's chunks consumed.
+    attempts: int = 1
+
+
+@dataclass
 class _InFlight:
     """Book-keeping for one dispatched task: everything the gather loop
     needs to requeue it after its worker dies (a fresh slot is leased on
     redispatch — the old one is quarantined, the dead worker may still
     hold a view into it)."""
 
-    #: ``"whole"`` or ``"segment"``.
+    #: ``"whole"``, ``"segment"`` or ``"spec"``.
     kind: str
     #: Batch index of the image this task belongs to.
     index: int
@@ -352,8 +463,10 @@ class _InFlight:
     #: Scheduler lane the task was placed on (fault-plan targeting).
     lane: str | None
     #: Segment redispatch arguments
-    #: ``(seg, seg_bytes, geo_args, tables, engine, nbytes)``; empty for
-    #: whole-image tasks (those redispatch from ``requests[index]``).
+    #: ``(seg, seg_bytes, geo_args, tables, engine, nbytes)`` — or, for
+    #: speculative chunks, ``(chunk, chunk_bytes, geo_args, tables,
+    #: terminator, nbytes)``; empty for whole-image tasks (those
+    #: redispatch from ``requests[index]``).
     args: tuple = ()
 
 
@@ -369,7 +482,10 @@ class BatchDecoder:
                  shm_min_bytes: int = SHM_MIN_BYTES,
                  retry_budget: int = 2,
                  retry_backoff_s: float = 0.01,
-                 faults: FaultPlan | None = None) -> None:
+                 faults: FaultPlan | None = None,
+                 speculative: str = "auto",
+                 speculative_chunks: int | None = None,
+                 speculative_overlap: int = DEFAULT_OVERLAP_BYTES) -> None:
         """Create the pool (see :class:`~repro.service.workers.WorkerPool`
         for backend semantics).  *defaults* seeds the per-image knobs
         applied when a request is submitted as raw bytes.
@@ -405,9 +521,31 @@ class BatchDecoder:
         *retry_backoff_s* is the base of the exponential back-off slept
         before each re-dispatch.  *faults* attaches a
         :class:`~repro.service.faults.FaultPlan` for chaos testing.
+
+        *speculative* governs the marker-free fan-out
+        (:mod:`repro.jpeg.speculative`): ``"auto"`` (default) splits a
+        DRI=0 scan into speculative chunks under the same
+        underfilled-pool condition as restart segments, ``"on"`` makes
+        every eligible image a candidate regardless of batch size, and
+        ``"off"`` disables the path (a per-request
+        :attr:`ImageRequest.speculative` overrides the policy either
+        way).  *speculative_chunks* fixes the chunk count (default: the
+        dispatching pool's worker count); *speculative_overlap* is the
+        convergence-window size in payload bytes.
         """
         from .executors import ExecutorRegistry
         from .transport import TRANSPORTS
+
+        if speculative not in ("auto", "on", "off"):
+            raise ServiceError(
+                f"speculative must be 'auto', 'on' or 'off', "
+                f"got {speculative!r}")
+        if speculative_chunks is not None and speculative_chunks < 1:
+            raise ServiceError(
+                f"speculative_chunks must be >= 1, got {speculative_chunks}")
+        self.speculative = speculative
+        self.speculative_chunks = speculative_chunks
+        self.speculative_overlap = speculative_overlap
 
         # Validate everything cheap *before* any pool exists, so a
         # bad configuration never leaks live worker processes.
@@ -490,6 +628,31 @@ class BatchDecoder:
         if req.split_segments is True:
             return True
         # auto: split only when whole-image tasks cannot fill the pool.
+        return (self.pool.backend != "serial"
+                and n_requests < self.pool.workers)
+
+    def _speculative_candidate(self, req: ImageRequest,
+                               n_requests: int) -> bool:
+        """Parse-free preconditions for speculative chunk fan-out.
+
+        Mirrors :meth:`_split_candidate` for marker-free scans: only
+        the reference pixel path with the fast engine qualifies (the
+        speculative decoder needs exact bit positions), the per-request
+        knob overrides, and the decoder-level policy decides the rest —
+        ``"auto"`` fans out only when whole-image tasks cannot fill the
+        pool.  Actual eligibility (DRI=0, no stray RSTn) is checked
+        after the parse.
+        """
+        if req.mode != "reference" or req.entropy_engine != "fast":
+            return False
+        if req.speculative is False:
+            return False
+        if req.speculative is True:
+            return True
+        if self.speculative == "off":
+            return False
+        if self.speculative == "on":
+            return self.pool.backend != "serial"
         return (self.pool.backend != "serial"
                 and n_requests < self.pool.workers)
 
@@ -616,6 +779,7 @@ class BatchDecoder:
         results: list[ImageResult | None] = [None] * len(requests)
         pending: dict[Any, _InFlight] = {}
         split_jobs: dict[int, _SplitJob] = {}
+        spec_jobs: dict[int, _SpecJob] = {}
         #: Pools that actually received work this batch — the honest
         #: utilization denominator (with lane-bound pools the default
         #: pool often sits idle by construction).
@@ -661,6 +825,19 @@ class BatchDecoder:
                 attempts, slot, lane,
                 (seg, seg_bytes, geo_args, tables, engine, nbytes))
 
+        def dispatch_spec(i, pool, lane, chunk, chunk_bytes, geo_args,
+                          tables, terminator, nbytes, attempts=1):
+            """(Re)dispatch one speculative-chunk task."""
+            slot = self._lease_segment_slot(nbytes, pool)
+            fut = submit_with_slot(pool, decode_speculative_chunk_task,
+                                   chunk, chunk_bytes, geo_args, tables,
+                                   terminator, slot=slot,
+                                   fault=self._next_fault(lane))
+            pending[fut] = _InFlight(
+                "spec", i, pool, pool.backend == "process",
+                attempts, slot, lane,
+                (chunk, chunk_bytes, geo_args, tables, terminator, nbytes))
+
         gather_complete = False
         try:
             for i, req in enumerate(requests):
@@ -668,8 +845,11 @@ class BatchDecoder:
                 pool = self.pool
                 if lane is not None and self.registry is not None:
                     pool = self.registry.pool_for(lane) or self.pool
-                split = False
-                if self._split_candidate(req, len(requests)):
+                split = spec = False
+                scan = chunks = None
+                want_split = self._split_candidate(req, len(requests))
+                want_spec = self._speculative_candidate(req, len(requests))
+                if want_split or want_spec:
                     try:
                         info = parse_jpeg(req.data)
                     except (ReproError, ValueError) as exc:
@@ -678,11 +858,54 @@ class BatchDecoder:
                             error_type=type(exc).__name__, error=str(exc),
                             latency_s=perf_counter() - t0)
                         continue
-                    split = info.restart_interval > 0
-                if not split:
+                    split = want_split and info.restart_interval > 0
+                    spec = not split and want_spec \
+                        and info.restart_interval == 0
+                if spec:
+                    try:
+                        scan = destuff_scan(info.entropy_data)
+                    except (ReproError, ValueError):
+                        # Malformed scan structure: the whole-image
+                        # worker reports the precise decode error.
+                        scan = None
+                    if scan is None or not speculative_eligible(
+                            info.restart_interval, scan):
+                        spec = False
+                    else:
+                        chunks = plan_chunks(
+                            len(scan.payload),
+                            self.speculative_chunks or pool.workers,
+                            self.speculative_overlap)
+                        # One chunk degenerates to the sequential decode
+                        # — a whole-image task without the stitch tax.
+                        spec = len(chunks) > 1
+                if not split and not spec:
                     dispatch_whole(i, pool, lane)
                     continue
                 geo = info.geometry
+                if spec:
+                    tables = component_tables_from_info(info)
+                    job = _SpecJob(index=i, request=req, info=info,
+                                   prescan=scan, chunks=chunks,
+                                   tables=tables, pending=len(chunks))
+                    spec_jobs[i] = job
+                    geo_args = (geo.width, geo.height, geo.mode)
+                    payload = scan.payload
+                    bpms = [c.h_factor * c.v_factor
+                            for c in geo.components]
+                    for chunk in chunks:
+                        budget = chunk_mcu_budget(chunk, geo)
+                        # int16 coefficient blocks: 64 * 2 bytes each.
+                        nbytes = packed_nbytes(
+                            [budget * bpm * 128 for bpm in bpms])
+                        dispatch_spec(
+                            i, pool, lane, chunk,
+                            payload[chunk.start:chunk.slice_stop],
+                            geo_args, tables,
+                            (scan.terminator
+                             if chunk.slice_stop == len(payload) else None),
+                            nbytes)
+                    continue
                 # Validate the marker structure before fanning out: a
                 # truncated/corrupt scan has fewer RSTn boundaries than
                 # the DRI interval demands, and isolated segments would
@@ -747,6 +970,10 @@ class BatchDecoder:
                             if task.kind == "whole":
                                 dispatch_whole(i, task.pool, task.lane,
                                                attempts=task.attempts + 1)
+                            elif task.kind == "spec":
+                                dispatch_spec(
+                                    i, task.pool, task.lane, *task.args,
+                                    attempts=task.attempts + 1)
                             else:
                                 dispatch_segment(
                                     i, task.pool, task.lane, *task.args,
@@ -763,6 +990,21 @@ class BatchDecoder:
                                 error=exc_msg, infra_failure=True,
                                 attempts=task.attempts,
                                 latency_s=perf_counter() - t0)
+                        elif task.kind == "spec":
+                            # A chunk lost to infrastructure is just a
+                            # misspeculated chunk: the stitcher repairs
+                            # the gap sequentially (or the whole scan
+                            # falls back) — the image still decodes.
+                            job = spec_jobs[i]
+                            job.infra = True
+                            job.attempts = max(job.attempts, task.attempts)
+                            job.traces_by_chunk[task.args[0].index] = None
+                            job.pending -= 1
+                            if job.pending == 0:
+                                results[i] = self._finish_speculative(job)
+                                for slot in job.slots:
+                                    self._release_slot(slot, outstanding)
+                                results[i].latency_s = perf_counter() - t0
                         else:
                             job = split_jobs[i]
                             job.error_type = (job.error_type
@@ -789,6 +1031,43 @@ class BatchDecoder:
                         res.wall_us = sum(
                             s.duration_s for s in res.spans) * 1e6 or None
                         res.latency_s = perf_counter() - t0
+                    elif task.kind == "spec":
+                        job = spec_jobs[i]
+                        job.attempts = max(job.attempts, task.attempts)
+                        chunk, trace, planes, err_type, err, span = payload
+                        job.spans.append(span)
+                        if trace is None:
+                            # Structural task failure — treated as one
+                            # more misspeculated chunk, never an image
+                            # error (the stitch repairs or falls back).
+                            job.traces_by_chunk[chunk.index] = None
+                        else:
+                            if isinstance(planes, tuple):
+                                # Shared-memory refs: zero-copy views;
+                                # the slot stays leased until the stitch
+                                # scatters them into the global grid.
+                                trace.planes = [
+                                    self.arena.resolve(r, copy=False)
+                                    for r in planes]
+                                bytes_shm += sum(r.nbytes for r in planes)
+                                slot = outstanding.get(planes[0].segment)
+                                if slot is not None:
+                                    job.slots.append(slot)
+                            else:
+                                if task.piped:
+                                    bytes_pickle += sum(
+                                        p.nbytes for p in planes)
+                                trace.planes = planes
+                            job.traces_by_chunk[chunk.index] = trace
+                        job.pending -= 1
+                        if job.pending == 0:
+                            results[i] = self._finish_speculative(job)
+                            for slot in job.slots:
+                                self._release_slot(slot, outstanding)
+                            results[i].wall_us = sum(
+                                s.duration_s
+                                for s in results[i].spans) * 1e6 or None
+                            results[i].latency_s = perf_counter() - t0
                     else:
                         job = split_jobs[i]
                         job.attempts = max(job.attempts, task.attempts)
@@ -886,6 +1165,63 @@ class BatchDecoder:
             segments=len(job.planes_by_seg), spans=job.spans,
             attempts=job.attempts)
 
+    def _finish_speculative(self, job: _SpecJob) -> ImageResult:
+        """Stitch a speculative image's chunk traces and run the pixel
+        stages.
+
+        Misspeculated boundaries (and chunks lost to crashed workers)
+        are healed by sequential gap repair inside the stitch; only
+        when coverage cannot be established at all does the whole scan
+        re-decode sequentially — which also reproduces the oracle's
+        exact error for hostile streams.  Either way the coefficients
+        are bit-identical to the sequential decode.
+        """
+        req, info = job.request, job.info
+        geo = info.geometry
+        traces = [job.traces_by_chunk.get(k)
+                  for k in range(len(job.chunks))]
+        t0 = perf_counter()
+        if job.infra and not any(t is not None for t in traces):
+            # Every chunk died on infrastructure: the pool is gone, and
+            # quietly serializing the whole decode in the parent would
+            # mask it.  Partial loss heals below; total loss is terminal.
+            job.spans.append(WorkSpan(worker_name(), t0, perf_counter()))
+            return ImageResult(
+                request_id=req.request_id, ok=False,
+                error_type="WorkerCrashError",
+                error="all speculative chunks lost to worker crashes",
+                segments=len(job.chunks), spans=job.spans,
+                misspeculated=len(job.chunks),
+                infra_failure=True, attempts=job.attempts)
+        coeffs, report = stitch_chunks(
+            traces, job.chunks, geo,
+            repair=make_repairer(job.prescan, geo, job.tables))
+        if coeffs is None:
+            try:
+                coeffs = _decode_sequential_prescanned(
+                    job.prescan, geo, job.tables, info.restart_interval)
+            except Exception as exc:
+                job.spans.append(
+                    WorkSpan(worker_name(), t0, perf_counter()))
+                return ImageResult(
+                    request_id=req.request_id, ok=False,
+                    error_type=type(exc).__name__, error=str(exc),
+                    segments=len(job.chunks), spans=job.spans,
+                    misspeculated=len(report.misspeculated),
+                    infra_failure=job.infra, attempts=job.attempts)
+        rgb = pixels_from_coefficients(info, coeffs, DecodeOptions(
+            idct_method=req.idct_method,
+            fancy_upsampling=req.fancy_upsampling,
+            entropy_engine=req.entropy_engine))
+        job.spans.append(WorkSpan(worker_name(), t0, perf_counter()))
+        return ImageResult(
+            request_id=req.request_id, ok=True, rgb=rgb,
+            width=info.width, height=info.height,
+            segments=len(job.chunks), spans=job.spans,
+            speculative=report.ok,
+            misspeculated=len(report.misspeculated),
+            attempts=job.attempts)
+
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
@@ -943,7 +1279,8 @@ class DecodeService:
                  lane_pools: "object | str | bool | None" = None,
                  retry_budget: int | None = None,
                  faults: FaultPlan | None = None,
-                 default_deadline_ms: float | None = None) -> None:
+                 default_deadline_ms: float | None = None,
+                 speculative: str | None = None) -> None:
         """Build the underlying pump-less session; *batch_size* caps one
         drain step.
 
@@ -970,7 +1307,7 @@ class DecodeService:
             scheduler=scheduler, transport=transport,
             lane_pools=lane_pools, retry_budget=retry_budget,
             faults=faults, default_deadline_ms=default_deadline_ms,
-            pump=False)
+            speculative=speculative, pump=False)
 
     @property
     def batch_size(self) -> int:

@@ -119,6 +119,12 @@ class ImagePricing:
     density: float
     subsampling: str
     has_restarts: bool
+    #: True when the image can be decomposed for parallel decode at
+    #: all: restart-segment fan-out where DRI permits, speculative
+    #: chunk fan-out (:mod:`repro.jpeg.speculative`) for marker-free
+    #: scans when the scheduler runs with speculation enabled.  The
+    #: dominant-image fallback consults this, not :attr:`has_restarts`.
+    splittable: bool = False
     #: Predicted decode time (us) per lane name; ``inf`` = ineligible.
     costs: dict[str, float] = field(default_factory=dict)
 
@@ -395,6 +401,7 @@ def price_images(
     infos: Sequence[tuple[int, JpegImageInfo]],
     executors: Sequence[ExecutorLane],
     model_for: "callable",
+    speculative: bool = False,
 ) -> list[ImagePricing]:
     """Price parsed images on every lane.
 
@@ -404,6 +411,11 @@ def price_images(
     price as ``inf``; CPU lanes on 4:2:0 fall back to the platform's
     4:2:2 model — the closest fitted surface, since 4:2:0 is outside the
     paper's profiling scope.
+
+    With *speculative* set, marker-free images price as splittable too:
+    the speculative chunk fan-out (:mod:`repro.jpeg.speculative`) can
+    decompose any DRI=0 scan, so the dominant-image fallback is no
+    longer gated on restart markers.
     """
     pricings = []
     for index, info in infos:
@@ -411,7 +423,8 @@ def price_images(
         pricing = ImagePricing(
             index=index, width=info.width, height=info.height,
             density=info.file_density, subsampling=sub,
-            has_restarts=info.restart_interval > 0)
+            has_restarts=info.restart_interval > 0,
+            splittable=info.restart_interval > 0 or speculative)
         model_sub = sub if sub in MODELED_SUBSAMPLINGS else "4:2:2"
         for lane in executors:
             if not lane.eligible(sub):
@@ -454,9 +467,11 @@ def schedule_lpt(
 
     When *split_dominant* is set, an image whose best single-lane cost
     exceeds the ideal balanced makespan (total best-cost work divided by
-    the lane count) *and* that carries restart markers is routed to
-    restart-segment fan-out instead — the one case where whole-image
-    placement cannot avoid that image defining the batch's finish line.
+    the lane count) *and* that is splittable — it carries restart
+    markers, or the scheduler priced it with speculative chunk fan-out
+    available — is routed to parallel fan-out instead: the one case
+    where whole-image placement cannot avoid that image defining the
+    batch's finish line.
 
     An image none of *executors* can take (every scaled cost ``inf`` —
     e.g. a lane subset excluding its only eligible lanes) is returned
@@ -495,7 +510,8 @@ def schedule_lpt(
             # No lane can take it — leave it unassigned, decoded as-is.
             assignments.append(Assignment(index=pricing.index, executor=None))
             continue
-        if (split_dominant and len(placeable) > 1 and pricing.has_restarts
+        if (split_dominant and len(placeable) > 1
+                and (pricing.splittable or pricing.has_restarts)
                 and best[pricing.index] > ideal):
             assignments.append(Assignment(
                 index=pricing.index, executor=None,
@@ -625,7 +641,8 @@ class ModelScheduler:
                  platform: Platform | None = None,
                  split_dominant: bool = True,
                  feedback: ThroughputFeedback | None = None,
-                 breakers: LaneBreakerBoard | None = None) -> None:
+                 breakers: LaneBreakerBoard | None = None,
+                 speculative: bool = True) -> None:
         """Build the lane set and the feedback state for one scheduler.
 
         *breakers* is the lane circuit-breaker board consulted at every
@@ -634,6 +651,12 @@ class ModelScheduler:
         probes it again after a 5 s cooldown.  Pass a configured
         :class:`LaneBreakerBoard` to tune (the CLI's
         ``--breaker-threshold`` does).
+
+        With *speculative* (the default), every image is priced as
+        splittable — marker-free scans decompose via speculative chunk
+        fan-out (:mod:`repro.jpeg.speculative`), so the dominant-image
+        fallback no longer serializes a big DRI=0 image on one lane.
+        Pass False to restore the DRI-gated behavior.
         """
         if policy not in POLICIES:
             raise ServiceError(
@@ -649,6 +672,7 @@ class ModelScheduler:
         self.policy = policy
         self.executors = tuple(executors)
         self.split_dominant = split_dominant
+        self.speculative = speculative
         self.feedback = feedback or ThroughputFeedback()
         self.breakers = breakers or LaneBreakerBoard()
         self._decoders: dict[str, "object"] = {}
@@ -680,7 +704,8 @@ class ModelScheduler:
         caller bug, not traffic to route around.
         """
         infos = [(i, parse_jpeg(b)) for i, b in enumerate(blobs)]
-        return price_images(infos, self.executors, self._model_for)
+        return price_images(infos, self.executors, self._model_for,
+                            speculative=self.speculative)
 
     def plan(self, requests: "Sequence[ImageRequest]") -> BatchSchedule:
         """Parse, price and place one batch; returns the schedule.
@@ -697,7 +722,8 @@ class ModelScheduler:
                 infos.append((i, parse_jpeg(req.data)))
             except (ReproError, ValueError):
                 unparsable.append(i)
-        pricings = price_images(infos, self.executors, self._model_for)
+        pricings = price_images(infos, self.executors, self._model_for,
+                                speculative=self.speculative)
         limits = self.breakers.limits([l.name for l in self.executors])
         if self.policy == "model":
             schedule = schedule_lpt(pricings, self.executors, self.feedback,
@@ -719,17 +745,25 @@ class ModelScheduler:
 
         Lane placements pin the request to the lane's decode mode and
         platform (whole-image task, no segment splitting); dominant-image
-        fallbacks pin the reference pixel path with restart-segment
-        fan-out forced on.  Unassigned images pass through untouched.
+        fallbacks pin the reference pixel path with the fan-out that
+        fits the image forced on — restart-segment splitting where DRI
+        permits, speculative chunk fan-out for marker-free scans.
+        Unassigned images pass through untouched.
         """
         from dataclasses import replace
 
+        restarts = {p.index: p.has_restarts for p in schedule.pricings}
         rewritten = list(requests)
         for a in schedule.assignments:
             req = rewritten[a.index]
             if a.split:
-                rewritten[a.index] = replace(
-                    req, mode="reference", split_segments=True)
+                if restarts.get(a.index):
+                    rewritten[a.index] = replace(
+                        req, mode="reference", split_segments=True)
+                else:
+                    rewritten[a.index] = replace(
+                        req, mode="reference", split_segments=False,
+                        speculative=True)
             elif a.executor is not None:
                 rewritten[a.index] = replace(
                     req, mode=a.executor.mode,

@@ -169,6 +169,7 @@ class DecodeSession:
                  retry_backoff_s: float | None = None,
                  faults: "object | None" = None,
                  default_deadline_ms: float | None = None,
+                 speculative: str | None = None,
                  pump: bool = True) -> None:
         """Build queue, decoder and (unless ``pump=False``) the pump.
 
@@ -181,7 +182,9 @@ class DecodeSession:
         resolve with :class:`~repro.errors.DeadlineExceededError`.
         *retry_budget*/*retry_backoff_s*/*faults* forward to
         :class:`~repro.service.batch.BatchDecoder` (worker-crash retry
-        policy and chaos injection); the remaining knobs are those of
+        policy and chaos injection), as does *speculative*
+        (``"auto"``/``"on"``/``"off"`` — the marker-free speculative
+        chunk fan-out policy); the remaining knobs are those of
         :class:`~repro.service.batch.BatchDecoder` (including the
         shared-memory *transport* selection and lane-bound executor
         *lane_pools*) / :class:`~repro.service.queue.SubmissionQueue`.
@@ -208,6 +211,8 @@ class DecodeSession:
             decoder_kwargs["retry_backoff_s"] = retry_backoff_s
         if faults is not None:
             decoder_kwargs["faults"] = faults
+        if speculative is not None:
+            decoder_kwargs["speculative"] = speculative
         self.decoder = BatchDecoder(workers=workers, backend=backend,
                                     defaults=defaults, scheduler=scheduler,
                                     transport=transport,

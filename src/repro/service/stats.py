@@ -321,7 +321,8 @@ class ServiceStats:
                 for name, u in sorted(self.per_executor.items()))
             text += f"\nscheduled placements: {lanes}"
             if self.images_split:
-                text += f", {self.images_split} split (restart fan-out)"
+                text += (f", {self.images_split} split "
+                         f"(restart/speculative fan-out)")
         if (self.retries or self.infra_failures or self.deadline_expired
                 or self.pool_rebuilds):
             text += (f"\nfaults: {self.retries} retries, "

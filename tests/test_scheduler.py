@@ -240,6 +240,64 @@ class TestPricing:
 
 
 # ---------------------------------------------------------------------------
+# Speculative splittability (marker-free images).
+# ---------------------------------------------------------------------------
+
+class TestSpeculativeSplittability:
+    def test_marker_free_priced_splittable(self):
+        sched = ModelScheduler(platform=platforms.GTX560)
+        free, dri = encode(96, 96), encode(96, 96, dri=4)
+        p_free, p_dri = sched.price([free, dri])
+        assert not p_free.has_restarts and p_free.splittable
+        assert p_dri.has_restarts and p_dri.splittable
+
+    def test_speculative_off_restores_dri_gate(self):
+        sched = ModelScheduler(platform=platforms.GTX560,
+                               speculative=False)
+        free, dri = encode(96, 96), encode(96, 96, dri=4)
+        p_free, p_dri = sched.price([free, dri])
+        assert not p_free.splittable
+        assert p_dri.splittable
+
+    def test_dominant_marker_free_image_splits(self):
+        # The PR-7 point: a dominant DRI=0 image no longer serializes
+        # the batch — splittable (via speculation) is enough to fan out.
+        ex = lanes("a", "b")
+        pricings = [
+            fake_pricing(0, {"a": 1000.0, "b": 900.0}),
+            fake_pricing(1, {"a": 10.0, "b": 10.0}),
+            fake_pricing(2, {"a": 10.0, "b": 12.0}),
+        ]
+        pricings[0].splittable = True
+        sched = schedule_lpt(pricings, ex, split_dominant=True)
+        dominant = sched.assignments[0]
+        assert dominant.split and dominant.executor is None
+        # Flag off: the same image is placed whole (pre-PR behavior).
+        pricings[0].splittable = False
+        sched2 = schedule_lpt(pricings, ex, split_dominant=True)
+        assert sched2.split_count == 0
+        assert sched2.assignments[0].executor is not None
+
+    def test_breaker_limits_still_cap_splittable_batches(self):
+        # Every image splittable must not defeat LaneBreakerBoard caps:
+        # with lane "a" open (limit 0) all placements land on "b".
+        ex = lanes("a", "b")
+        pricings = [fake_pricing(i, {"a": 10.0, "b": 11.0})
+                    for i in range(4)]
+        for p in pricings:
+            p.splittable = True
+        sched = schedule_lpt(pricings, ex, split_dominant=True,
+                             lane_limits={"a": 0, "b": None})
+        placed = [a for a in sched.assignments if a.executor is not None]
+        assert placed and all(a.executor.name == "b" for a in placed)
+        # All lanes open -> nothing placeable, nothing split either.
+        starved = schedule_lpt(pricings, ex, split_dominant=True,
+                               lane_limits={"a": 0, "b": 0})
+        assert all(a.executor is None and not a.split
+                   for a in starved.assignments)
+
+
+# ---------------------------------------------------------------------------
 # End-to-end scheduled decodes.
 # ---------------------------------------------------------------------------
 

@@ -331,11 +331,14 @@ class TestShmBitIdentity:
 
 class TestTransportStats:
     def test_bytes_moved_counters(self, corpus):
+        # Whole-image accounting: pin speculative fan-out off so the
+        # counters see exactly one image's pixel planes.
         with BatchDecoder(workers=2, backend="process",
-                          transport="shm", shm_min_bytes=0) as dec:
+                          transport="shm", shm_min_bytes=0,
+                          speculative="off") as dec:
             shm_batch = dec.decode_batch([corpus[0]])
         with BatchDecoder(workers=2, backend="process",
-                          transport="pickle") as dec:
+                          transport="pickle", speculative="off") as dec:
             pickle_batch = dec.decode_batch([corpus[0]])
         rgb_bytes = decode_jpeg(corpus[0]).rgb.nbytes
         assert shm_batch.stats.bytes_shm == rgb_bytes

@@ -1,0 +1,278 @@
+"""Speculative chunk fan-out through the batch service: bit-identity
+across backends and transports, the policy knob and per-request
+override, scheduler routing of dominant marker-free images, fault
+injection, and hostile-input error identity."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.synth import GENERATORS, marker_free_corpus
+from repro.jpeg import (
+    DecodeOptions,
+    EncoderSettings,
+    decode_jpeg,
+    encode_jpeg,
+    parse_jpeg,
+)
+from repro.service import (
+    BatchDecoder,
+    FaultPlan,
+    ImageRequest,
+    LaneBreakerBoard,
+    ModelScheduler,
+    shm_available,
+)
+from repro.service.scheduler import price_images
+
+
+def encode(rgb, sub="4:2:0", quality=85, dri=0) -> bytes:
+    return encode_jpeg(rgb, EncoderSettings(
+        quality=quality, subsampling=sub, restart_interval=dri))
+
+
+def shm_files(prefix: str = "repro-") -> list[str]:
+    try:
+        return sorted(f for f in os.listdir("/dev/shm")
+                      if f.startswith(prefix))
+    except FileNotFoundError:
+        return []
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    """Marker-free images: the speculative path's targets."""
+    return [data for _, data in marker_free_corpus(
+        sizes=((96, 80), (160, 120)), kinds=("photo", "smooth"))]
+
+
+@pytest.fixture(scope="module")
+def oracles(blobs):
+    return [decode_jpeg(b).rgb for b in blobs]
+
+
+class TestSpeculativeBatches:
+    def test_thread_backend_identity(self, blobs, oracles):
+        with BatchDecoder(workers=4, backend="thread",
+                          speculative="on") as dec:
+            batch = dec.decode_batch(
+                [ImageRequest(data=b) for b in blobs])
+        assert batch.ok
+        for res, want in zip(batch.results, oracles):
+            assert res.ok, (res.error_type, res.error)
+            assert res.segments > 1, "speculative fan-out never engaged"
+            assert res.speculative or res.misspeculated >= 0
+            assert np.array_equal(res.rgb, want)
+
+    def test_serial_backend_never_speculates(self, blobs, oracles):
+        # Serial pools gain nothing from chunking; policy "on" must not
+        # override physics.
+        with BatchDecoder(backend="serial", speculative="on") as dec:
+            batch = dec.decode_batch([ImageRequest(data=blobs[0])])
+        res = batch.results[0]
+        assert res.ok and res.segments == 1 and not res.speculative
+        assert np.array_equal(res.rgb, oracles[0])
+
+    def test_request_override_forbids(self, blobs, oracles):
+        with BatchDecoder(workers=4, backend="thread",
+                          speculative="on") as dec:
+            batch = dec.decode_batch(
+                [ImageRequest(data=blobs[0], speculative=False)])
+        res = batch.results[0]
+        assert res.ok and res.segments == 1 and not res.speculative
+        assert np.array_equal(res.rgb, oracles[0])
+
+    def test_request_override_forces_despite_off_policy(self, blobs,
+                                                        oracles):
+        with BatchDecoder(workers=4, backend="thread",
+                          speculative="off") as dec:
+            batch = dec.decode_batch(
+                [ImageRequest(data=blobs[0], speculative=True)])
+        res = batch.results[0]
+        assert res.ok and res.segments > 1
+        assert np.array_equal(res.rgb, oracles[0])
+
+    def test_auto_policy_defers_to_batch_pressure(self, blobs):
+        # A batch that already fills the pool keeps whole-image tasks;
+        # a lone image fans out.
+        with BatchDecoder(workers=2, backend="thread",
+                          speculative="auto") as dec:
+            full = dec.decode_batch(
+                [ImageRequest(data=b) for b in blobs[:4]])
+            lone = dec.decode_batch([ImageRequest(data=blobs[0])])
+        assert all(r.segments == 1 for r in full.results)
+        assert lone.results[0].segments > 1
+
+    def test_chunk_count_knob(self, blobs, oracles):
+        with BatchDecoder(workers=2, backend="thread", speculative="on",
+                          speculative_chunks=5) as dec:
+            batch = dec.decode_batch([ImageRequest(data=blobs[1])])
+        res = batch.results[0]
+        assert res.ok and res.segments == 5
+        assert np.array_equal(res.rgb, oracles[1])
+
+    def test_dri_image_not_speculated(self, small_rgb):
+        data = encode(small_rgb, dri=4)
+        with BatchDecoder(workers=4, backend="thread",
+                          speculative="on") as dec:
+            batch = dec.decode_batch([ImageRequest(
+                data=data, speculative=True, split_segments=False)])
+        res = batch.results[0]
+        assert res.ok and not res.speculative
+        assert np.array_equal(res.rgb, decode_jpeg(data).rgb)
+
+    def test_invalid_policy_rejected(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            BatchDecoder(speculative="sometimes")
+        with pytest.raises(ServiceError):
+            BatchDecoder(speculative_chunks=0)
+
+
+@pytest.mark.skipif(not shm_available(),
+                    reason="POSIX shared memory unavailable")
+class TestSpeculativeShm:
+    def test_process_shm_identity_and_no_leak(self, blobs, oracles):
+        before = shm_files()
+        with BatchDecoder(workers=2, backend="process", transport="shm",
+                          shm_min_bytes=0, speculative="on") as dec:
+            batch = dec.decode_batch(
+                [ImageRequest(data=b) for b in blobs[:2]])
+            assert batch.ok
+            assert batch.stats.bytes_shm > 0, \
+                "chunk planes never rode shared memory"
+            for res, want in zip(batch.results, oracles):
+                assert res.segments > 1
+                assert np.array_equal(res.rgb, want)
+        assert shm_files() == before, "leaked /dev/shm segments"
+
+
+class TestSpeculativeFaults:
+    def test_killed_chunk_is_retried(self, blobs, oracles):
+        plan = FaultPlan(kill_at={1})
+        with BatchDecoder(workers=4, backend="thread", speculative="on",
+                          retry_backoff_s=0.0, faults=plan) as dec:
+            batch = dec.decode_batch([ImageRequest(data=blobs[0])])
+        res = batch.results[0]
+        assert res.ok and batch.retries >= 1
+        assert np.array_equal(res.rgb, oracles[0])
+
+    def test_lost_chunk_heals_as_misspeculation(self, blobs, oracles):
+        # Past the retry budget a dead chunk is one more misspeculated
+        # boundary: the stitch repairs it, the image never fails.
+        plan = FaultPlan(kill_at={1, 2})
+        with BatchDecoder(workers=4, backend="thread", speculative="on",
+                          retry_budget=0, retry_backoff_s=0.0,
+                          faults=plan) as dec:
+            batch = dec.decode_batch([ImageRequest(data=blobs[0])])
+        res = batch.results[0]
+        assert res.ok, (res.error_type, res.error)
+        assert res.misspeculated >= 1
+        assert np.array_equal(res.rgb, oracles[0])
+
+    def test_decode_exception_in_chunk_heals(self, blobs, oracles):
+        plan = FaultPlan(exception_at={2})
+        with BatchDecoder(workers=4, backend="thread", speculative="on",
+                          retry_backoff_s=0.0, faults=plan) as dec:
+            batch = dec.decode_batch([ImageRequest(data=blobs[0])])
+        res = batch.results[0]
+        assert res.ok
+        assert np.array_equal(res.rgb, oracles[0])
+        assert plan.injected["exception"] == 1
+
+    def test_total_chunk_loss_is_infra_failure(self, blobs):
+        plan = FaultPlan(kill_every=1)
+        with BatchDecoder(workers=2, backend="thread", speculative="on",
+                          retry_budget=0, retry_backoff_s=0.0,
+                          faults=plan) as dec:
+            batch = dec.decode_batch([ImageRequest(data=blobs[0])])
+        res = batch.results[0]
+        assert not res.ok and res.infra_failure
+        assert res.error_type == "WorkerCrashError"
+
+
+class TestHostileThroughService:
+    def _hostile(self):
+        base = encode(GENERATORS["photo"](64, 80, seed=11), quality=80)
+        info = parse_jpeg(base)
+        from repro.jpeg.fast_entropy import destuff_scan
+
+        scan = destuff_scan(info.entropy_data)
+        hostile = scan.payload[:len(scan.payload) // 2] + b"\xff\xd9"
+        return base.replace(info.entropy_data, hostile)
+
+    def test_corrupt_scan_reports_oracle_error(self):
+        blob = self._hostile()
+        try:
+            decode_jpeg(blob, DecodeOptions(entropy_engine="fast"))
+            want = None
+        except Exception as exc:
+            want = (type(exc).__name__, str(exc))
+        assert want is not None, "fixture failed to corrupt the scan"
+        with BatchDecoder(workers=4, backend="thread",
+                          speculative="on") as dec:
+            batch = dec.decode_batch([ImageRequest(data=blob)])
+        res = batch.results[0]
+        assert not res.ok and not res.infra_failure
+        assert (res.error_type, res.error) == want
+
+
+class TestSchedulerRouting:
+    def test_dominant_marker_free_image_speculates(self):
+        """The scheduler satellite, end to end: a dominant DRI=0 image
+        is no longer serialized — LPT marks it split, apply() routes it
+        speculative, and the decode fans out bit-identically."""
+        big = encode(GENERATORS["photo"](480, 640, seed=6), quality=90)
+        small = encode(GENERATORS["smooth"](64, 64, seed=7))
+        assert parse_jpeg(big).restart_interval == 0
+        with BatchDecoder(workers=2, backend="thread",
+                          scheduler="model") as dec:
+            batch = dec.decode_batch([big, small])
+        assert batch.schedule.split_count == 1
+        res = batch.results[0]
+        assert res.ok and res.segments > 1 and res.speculative
+        assert np.array_equal(res.rgb, decode_jpeg(big).rgb)
+
+    def test_scheduler_speculative_off_serializes_again(self):
+        big = encode(GENERATORS["photo"](480, 640, seed=6), quality=90)
+        small = encode(GENERATORS["smooth"](64, 64, seed=7))
+        sched = ModelScheduler(policy="model", speculative=False)
+        with BatchDecoder(workers=2, backend="thread",
+                          scheduler=sched) as dec:
+            batch = dec.decode_batch([big, small])
+        assert batch.schedule.split_count == 0
+        res = batch.results[0]
+        assert res.ok and res.segments == 1
+        assert np.array_equal(res.rgb, decode_jpeg(big).rgb)
+
+    def test_pricing_marks_marker_free_splittable(self):
+        sched = ModelScheduler(policy="model")
+        free = encode(GENERATORS["photo"](96, 96, seed=1))
+        dri = encode(GENERATORS["photo"](96, 96, seed=1), dri=4)
+        infos = [(0, parse_jpeg(free)), (1, parse_jpeg(dri))]
+        with_spec = price_images(infos, sched.executors,
+                                 sched._model_for, speculative=True)
+        without = price_images(infos, sched.executors,
+                               sched._model_for, speculative=False)
+        assert [p.splittable for p in with_spec] == [True, True]
+        assert [p.splittable for p in without] == [False, True]
+        assert [p.has_restarts for p in with_spec] == [False, True]
+
+    def test_breaker_limits_survive_with_speculation(self):
+        # LaneBreakerBoard caps still constrain placement when every
+        # image prices splittable.
+        board = LaneBreakerBoard(threshold=1, cooldown_s=3600.0)
+        sched = ModelScheduler(policy="model", breakers=board)
+        lane_names = [ln.name for ln in sched.executors]
+        for name in lane_names:
+            board.record(name, ok=False)
+        limits = board.limits(lane_names)
+        assert all(v == 0 for v in limits.values())
+        blob = encode(GENERATORS["photo"](96, 96, seed=2))
+        schedule = sched.plan([ImageRequest(data=blob)])
+        (a,) = schedule.assignments
+        assert a.executor is None and not a.split
