@@ -1,0 +1,127 @@
+"""S7 — extension scenario: progressive (SOF2) decode cost + salvage.
+
+PR-8 added the progressive multi-scan coder and the hostile-input
+scenario matrix (tests/test_scenario_matrix.py).  This bench puts
+numbers on the two claims the matrix only asserts qualitatively:
+
+1. **Exactness** — every progressive member of the scenario corpus
+   decodes pixel-identical to its baseline twin (same quantized
+   coefficients, different entropy layout), so the multi-scan cost is
+   a pure re-walk, never a quality trade.
+2. **Cost** — the multi-scan re-walk makes progressive decode slower
+   than baseline; the measured baseline/progressive wall-clock ratio
+   must stay above ``PROGRESSIVE_MIN_RATIO`` (i.e. progressive must
+   not be pathologically slow), and the scheduler's per-scan pricing
+   surcharge (``PerformanceModel.price(..., scans=N)`` =
+   ``(N-1) * scan_pass_factor * THuff`` on top of the base price) must
+   be monotone in the scan count so the cross-image LPT placement sees
+   progressive streams as the heavier work they are.
+
+A salvage probe rounds it out: a progressive stream truncated inside
+its entropy data must still return a full-size image with a non-empty
+damaged-region map under ``DecodeOptions(salvage=True)`` — the
+degraded-not-dead contract the hostile matrix enforces per cell.
+
+Env: PROGRESSIVE_MIN_RATIO overrides the asserted floor on
+baseline_time / progressive_time (local default 0.2 — progressive may
+cost up to 5x baseline; CI smoke uses the same conservative value).
+"""
+
+import os
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from repro.data import scenario_corpus
+from repro.evaluation import format_table, platforms
+from repro.jpeg import DecodeOptions, decode_jpeg, parse_jpeg
+
+from common import decoder_for, write_result
+
+MIN_RATIO = float(os.environ.get("PROGRESSIVE_MIN_RATIO", "0.2"))
+
+#: One scenario per colorspace: (colorspace, subsampling) cells whose
+#: baseline/progressive twins the cost table reports.
+CELLS = (("gray", "4:4:4"), ("ycbcr", "4:2:2"), ("ycck", "4:4:4"))
+
+PRICING_DENSITY = 0.20
+
+
+@lru_cache(maxsize=1)
+def corpus() -> dict[str, bytes]:
+    return dict(scenario_corpus(size=(256, 192), quality=85, seed=7))
+
+
+def _best_of(data: bytes, repeats: int = 3) -> tuple[float, np.ndarray]:
+    """Minimum wall-clock seconds over *repeats* fast-engine decodes."""
+    best = float("inf")
+    pixels = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        decoded = decode_jpeg(data, DecodeOptions(entropy_engine="fast"))
+        best = min(best, time.perf_counter() - t0)
+        pixels = decoded.rgb
+    return best, pixels
+
+
+def render() -> str:
+    members = corpus()
+    model = decoder_for(platforms.GTX560.name).model_for("4:2:2")
+    rows = []
+    worst_ratio = float("inf")
+    for cs, sub in CELLS:
+        base_name = f"baseline-{cs}-{sub}-256x192-q85"
+        prog_name = f"progressive-{cs}-{sub}-256x192-q85"
+        base_s, base_px = _best_of(members[base_name])
+        prog_s, prog_px = _best_of(members[prog_name])
+        assert np.array_equal(base_px, prog_px), (
+            f"progressive twin diverged from baseline for {cs}/{sub}")
+        info = parse_jpeg(members[prog_name])
+        scans = len(info.scans)
+        priced_1 = model.price("simd", 256, 192, PRICING_DENSITY)
+        priced_n = model.price("simd", 256, 192, PRICING_DENSITY,
+                               scans=scans)
+        assert priced_n > priced_1, (
+            f"scans={scans} pricing must exceed the single-scan price")
+        ratio = base_s / prog_s
+        worst_ratio = min(worst_ratio, ratio)
+        rows.append([
+            f"{cs}/{sub}", str(scans),
+            f"{base_s * 1e3:.2f}", f"{prog_s * 1e3:.2f}",
+            f"{ratio:.2f}x",
+            f"+{(priced_n - priced_1) / priced_1 * 100:.0f}%",
+        ])
+    assert worst_ratio >= MIN_RATIO, (
+        f"baseline/progressive ratio {worst_ratio:.2f}x below the "
+        f"{MIN_RATIO:.2f}x floor — progressive decode pathologically slow")
+
+    # Pricing surcharge is monotone in scan count.
+    prices = [model.price("simd", 256, 192, PRICING_DENSITY, scans=s)
+              for s in (1, 6, 14, 18)]
+    assert all(b > a for a, b in zip(prices, prices[1:])), \
+        "per-scan pricing surcharge must be monotone in scan count"
+
+    # Salvage probe: truncated progressive stream degrades, never dies.
+    blob = members["progressive-ycbcr-4:2:2-256x192-q85"]
+    cut = blob[:len(blob) * 3 // 5]
+    salvaged = decode_jpeg(cut, DecodeOptions(salvage=True))
+    intact = decode_jpeg(blob)
+    assert salvaged.salvaged and salvaged.errors
+    assert salvaged.rgb.shape == intact.rgb.shape
+    assert salvaged.error_map is not None
+    damaged = int(salvaged.error_map.sum())
+    assert damaged > 0
+
+    return format_table(
+        ["Scenario", "Scans", "Baseline (ms)", "Progressive (ms)",
+         "Base/Prog", "Price surcharge"],
+        rows,
+        title=("Scenario S7 (extension): progressive (SOF2) decode cost, "
+               f"256x192 q85; truncated-stream salvage: {damaged} "
+               "damaged MCU(s)"))
+
+
+def test_progressive(benchmark):
+    out = benchmark(render)
+    write_result("progressive", out)

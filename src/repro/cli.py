@@ -28,8 +28,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from .jpeg import parse_jpeg
 
     info = parse_jpeg(Path(args.file).read_bytes())
+    coding = ("progressive" if info.progressive else "baseline")
     print(f"file:          {args.file}")
     print(f"dimensions:    {info.width} x {info.height}")
+    print(f"coding:        {coding}, {len(info.scans)} scan(s), "
+          f"{len(info.frame.components)} component(s)")
     print(f"subsampling:   {info.subsampling_mode}")
     print(f"file size:     {info.file_size} bytes")
     print(f"entropy data:  {len(info.entropy_data)} bytes")
@@ -55,8 +58,13 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     if args.mode == "reference":
         from .jpeg import DecodeOptions, decode_jpeg
 
-        rgb = decode_jpeg(
-            data, DecodeOptions(entropy_engine=args.entropy_engine)).rgb
+        decoded = decode_jpeg(data, DecodeOptions(
+            entropy_engine=args.entropy_engine, salvage=args.salvage))
+        rgb = decoded.rgb
+        if decoded.salvaged:
+            bad = int(decoded.error_map.sum())
+            print(f"salvaged decode: {bad} damaged MCU(s); "
+                  + "; ".join(decoded.errors), file=sys.stderr)
     else:
         from .core import HeterogeneousDecoder
         from .evaluation import platforms
@@ -82,9 +90,12 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     rgb = gen(args.height, args.width, seed=args.seed, **kwargs)
     data = encode_jpeg(rgb, EncoderSettings(
         quality=args.quality, subsampling=args.subsampling,
-        restart_interval=args.restart_interval))
+        restart_interval=args.restart_interval,
+        colorspace=args.colorspace, progressive=args.progressive))
     Path(args.output).write_bytes(data)
-    print(f"wrote {args.output}: {args.width}x{args.height} "
+    coding = "progressive " if args.progressive else ""
+    print(f"wrote {args.output}: {coding}{args.colorspace} "
+          f"{args.width}x{args.height} "
           f"{args.subsampling} q{args.quality}, {len(data)} bytes")
     return 0
 
@@ -175,7 +186,11 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                     failures += 1
                     print(f"    FAIL {r.request_id}: "
                           f"{r.error_type}: {r.error}", file=sys.stderr)
-                elif out_dir is not None:
+                    continue
+                if r.salvaged:
+                    print(f"    SALVAGED {r.request_id}: "
+                          + "; ".join(r.salvage_errors), file=sys.stderr)
+                if out_dir is not None:
                     name = str(r.request_id).replace("/", "_")
                     _write_ppm(out_dir / f"{name}.ppm", r.rgb)
 
@@ -185,7 +200,8 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                     data=data, request_id=f"{name}@{k}" if args.repeat > 1
                     else name,
                     entropy_engine=args.entropy_engine, mode=args.mode,
-                    platform=args.platform, split_segments=split)
+                    platform=args.platform, split_segments=split,
+                    salvage=args.salvage)
                 while True:
                     try:
                         svc.submit(req, timeout=0)
@@ -308,17 +324,28 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["fast", "reference"],
                    help="Huffman decode path (bit-exact; 'fast' uses the "
                         "fused-table engine)")
+    p.add_argument("--salvage", action="store_true",
+                   help="best-effort decode of corrupt streams (reference "
+                        "mode): return the rows decoded before the error "
+                        "plus an error-region report instead of failing")
     p.set_defaults(func=_cmd_decode)
 
     p = sub.add_parser("synth", help="generate a synthetic JPEG")
     p.add_argument("output")
     p.add_argument("--kind", default="photo",
-                   choices=["photo", "smooth", "detail", "skewed"])
+                   choices=["photo", "smooth", "detail", "skewed", "gray"])
     p.add_argument("--width", type=int, default=640)
     p.add_argument("--height", type=int, default=480)
     p.add_argument("--quality", type=int, default=85)
     p.add_argument("--subsampling", default="4:2:2",
-                   choices=["4:4:4", "4:2:2", "4:2:0"])
+                   choices=["4:4:4", "4:2:2", "4:2:0", "4:1:1", "4:4:0"])
+    p.add_argument("--colorspace", default="ycbcr",
+                   choices=["gray", "ycbcr", "ycck"],
+                   help="encoded layout: 1-component grayscale, "
+                        "3-component YCbCr, or 4-component Adobe YCCK")
+    p.add_argument("--progressive", action="store_true",
+                   help="emit a progressive (SOF2) multi-scan stream "
+                        "instead of a baseline one")
     p.add_argument("--detail", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--restart-interval", type=int, default=0)
@@ -407,6 +434,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="queueing deadline applied to requests that do "
                         "not carry one; expired requests are shed "
                         "before decode (default: none)")
+    p.add_argument("--salvage", action="store_true",
+                   help="best-effort decode of corrupt streams: damaged "
+                        "images resolve ok with an error-region map "
+                        "instead of failing the request")
     p.set_defaults(func=_cmd_serve_batch)
 
     p = sub.add_parser(

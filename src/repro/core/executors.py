@@ -80,6 +80,14 @@ class PreparedImage:
         so every pipeline benchmark rides the fused decode tables.
         """
         info = parse_jpeg(data)
+        if info.progressive:
+            raise JpegUnsupportedError(
+                "progressive streams are not supported by the simulated "
+                "executors; decode on the reference path")
+        if len(info.frame.components) != 3:
+            raise JpegUnsupportedError(
+                "simulated executors model 3-component YCbCr decoding "
+                "only; decode on the reference path")
         geo = info.geometry
         dec = create_entropy_decoder(entropy_engine, geo,
                                      component_tables_from_info(info),

@@ -45,6 +45,13 @@ class PerformanceModel:
     disp_fit: PolynomialModel                 # f(w, h) -> us
     chunk_mcu_rows: int = 8                 # Section 4.5 profiling output
     workgroup_blocks: int = 16              # Section 5.1 WG-size sweep output
+    #: Per-extra-scan Huffman surcharge for progressive (SOF2) streams,
+    #: as a fraction of the single-scan ``THuff``.  A progressive image
+    #: re-walks its entropy data once per scan; each pass is cheaper
+    #: than a full baseline decode (one spectral band, no IDCT), so the
+    #: surcharge is fractional.  Outside the paper's fitted scope —
+    #: a fixed coefficient, not a profiled polynomial.
+    scan_pass_factor: float = 0.35
     _horner: dict = field(default_factory=dict, repr=False)
 
     def _h(self, name: str, model: PolynomialModel) -> HornerPolynomial:
@@ -95,7 +102,7 @@ class PerformanceModel:
     # -- batch pricing (cross-image scheduler input) -------------------------
 
     def price(self, kind: str, width: int, height: int,
-              density: float) -> float:
+              density: float, scans: int = 1) -> float:
         """Predicted whole-image decode time (us) on one executor kind.
 
         This is the cross-image scheduler's cost function: the same
@@ -107,16 +114,26 @@ class PerformanceModel:
         - ``"gpu"``: Eq 6 plus the host dispatch overhead ``Tdisp`` —
           a lone image on the GPU lane cannot hide the dispatch behind
           another image's Huffman decode, so it pays it in full.
+
+        *scans* > 1 (progressive streams) surcharges the Huffman term:
+        each extra scan re-walks entropy data for one spectral band,
+        priced at ``scan_pass_factor * THuff`` on top of the base cost.
         """
         if kind == "simd":
-            return self.total_cpu(width, height, density, simd=True)
-        if kind == "seq":
-            return self.total_cpu(width, height, density, simd=False)
-        if kind == "gpu":
-            return (self.total_gpu(width, height, density)
+            base = self.total_cpu(width, height, density, simd=True)
+        elif kind == "seq":
+            base = self.total_cpu(width, height, density, simd=False)
+        elif kind == "gpu":
+            base = (self.total_gpu(width, height, density)
                     + self.t_dispatch(width, height))
-        raise ModelError(
-            f"unknown executor kind {kind!r} (choose from {EXECUTOR_KINDS})")
+        else:
+            raise ModelError(
+                f"unknown executor kind {kind!r} "
+                f"(choose from {EXECUTOR_KINDS})")
+        if scans > 1:
+            base += (scans - 1) * self.scan_pass_factor \
+                * self.t_huff(width, height, density)
+        return base
 
     def price_batch(self, kind: str,
                     images: "list[tuple[int, int, float]]") -> list[float]:
@@ -138,6 +155,7 @@ class PerformanceModel:
             "disp_fit": self.disp_fit.to_dict(),
             "chunk_mcu_rows": self.chunk_mcu_rows,
             "workgroup_blocks": self.workgroup_blocks,
+            "scan_pass_factor": self.scan_pass_factor,
         }
 
     def save(self, path: str | Path) -> None:
@@ -159,6 +177,7 @@ class PerformanceModel:
                 disp_fit=PolynomialModel.from_dict(d["disp_fit"]),
                 chunk_mcu_rows=int(d.get("chunk_mcu_rows", 8)),
                 workgroup_blocks=int(d.get("workgroup_blocks", 16)),
+                scan_pass_factor=float(d.get("scan_pass_factor", 0.35)),
             )
         except KeyError as exc:
             raise ModelError(f"missing field in model file: {exc}") from exc

@@ -11,6 +11,8 @@ from .corpus import (
 )
 from .synth import (
     GENERATORS,
+    marker_free_corpus,
+    scenario_corpus,
     synthetic_detail,
     synthetic_photo,
     synthetic_skewed,
@@ -22,6 +24,8 @@ __all__ = [
     "CorpusSpec",
     "GENERATORS",
     "build_corpus",
+    "marker_free_corpus",
+    "scenario_corpus",
     "size_sweep_corpus",
     "synthetic_detail",
     "synthetic_photo",

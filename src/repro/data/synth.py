@@ -164,3 +164,40 @@ def marker_free_corpus(
                     quality=quality, subsampling=sub, restart_interval=0))
                 corpus.append((f"{kind}-{w}x{h}-{sub}-q{quality}", data))
     return corpus
+
+
+def scenario_corpus(
+    size: tuple[int, int] = (96, 64),
+    subsamplings: tuple[str, ...] = ("4:4:4", "4:2:2", "4:2:0",
+                                     "4:1:1", "4:4:0"),
+    colorspaces: tuple[str, ...] = ("gray", "ycbcr", "ycck"),
+    codings: tuple[str, ...] = ("baseline", "progressive"),
+    quality: int = 85,
+    seed: int = 0,
+) -> list[tuple[str, bytes]]:
+    """Encode the scenario-matrix corpus: coding x colorspace x sampling.
+
+    Every valid cell of the decode scenario space as deterministic JPEG
+    bytes: baseline and progressive (SOF2 multi-scan) streams over
+    grayscale (1-component), YCbCr (3) and Adobe YCCK (4) layouts at
+    every supported chroma subsampling.  Grayscale has no chroma, so it
+    appears once (as 4:4:4).  Each progressive member carries the same
+    quantized coefficients as its baseline twin — the differential
+    harness in ``tests/test_scenario_matrix.py`` relies on the pair
+    decoding pixel-identically.  Returns ``(name, jpeg_bytes)`` pairs.
+    """
+    from ..jpeg.encoder import EncoderSettings, encode_jpeg
+
+    w, h = size
+    rgb = synthetic_photo(h, w, seed=seed)
+    corpus = []
+    for coding in codings:
+        for cs in colorspaces:
+            subs = ("4:4:4",) if cs == "gray" else subsamplings
+            for sub in subs:
+                data = encode_jpeg(rgb, EncoderSettings(
+                    quality=quality, subsampling=sub, colorspace=cs,
+                    progressive=coding == "progressive"))
+                corpus.append((f"{coding}-{cs}-{sub}-{w}x{h}-q{quality}",
+                               data))
+    return corpus

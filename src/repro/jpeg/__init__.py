@@ -11,6 +11,10 @@ Public surface:
 - :func:`repro.jpeg.speculative.decode_coefficients_speculative` /
   :class:`repro.jpeg.speculative.SpeculativeReport` — speculative
   self-synchronizing parallel Huffman decode for marker-free scans
+- :class:`repro.jpeg.progressive.ProgressiveDecoder` /
+  :func:`repro.jpeg.progressive.encode_progressive_scans` — the
+  progressive (SOF2) multi-scan coder behind ``decode_jpeg`` and
+  ``EncoderSettings(progressive=True)``
 - submodules for each decoding stage (bitstream, huffman, quantization,
   dct/idct, sampling, color, blocks, entropy, fast_entropy, markers)
 """

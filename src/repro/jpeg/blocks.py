@@ -62,12 +62,25 @@ class ImageGeometry:
 
     width: int
     height: int
-    mode: str  # "4:4:4" | "4:2:2" | "4:2:0"
+    mode: str  # "4:4:4" | "4:2:2" | "4:2:0" | "4:1:1" | "4:4:0"
+    #: Component count: 1 (grayscale), 3 (YCbCr), or 4 (YCCK/CMYK).
+    #: Defaults to 3 so pickled ``(width, height, mode)`` geometry
+    #: argument tuples from older workers keep constructing correctly.
+    ncomponents: int = 3
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.height <= 0:
             raise JpegError(
                 f"invalid image dimensions {self.width}x{self.height}"
+            )
+        if self.ncomponents not in (1, 3, 4):
+            raise JpegError(
+                f"unsupported component count {self.ncomponents}"
+            )
+        if self.ncomponents == 1 and self.mode != "4:4:4":
+            raise JpegError(
+                "grayscale images have no chroma to subsample; "
+                "use mode '4:4:4'"
             )
         sampling_factors(self.mode)  # validates the mode string
 
@@ -98,8 +111,13 @@ class ImageGeometry:
         return self.mcus_per_row * self.mcu_rows
 
     @cached_property
-    def components(self) -> tuple[ComponentGeometry, ComponentGeometry, ComponentGeometry]:
-        """(Y, Cb, Cr) geometries."""
+    def components(self) -> tuple[ComponentGeometry, ...]:
+        """Component geometries: (Y,), (Y, Cb, Cr), or (Y, Cb, Cr, K).
+
+        The fourth (K) component of Adobe YCCK/CMYK streams shares the
+        luma sampling factors — black carries edge detail just like
+        luminance, which is the convention Adobe encoders follow.
+        """
         hmax, vmax = self.luma_factors
         y = ComponentGeometry(
             component_id=1, h_factor=hmax, v_factor=vmax,
@@ -107,6 +125,8 @@ class ImageGeometry:
             blocks_wide=self.mcus_per_row * hmax,
             blocks_high=self.mcu_rows * vmax,
         )
+        if self.ncomponents == 1:
+            return (y,)
         cw = ceil_div(self.width, hmax)
         ch = ceil_div(self.height, vmax)
         cb = ComponentGeometry(
@@ -119,7 +139,15 @@ class ImageGeometry:
             width=cw, height=ch,
             blocks_wide=self.mcus_per_row, blocks_high=self.mcu_rows,
         )
-        return y, cb, cr
+        if self.ncomponents == 3:
+            return y, cb, cr
+        k = ComponentGeometry(
+            component_id=4, h_factor=hmax, v_factor=vmax,
+            width=self.width, height=self.height,
+            blocks_wide=self.mcus_per_row * hmax,
+            blocks_high=self.mcu_rows * vmax,
+        )
+        return y, cb, cr, k
 
     @property
     def blocks_per_mcu(self) -> int:

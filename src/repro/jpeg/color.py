@@ -75,3 +75,59 @@ def rgb_to_ycbcr_float(rgb: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndar
 def color_convert_interleaved(ycc: np.ndarray) -> np.ndarray:
     """Convenience wrapper: (..., 3) YCbCr -> (..., 3) RGB (float path)."""
     return ycbcr_to_rgb_float(ycc[..., 0], ycc[..., 1], ycc[..., 2])
+
+
+def gray_to_rgb(y: np.ndarray) -> np.ndarray:
+    """Grayscale scan to RGB: replicate luma into all three channels."""
+    y = np.asarray(y)
+    return np.repeat(
+        np.clip(y, 0, MAX_SAMPLE).astype(np.uint8)[..., None], 3, axis=-1)
+
+
+def cmyk_inverted_to_rgb(c: np.ndarray, m: np.ndarray, y: np.ndarray,
+                         k: np.ndarray) -> np.ndarray:
+    """Adobe *inverted* CMYK (APP14 transform 0) to RGB.
+
+    Adobe stores CMYK complemented, so the stored samples are already
+    ``255 - ink``: ``R = C' * K' / 255`` with C' = stored cyan channel
+    and K' = stored black channel (both inverted).
+    """
+    kf = k.astype(np.uint32)
+    rgb = np.stack([
+        (c.astype(np.uint32) * kf + 127) // 255,
+        (m.astype(np.uint32) * kf + 127) // 255,
+        (y.astype(np.uint32) * kf + 127) // 255,
+    ], axis=-1)
+    return np.clip(rgb, 0, MAX_SAMPLE).astype(np.uint8)
+
+
+def ycck_to_rgb(y: np.ndarray, cb: np.ndarray, cr: np.ndarray,
+                k: np.ndarray) -> np.ndarray:
+    """Adobe YCCK (APP14 transform 2) to RGB.
+
+    The first three channels are the YCbCr transform of the inverted
+    CMY inks; converting them back yields (C', M', Y') which combine
+    with the inverted K plane exactly like transform-0 CMYK.
+    """
+    cmy_inv = ycbcr_to_rgb_float(y, cb, cr)
+    return cmyk_inverted_to_rgb(
+        cmy_inv[..., 0], cmy_inv[..., 1], cmy_inv[..., 2], k)
+
+
+def rgb_to_ycck(rgb: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                          np.ndarray, np.ndarray]:
+    """Forward YCCK transform for the encoder's 4-component path.
+
+    GCR with maximal ink preservation: ``K' = max(R, G, B)`` (inverted
+    black), inks normalized by K' then YCbCr-transformed.  Chosen for
+    determinism — the decoder inverts it exactly on smooth data, and
+    the scenario oracles only require decode determinism, not fidelity
+    to any particular printing profile.
+    """
+    f = rgb.astype(np.float64)
+    k_inv = np.max(f, axis=-1)
+    scale = 255.0 / np.maximum(k_inv, 1.0)
+    cmy_inv = np.clip(np.rint(f * scale[..., None]), 0, MAX_SAMPLE)
+    y, cb, cr = rgb_to_ycbcr_float(cmy_inv.astype(np.uint8))
+    k = np.clip(np.rint(k_inv), 0, MAX_SAMPLE).astype(np.uint8)
+    return y, cb, cr, k

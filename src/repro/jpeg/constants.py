@@ -62,15 +62,32 @@ APP14 = 0xEE  #: application segment 14 (Adobe)
 APP15 = 0xEF
 COM = 0xFE   #: comment
 
-#: SOF markers we refuse (non-baseline modes).
+#: SOF markers we refuse (modes beyond baseline + progressive Huffman).
 UNSUPPORTED_SOF = frozenset(
-    {SOF1, SOF2, SOF3, SOF5, SOF6, SOF7, SOF9, SOF10, SOF11, SOF13, SOF14, SOF15}
+    {SOF1, SOF3, SOF5, SOF6, SOF7, SOF9, SOF10, SOF11, SOF13, SOF14, SOF15}
 )
+
+#: Human-readable names of every refused compression mode, so the
+#: unsupported-SOF error says *what* was refused, not just which byte.
+SOF_MODE_NAMES = {
+    SOF1: "extended sequential DCT, Huffman coding",
+    SOF3: "lossless (sequential), Huffman coding",
+    SOF5: "differential sequential DCT, Huffman coding",
+    SOF6: "differential progressive DCT, Huffman coding",
+    SOF7: "differential lossless (sequential), Huffman coding",
+    SOF9: "extended sequential DCT, arithmetic coding",
+    SOF10: "progressive DCT, arithmetic coding",
+    SOF11: "lossless (sequential), arithmetic coding",
+    SOF13: "differential sequential DCT, arithmetic coding",
+    SOF14: "differential progressive DCT, arithmetic coding",
+    SOF15: "differential lossless (sequential), arithmetic coding",
+    DAC: "arithmetic coding conditioning",
+}
 
 #: All markers that carry a 2-byte length field.
 SEGMENT_MARKERS = frozenset(
     {DQT, DRI, DHT, SOS, COM, DNL}
-    | {SOF0} | UNSUPPORTED_SOF
+    | {SOF0, SOF2} | UNSUPPORTED_SOF
     | set(range(APP0, APP15 + 1))
 )
 

@@ -18,14 +18,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import JpegUnsupportedError
+from ..errors import JpegError, JpegUnsupportedError
 from .blocks import ImageGeometry, blocks_to_plane
-from .color import ycbcr_to_rgb_float
+from .color import (cmyk_inverted_to_rgb, gray_to_rgb, ycbcr_to_rgb_float,
+                    ycck_to_rgb)
 from .entropy import CoefficientBuffers, ComponentTables
 from .fast_entropy import create_entropy_decoder
 from .idct import idct_2d_aan, idct_2d_blocks, samples_from_idct
 from .idct_int import idct_2d_islow
 from .markers import JpegImageInfo, parse_jpeg
+from .progressive import ProgressiveDecoder
 from .quantization import dequantize_blocks
 from .sampling import upsample_plane
 
@@ -46,21 +48,37 @@ class DecodeOptions:
     fused-table engine of :mod:`repro.jpeg.fast_entropy`, default) or
     ``"reference"`` (the historical per-symbol oracle) — both produce
     bit-identical coefficients.
+
+    ``salvage`` turns hostile-input failures into best-effort output:
+    instead of raising on a corrupt scan, the decoder keeps every
+    coefficient decoded before the failure, renders the image anyway
+    (undeocded blocks stay zero — mid-gray), and reports the damage in
+    :attr:`DecodedImage.error_map` / :attr:`DecodedImage.errors`.
     """
 
     idct_method: str = "aan"
     fancy_upsampling: bool = True
     entropy_engine: str = "fast"
+    salvage: bool = False
 
 
 @dataclass
 class DecodedImage:
-    """Decoder output: pixels plus the metadata the partitioner consumes."""
+    """Decoder output: pixels plus the metadata the partitioner consumes.
+
+    ``error_map`` is only populated by salvage mode: a boolean
+    ``(mcu_rows, mcus_per_row)`` grid, True where decoding failed (the
+    failure point and everything after it — entropy state is lost from
+    the first bad symbol onward).  ``errors`` lists the corresponding
+    canonical error messages, one per failed scan.
+    """
 
     rgb: np.ndarray                 # (h, w, 3) uint8
     info: JpegImageInfo
     coefficients: CoefficientBuffers | None = None
     row_byte_offsets: list[int] = field(default_factory=list)
+    error_map: np.ndarray | None = None
+    errors: list[str] = field(default_factory=list)
 
     @property
     def width(self) -> int:
@@ -69,6 +87,11 @@ class DecodedImage:
     @property
     def height(self) -> int:
         return self.info.height
+
+    @property
+    def salvaged(self) -> bool:
+        """True when salvage mode recovered from at least one error."""
+        return bool(self.errors)
 
 
 def component_tables_from_info(info: JpegImageInfo) -> list[ComponentTables]:
@@ -96,9 +119,9 @@ class CoefficientController:
     """Tier 1: entropy decode + dequantize + IDCT, over MCU-row spans."""
 
     def __init__(self, info: JpegImageInfo, options: DecodeOptions) -> None:
-        if len(info.frame.components) != 3:
+        if info.progressive:
             raise JpegUnsupportedError(
-                "only 3-component YCbCr baseline JPEGs are supported"
+                "progressive streams use the progressive decode path"
             )
         self.info = info
         self.geometry = info.geometry
@@ -138,22 +161,36 @@ class CoefficientController:
 
 
 class PostprocessingController:
-    """Tier 2: upsampling + color conversion over pixel-row spans."""
+    """Tier 2: upsampling + color conversion over pixel-row spans.
 
-    def __init__(self, geometry: ImageGeometry, options: DecodeOptions) -> None:
+    Handles every supported component layout: 1 (grayscale), 3 (JFIF
+    YCbCr), 4 (Adobe YCCK when the APP14 transform flag is 2, inverted
+    CMYK otherwise).
+    """
+
+    def __init__(self, geometry: ImageGeometry, options: DecodeOptions,
+                 adobe_transform: int | None = None) -> None:
         self.geometry = geometry
         self.options = options
+        self.adobe_transform = adobe_transform
 
     def process(self, planes: list[np.ndarray],
                 out_width: int, out_height: int) -> np.ndarray:
         """Upsample chroma to luma resolution, convert, crop to size."""
         mode = self.geometry.mode
         y = planes[0][:out_height, :out_width]
+        if len(planes) == 1:
+            return gray_to_rgb(y)
         cb = upsample_plane(planes[1], mode, self.options.fancy_upsampling)
         cr = upsample_plane(planes[2], mode, self.options.fancy_upsampling)
         cb = cb[:out_height, :out_width]
         cr = cr[:out_height, :out_width]
-        return ycbcr_to_rgb_float(y, cb, cr)
+        if len(planes) == 3:
+            return ycbcr_to_rgb_float(y, cb, cr)
+        k = planes[3][:out_height, :out_width]
+        if self.adobe_transform == 2:
+            return ycck_to_rgb(y, cb, cr, k)
+        return cmyk_inverted_to_rgb(y, cb, cr, k)
 
 
 def pixels_from_coefficients(
@@ -181,14 +218,103 @@ def pixels_from_coefficients(
             blocks_to_plane(samples, comp.blocks_wide,
                             geo.mcu_rows * comp.v_factor)
         )
-    post = PostprocessingController(geo, options)
+    post = PostprocessingController(geo, options, info.adobe_transform)
     return post.process(planes, info.width, info.height)
 
 
+def _decode_progressive(info: JpegImageInfo,
+                        options: DecodeOptions) -> DecodedImage:
+    """Whole-image progressive decode, optionally salvaging bad scans."""
+    dec = ProgressiveDecoder(info)
+    geo = dec.geometry
+    errors: list[str] = list(info.parse_errors)
+    error_map = None
+    if options.salvage:
+        error_map = np.zeros((geo.mcu_rows, geo.mcus_per_row), dtype=bool)
+        for si in info.scans:
+            dec.units_done = 0
+            try:
+                dec.decode_scan(si)
+            except JpegError as exc:
+                errors.append(f"scan {dec.scans_done}: {exc}")
+                row = dec.failed_mcu_row(si, dec.units_done)
+                error_map[row:, :] = True
+            else:
+                if not si.terminated:
+                    # The stream ended mid-scan but the zero-fed tail
+                    # happened to decode (EOB-shaped padding).  The
+                    # coefficients are only approximate from here on —
+                    # record the fault; a truncated refinement scan
+                    # degrades gracefully, so no region is condemned.
+                    errors.append(f"scan {dec.scans_done}: entropy-coded "
+                                  "data not terminated by a marker")
+            dec.scans_done += 1
+    else:
+        dec.decode()
+    rgb = pixels_from_coefficients(info, dec.coefficients, options)
+    return DecodedImage(
+        rgb=rgb,
+        info=info,
+        coefficients=dec.coefficients,
+        error_map=error_map,
+        errors=errors,
+    )
+
+
+def _decode_baseline_salvage(info: JpegImageInfo,
+                             options: DecodeOptions) -> DecodedImage:
+    """Row-at-a-time baseline decode keeping everything before a failure."""
+    coef = CoefficientController(info, options)
+    geo = coef.geometry
+    error_map = np.zeros((geo.mcu_rows, geo.mcus_per_row), dtype=bool)
+    errors: list[str] = list(info.parse_errors)
+    try:
+        while not coef.entropy.finished:
+            coef.decode_rows(1)
+    except JpegError as exc:
+        errors.append(str(exc))
+        error_map[coef.entropy.rows_decoded:, :] = True
+    else:
+        if not info.scans[-1].terminated:
+            # The truncated tail zero-fed through (EOB-shaped padding):
+            # every row whose entropy ran to the cut is reconstructed
+            # from padding, not data.  Condemn from the first such row.
+            errors.append("entropy-coded data not terminated by a marker")
+            offsets = coef.entropy.row_byte_offsets
+            end = len(info.entropy_data)
+            first_bad = geo.mcu_rows - 1
+            for i in range(1, len(offsets)):
+                if offsets[i] >= end:
+                    first_bad = min(first_bad, i - 1)
+                    break
+            error_map[first_bad:, :] = True
+    rgb = pixels_from_coefficients(info, coef.entropy.coefficients, options)
+    return DecodedImage(
+        rgb=rgb,
+        info=info,
+        coefficients=coef.entropy.coefficients,
+        row_byte_offsets=coef.entropy.row_byte_offsets,
+        error_map=error_map,
+        errors=errors,
+    )
+
+
 def decode_jpeg(data: bytes, options: DecodeOptions | None = None) -> DecodedImage:
-    """Decode baseline JFIF bytes to RGB — whole image, sequential."""
+    """Decode JFIF bytes to RGB — whole image, sequential.
+
+    Baseline (SOF0) streams run the two-tier controller pipeline;
+    progressive (SOF2) streams accumulate all scans through
+    :class:`~repro.jpeg.progressive.ProgressiveDecoder` before the
+    shared pixel stages.
+    """
     options = options or DecodeOptions()
-    info = parse_jpeg(data)
+    # Salvage parses tolerantly: a stream truncated mid-scan still
+    # yields headers plus the partial entropy data to recover from.
+    info = parse_jpeg(data, tolerant=options.salvage)
+    if info.progressive:
+        return _decode_progressive(info, options)
+    if options.salvage:
+        return _decode_baseline_salvage(info, options)
     coef = CoefficientController(info, options)
 
     geo = coef.geometry
@@ -212,8 +338,12 @@ def decode_jpeg_rowwise(data: bytes, options: DecodeOptions | None = None,
     """
     options = options or DecodeOptions()
     info = parse_jpeg(data)
+    if info.progressive:
+        raise JpegUnsupportedError(
+            "progressive JPEGs decode whole-image; use decode_jpeg")
     coef = CoefficientController(info, options)
-    post = PostprocessingController(coef.geometry, options)
+    post = PostprocessingController(coef.geometry, options,
+                                    info.adobe_transform)
     geo = coef.geometry
 
     rgb = np.empty((info.height, info.width, 3), dtype=np.uint8)

@@ -16,7 +16,7 @@ import numpy as np
 from ..errors import JpegError
 from . import constants as C
 from .blocks import ImageGeometry, plane_to_blocks
-from .color import rgb_to_ycbcr_float
+from .color import rgb_to_ycbcr_float, rgb_to_ycck
 from .dct import fdct_2d_blocks
 from .entropy import (
     CoefficientBuffers,
@@ -30,38 +30,61 @@ from .markers import (
     HuffmanTableDef,
     ScanComponent,
     build_app0_jfif,
+    build_app14_adobe,
     build_dht,
     build_dqt,
     build_dri,
     build_sof0,
     build_sos,
 )
+from .progressive import encode_progressive_scans
 from .quantization import QuantTable, chrominance_table, luminance_table, quantize_blocks
-from .sampling import downsample_plane, sampling_factors
+from .sampling import downsample_plane
+
+#: Supported encoder colorspaces and their component counts.
+COLORSPACES = {"gray": 1, "ycbcr": 3, "ycck": 4}
 
 
 @dataclass(frozen=True)
 class EncoderSettings:
-    """Encoder knobs, mirroring cjpeg's commonly used options."""
+    """Encoder knobs, mirroring cjpeg's commonly used options.
+
+    ``colorspace`` selects the component layout: ``"ycbcr"`` (3-component
+    JFIF, default), ``"gray"`` (single luma component — any requested
+    subsampling collapses to 4:4:4 as there is no chroma), or ``"ycck"``
+    (4-component Adobe with APP14 transform 2, the inverted-CMYK print
+    path).  ``progressive`` emits a SOF2 multi-scan stream carrying the
+    *same* quantized coefficients as the baseline twin — spectral bands
+    [1, 5] and [6, 63] per component plus one successive-approximation
+    refinement pass, each scan with its own optimized Huffman tables.
+    Progressive mode ignores ``restart_interval`` and
+    ``optimize_huffman`` (per-scan tables are always optimized).
+    """
 
     quality: int = 85
     subsampling: str = "4:2:2"
     restart_interval: int = 0          # MCUs between RSTn markers, 0 = off
     optimize_huffman: bool = False     # per-image tables vs Annex-K tables
     comment: bytes | None = None
+    colorspace: str = "ycbcr"
+    progressive: bool = False
 
 
-def _standard_tables() -> list[ComponentTables]:
-    """Annex-K "typical" tables: luma pair for Y, chroma pair for Cb/Cr."""
+def _slot_of(ci: int) -> int:
+    """Table/quant slot for component index: Y and K are luma-like (0),
+    Cb/Cr share the chroma slot (1)."""
+    return 0 if ci in (0, 3) else 1
+
+
+def _standard_tables(ncomp: int = 3) -> list[ComponentTables]:
+    """Annex-K "typical" tables: luma pair for Y (and K), chroma for Cb/Cr."""
     dc_l = HuffmanSpec(C.STD_DC_LUMINANCE_BITS, C.STD_DC_LUMINANCE_VALUES)
     ac_l = HuffmanSpec(C.STD_AC_LUMINANCE_BITS, C.STD_AC_LUMINANCE_VALUES)
     dc_c = HuffmanSpec(C.STD_DC_CHROMINANCE_BITS, C.STD_DC_CHROMINANCE_VALUES)
     ac_c = HuffmanSpec(C.STD_AC_CHROMINANCE_BITS, C.STD_AC_CHROMINANCE_VALUES)
-    return [
-        ComponentTables(dc=dc_l, ac=ac_l),
-        ComponentTables(dc=dc_c, ac=ac_c),
-        ComponentTables(dc=dc_c, ac=ac_c),
-    ]
+    luma = ComponentTables(dc=dc_l, ac=ac_l)
+    chroma = ComponentTables(dc=dc_c, ac=ac_c)
+    return [luma if _slot_of(ci) == 0 else chroma for ci in range(ncomp)]
 
 
 def encode_coefficients(rgb: np.ndarray, settings: EncoderSettings) -> tuple[
@@ -71,19 +94,29 @@ def encode_coefficients(rgb: np.ndarray, settings: EncoderSettings) -> tuple[
     rgb = np.asarray(rgb)
     if rgb.ndim != 3 or rgb.shape[2] != 3:
         raise JpegError(f"expected (h, w, 3) RGB input, got {rgb.shape}")
+    if settings.colorspace not in COLORSPACES:
+        raise JpegError(f"unknown colorspace {settings.colorspace!r}")
     h, w = rgb.shape[:2]
-    geo = ImageGeometry(width=w, height=h, mode=settings.subsampling)
-
-    y, cb, cr = rgb_to_ycbcr_float(rgb)
-    cb = downsample_plane(cb, settings.subsampling)
-    cr = downsample_plane(cr, settings.subsampling)
+    ncomp = COLORSPACES[settings.colorspace]
+    mode = "4:4:4" if ncomp == 1 else settings.subsampling
+    geo = ImageGeometry(width=w, height=h, mode=mode, ncomponents=ncomp)
 
     lq = QuantTable(0, luminance_table(settings.quality))
     cq = QuantTable(1, chrominance_table(settings.quality))
 
+    if ncomp == 1:
+        planes = [rgb_to_ycbcr_float(rgb)[0]]
+    elif ncomp == 3:
+        y, cb, cr = rgb_to_ycbcr_float(rgb)
+        planes = [y, downsample_plane(cb, mode), downsample_plane(cr, mode)]
+    else:
+        y, cb, cr, k = rgb_to_ycck(rgb)
+        planes = [y, downsample_plane(cb, mode), downsample_plane(cr, mode), k]
+
     coeffs = CoefficientBuffers.empty(geo)
-    for ci, (plane, qt) in enumerate(((y, lq), (cb, cq), (cr, cq))):
+    for ci, plane in enumerate(planes):
         comp = geo.components[ci]
+        qt = lq if _slot_of(ci) == 0 else cq
         blocks = plane_to_blocks(plane, comp.blocks_wide, comp.blocks_high)
         raw = fdct_2d_blocks(blocks)
         coeffs.planes[ci][:] = quantize_blocks(raw, qt.values)
@@ -92,67 +125,94 @@ def encode_coefficients(rgb: np.ndarray, settings: EncoderSettings) -> tuple[
 
 def _optimized_tables(geo: ImageGeometry, coeffs: CoefficientBuffers,
                       restart_interval: int = 0) -> list[ComponentTables]:
-    """Per-image Huffman tables; chroma components share one pair."""
+    """Per-image Huffman tables; components sharing a slot share a pair."""
     dc_freqs, ac_freqs = collect_symbol_frequencies(geo, coeffs, restart_interval)
-    # merge the chroma components' statistics (libjpeg convention)
-    dc_chroma: dict[int, int] = {}
-    ac_chroma: dict[int, int] = {}
-    for d in dc_freqs[1:]:
-        for k, v in d.items():
-            dc_chroma[k] = dc_chroma.get(k, 0) + v
-    for d in ac_freqs[1:]:
-        for k, v in d.items():
-            ac_chroma[k] = ac_chroma.get(k, 0) + v
-    luma = ComponentTables(
-        dc=spec_from_frequencies(dc_freqs[0]),
-        ac=spec_from_frequencies(ac_freqs[0]),
-    )
-    chroma = ComponentTables(
-        dc=spec_from_frequencies(dc_chroma),
-        ac=spec_from_frequencies(ac_chroma),
-    )
-    return [luma, chroma, chroma]
+    ncomp = len(geo.components)
+    # merge statistics per table slot (libjpeg convention for chroma)
+    merged_dc: dict[int, dict[int, int]] = {}
+    merged_ac: dict[int, dict[int, int]] = {}
+    for ci in range(ncomp):
+        slot = _slot_of(ci)
+        for src, dst in ((dc_freqs[ci], merged_dc.setdefault(slot, {})),
+                         (ac_freqs[ci], merged_ac.setdefault(slot, {}))):
+            for k, v in src.items():
+                dst[k] = dst.get(k, 0) + v
+    pairs = {
+        slot: ComponentTables(
+            dc=spec_from_frequencies(merged_dc[slot]),
+            ac=spec_from_frequencies(merged_ac[slot]),
+        )
+        for slot in merged_dc
+    }
+    return [pairs[_slot_of(ci)] for ci in range(ncomp)]
+
+
+def _frame_components(geo: ImageGeometry) -> list[FrameComponent]:
+    return [
+        FrameComponent(component_id=cg.component_id, h_factor=cg.h_factor,
+                       v_factor=cg.v_factor, quant_table_id=_slot_of(ci))
+        for ci, cg in enumerate(geo.components)
+    ]
+
+
+def _header_parts(geo: ImageGeometry, settings: EncoderSettings,
+                  lq: QuantTable, cq: QuantTable) -> list[bytes]:
+    """Markers common to both modes: SOI, APPn, COM, DQT."""
+    ncomp = len(geo.components)
+    # JFIF permits 1 or 3 components; 4-component files are Adobe-tagged
+    # instead (transform 2 = YCCK, what our color path emits).
+    app = build_app14_adobe(2) if ncomp == 4 else build_app0_jfif()
+    parts = [bytes([0xFF, C.SOI]), app]
+    if settings.comment:
+        from .markers import build_com
+
+        parts.append(build_com(settings.comment))
+    parts.append(build_dqt([lq] if ncomp == 1 else [lq, cq]))
+    return parts
 
 
 def encode_jpeg(rgb: np.ndarray, settings: EncoderSettings | None = None) -> bytes:
-    """Encode an (h, w, 3) uint8 RGB array to baseline JFIF bytes."""
+    """Encode an (h, w, 3) uint8 RGB array to JFIF/Adobe JPEG bytes."""
     settings = settings or EncoderSettings()
     geo, coeffs, lq, cq = encode_coefficients(rgb, settings)
+    ncomp = len(geo.components)
+
+    if settings.progressive:
+        parts = _header_parts(geo, settings, lq, cq)
+        parts.append(build_sof0(geo.width, geo.height,
+                                _frame_components(geo), progressive=True))
+        for scan in encode_progressive_scans(geo, coeffs):
+            if scan.tables:
+                parts.append(build_dht(list(scan.tables)))
+            parts.append(build_sos(list(scan.components),
+                                   scan.ss, scan.se, scan.ah, scan.al))
+            parts.append(scan.data)
+        parts.append(bytes([0xFF, C.EOI]))
+        return b"".join(parts)
+
     tables = (
         _optimized_tables(geo, coeffs, settings.restart_interval)
         if settings.optimize_huffman
-        else _standard_tables()
+        else _standard_tables(ncomp)
     )
 
     entropy = EntropyEncoder(geo, tables, settings.restart_interval)
     scan_bytes = entropy.encode(coeffs)
 
-    hf, vf = sampling_factors(settings.subsampling)
-    frame_components = [
-        FrameComponent(component_id=1, h_factor=hf, v_factor=vf, quant_table_id=0),
-        FrameComponent(component_id=2, h_factor=1, v_factor=1, quant_table_id=1),
-        FrameComponent(component_id=3, h_factor=1, v_factor=1, quant_table_id=1),
-    ]
-    # chroma shares DHT slot 1 whether or not tables are optimized
-    dht_tables = [
-        HuffmanTableDef(0, 0, tables[0].dc),
-        HuffmanTableDef(1, 0, tables[0].ac),
-        HuffmanTableDef(0, 1, tables[1].dc),
-        HuffmanTableDef(1, 1, tables[1].ac),
-    ]
+    # components sharing a slot share a DHT pair, optimized or not
+    dht_tables = []
+    for slot in sorted({_slot_of(ci) for ci in range(ncomp)}):
+        ci = [c for c in range(ncomp) if _slot_of(c) == slot][0]
+        dht_tables.append(HuffmanTableDef(0, slot, tables[ci].dc))
+        dht_tables.append(HuffmanTableDef(1, slot, tables[ci].ac))
     scan_components = [
-        ScanComponent(component_id=1, dc_table_id=0, ac_table_id=0),
-        ScanComponent(component_id=2, dc_table_id=1, ac_table_id=1),
-        ScanComponent(component_id=3, dc_table_id=1, ac_table_id=1),
+        ScanComponent(component_id=cg.component_id,
+                      dc_table_id=_slot_of(ci), ac_table_id=_slot_of(ci))
+        for ci, cg in enumerate(geo.components)
     ]
 
-    parts = [bytes([0xFF, C.SOI]), build_app0_jfif()]
-    if settings.comment:
-        from .markers import build_com
-
-        parts.append(build_com(settings.comment))
-    parts.append(build_dqt([lq, cq]))
-    parts.append(build_sof0(geo.width, geo.height, frame_components))
+    parts = _header_parts(geo, settings, lq, cq)
+    parts.append(build_sof0(geo.width, geo.height, _frame_components(geo)))
     parts.append(build_dht(dht_tables))
     if settings.restart_interval:
         parts.append(build_dri(settings.restart_interval))

@@ -33,26 +33,39 @@ class FrameComponent:
 
 @dataclass(frozen=True)
 class FrameHeader:
-    """Parsed SOF0 (baseline DCT) header."""
+    """Parsed SOF0 (baseline) or SOF2 (progressive) DCT header."""
 
     precision: int
     height: int
     width: int
     components: tuple[FrameComponent, ...]
+    #: True for a SOF2 progressive frame (multi-scan entropy data).
+    progressive: bool = False
 
     @property
     def subsampling_mode(self) -> str:
         """Infer the JFIF subsampling notation from sampling factors."""
         if len(self.components) == 1:
             return "4:4:4"  # grayscale decodes like unsubsampled
+        if len(self.components) not in (3, 4):
+            raise JpegUnsupportedError(
+                f"{len(self.components)}-component images are unsupported"
+            )
         luma = self.components[0]
-        chroma = self.components[1:]
+        chroma = self.components[1:3]
         if any(c.h_factor != 1 or c.v_factor != 1 for c in chroma):
             raise JpegUnsupportedError(
                 "chroma sampling factors other than 1x1 are unsupported"
             )
+        if len(self.components) == 4:
+            k = self.components[3]
+            if (k.h_factor, k.v_factor) != (luma.h_factor, luma.v_factor):
+                raise JpegUnsupportedError(
+                    "fourth-component sampling factors must match luma"
+                )
         key = (luma.h_factor, luma.v_factor)
-        modes = {(1, 1): "4:4:4", (2, 1): "4:2:2", (2, 2): "4:2:0"}
+        modes = {(1, 1): "4:4:4", (2, 1): "4:2:2", (2, 2): "4:2:0",
+                 (4, 1): "4:1:1", (1, 2): "4:4:0"}
         if key not in modes:
             raise JpegUnsupportedError(f"luma sampling factors {key} unsupported")
         return modes[key]
@@ -69,9 +82,28 @@ class ScanComponent:
 
 @dataclass(frozen=True)
 class ScanHeader:
-    """Parsed SOS header (baseline: Ss=0, Se=63, Ah=Al=0)."""
+    """Parsed SOS header.
+
+    Baseline scans carry the fixed (Ss, Se, Ah, Al) = (0, 63, 0, 0);
+    progressive scans select a spectral band [Ss, Se] and a successive
+    approximation stage (Ah = previous point transform, Al = current).
+    """
 
     components: tuple[ScanComponent, ...]
+    ss: int = 0
+    se: int = 63
+    ah: int = 0
+    al: int = 0
+
+    @property
+    def is_dc(self) -> bool:
+        """True for a DC scan (spectral band starts at coefficient 0)."""
+        return self.ss == 0
+
+    @property
+    def refining(self) -> bool:
+        """True for a successive-approximation refinement pass."""
+        return self.ah != 0
 
 
 @dataclass(frozen=True)
@@ -81,6 +113,26 @@ class HuffmanTableDef:
     table_class: int  # 0 = DC, 1 = AC
     table_id: int
     spec: HuffmanSpec
+
+
+@dataclass(frozen=True)
+class ScanInfo:
+    """One entropy-coded scan with the table state active at its SOS.
+
+    Progressive streams may redefine Huffman tables between scans, so
+    each scan snapshots the DC/AC table dictionaries as they stood when
+    its SOS marker was parsed.
+    """
+
+    header: ScanHeader
+    entropy: bytes
+    dc_tables: "dict[int, HuffmanSpec]"
+    ac_tables: "dict[int, HuffmanSpec]"
+    restart_interval: int
+    #: False when the stream ended mid-scan with no terminating marker
+    #: (only reachable via ``parse_jpeg(..., tolerant=True)``): the
+    #: entropy data runs to EOF and a decode of it is best-effort.
+    terminated: bool = True
 
 
 @dataclass
@@ -101,6 +153,15 @@ class JpegImageInfo:
     entropy_data: bytes
     file_size: int
     comments: list[bytes] = field(default_factory=list)
+    #: Every entropy-coded scan in stream order (baseline: exactly one).
+    scans: list[ScanInfo] = field(default_factory=list)
+    #: Adobe APP14 color-transform code (0 = plain/CMYK, 1 = YCbCr,
+    #: 2 = YCCK); None when no Adobe marker is present.
+    adobe_transform: int | None = None
+    #: Container faults survived by a tolerant parse (empty for strict
+    #: parses, which raise instead): the salvage decode path folds
+    #: these into :attr:`~repro.jpeg.decoder.DecodedImage.errors`.
+    parse_errors: list[str] = field(default_factory=list)
 
     @property
     def width(self) -> int:
@@ -111,12 +172,17 @@ class JpegImageInfo:
         return self.frame.height
 
     @property
+    def progressive(self) -> bool:
+        return self.frame.progressive
+
+    @property
     def subsampling_mode(self) -> str:
         return self.frame.subsampling_mode
 
     @property
     def geometry(self) -> ImageGeometry:
-        return ImageGeometry(self.width, self.height, self.subsampling_mode)
+        return ImageGeometry(self.width, self.height, self.subsampling_mode,
+                             ncomponents=len(self.frame.components))
 
     @property
     def entropy_density(self) -> float:
@@ -136,8 +202,9 @@ def _read_u16(data: bytes, pos: int) -> int:
     return struct.unpack_from(">H", data, pos)[0]
 
 
-def parse_sof0_payload(payload: bytes) -> FrameHeader:
-    """Parse the payload of a SOF0 segment."""
+def parse_sof0_payload(payload: bytes,
+                       progressive: bool = False) -> FrameHeader:
+    """Parse the payload of a SOF0 (or, with *progressive*, SOF2) segment."""
     if len(payload) < 6:
         raise JpegFormatError("SOF0 payload too short")
     precision, height, width, ncomp = struct.unpack_from(">BHHB", payload, 0)
@@ -157,7 +224,7 @@ def parse_sof0_payload(payload: bytes) -> FrameHeader:
             )
         )
     return FrameHeader(precision=precision, height=height, width=width,
-                       components=tuple(comps))
+                       components=tuple(comps), progressive=progressive)
 
 
 def parse_dht_payload(payload: bytes) -> list[HuffmanTableDef]:
@@ -185,8 +252,15 @@ def parse_dht_payload(payload: bytes) -> list[HuffmanTableDef]:
     return tables
 
 
-def parse_sos_payload(payload: bytes) -> ScanHeader:
-    """Parse a SOS header payload (baseline checks on Ss/Se/Ah/Al)."""
+def parse_sos_payload(payload: bytes,
+                      progressive: bool = False) -> ScanHeader:
+    """Parse a SOS header payload.
+
+    Baseline scans must carry (Ss, Se, AhAl) = (0, 63, 0); progressive
+    scans are validated against T.81 G.1: a scan covers either the DC
+    coefficient alone or a pure AC band of a single component, and a
+    refinement pass advances the point transform by exactly one bit.
+    """
     if len(payload) < 1:
         raise JpegFormatError("empty SOS payload")
     ncomp = payload[0]
@@ -201,14 +275,38 @@ def parse_sos_payload(payload: bytes) -> ScanHeader:
                           ac_table_id=tables & 0x0F)
         )
     ss, se, ahal = payload[-3], payload[-2], payload[-1]
-    if (ss, se, ahal) != (0, 63, 0):
-        raise JpegUnsupportedError("non-baseline spectral selection in SOS")
-    return ScanHeader(components=tuple(comps))
+    if not progressive:
+        if (ss, se, ahal) != (0, 63, 0):
+            raise JpegUnsupportedError("non-baseline spectral selection in SOS")
+        return ScanHeader(components=tuple(comps))
+    ah, al = ahal >> 4, ahal & 0x0F
+    if ss == 0:
+        if se != 0:
+            raise JpegFormatError(
+                "progressive scan mixes DC and AC coefficients")
+    else:
+        if not ss <= se <= 63:
+            raise JpegFormatError(
+                f"bad progressive spectral band [{ss}, {se}]")
+        if ncomp != 1:
+            raise JpegFormatError(
+                "progressive AC scans must cover exactly one component")
+    if al > 13:
+        raise JpegFormatError(f"point transform {al} out of range")
+    if ah != 0 and ah != al + 1:
+        raise JpegFormatError(
+            "successive approximation must refine exactly one bit")
+    return ScanHeader(components=tuple(comps), ss=ss, se=se, ah=ah, al=al)
 
 
-def _find_scan_end(data: bytes, start: int) -> int:
+def _find_scan_end(data: bytes, start: int,
+                   tolerant: bool = False) -> int:
     """Return the index just past the entropy-coded data beginning at
-    *start* (i.e. the position of the terminating non-RST marker)."""
+    *start* (i.e. the position of the terminating non-RST marker).
+
+    *tolerant* accepts a stream that simply ends mid-scan (truncation)
+    and returns ``len(data)``; the scan is then flagged unterminated
+    and a decode of it is best-effort (the salvage path)."""
     pos = start
     n = len(data)
     while pos < n - 1:
@@ -219,78 +317,113 @@ def _find_scan_end(data: bytes, start: int) -> int:
                 continue
             return pos
         pos += 1
+    if tolerant:
+        return n
     raise JpegFormatError("entropy-coded data not terminated by a marker")
 
 
-def parse_jpeg(data: bytes) -> JpegImageInfo:
-    """Parse a baseline JFIF byte stream into :class:`JpegImageInfo`."""
+def parse_jpeg(data: bytes, tolerant: bool = False) -> JpegImageInfo:
+    """Parse a baseline or progressive JFIF byte stream.
+
+    *tolerant* parses best-effort for the salvage decode path: entropy
+    data that runs to EOF without a terminating marker is accepted (the
+    affected :class:`ScanInfo` is flagged unterminated), and damage to
+    the container *after* the first complete scan — a corrupted DHT
+    between progressive scans, a misparsing SOS — stops the parse there
+    instead of raising, returning the scans already recovered with the
+    fault recorded in :attr:`JpegImageInfo.parse_errors`."""
     if len(data) < 4 or data[0] != 0xFF or data[1] != C.SOI:
         raise JpegFormatError("missing SOI marker")
 
     pos = 2
     frame: FrameHeader | None = None
-    scan: ScanHeader | None = None
     quant: dict[int, QuantTable] = {}
     dc: dict[int, HuffmanSpec] = {}
     ac: dict[int, HuffmanSpec] = {}
     restart_interval = 0
     comments: list[bytes] = []
-    entropy: bytes | None = None
+    scans: list[ScanInfo] = []
+    adobe_transform: int | None = None
+    parse_errors: list[str] = []
 
     while pos < len(data):
-        if data[pos] != 0xFF:
-            raise JpegFormatError(f"expected marker at offset {pos}")
-        # skip fill bytes (0xFF padding before a marker)
-        while pos < len(data) and data[pos] == 0xFF:
+        try:
+            if data[pos] != 0xFF:
+                raise JpegFormatError(f"expected marker at offset {pos}")
+            # skip fill bytes (0xFF padding before a marker)
+            while pos < len(data) and data[pos] == 0xFF:
+                pos += 1
+            if pos >= len(data):
+                raise JpegFormatError("truncated marker")
+            marker = data[pos]
             pos += 1
-        if pos >= len(data):
-            raise JpegFormatError("truncated marker")
-        marker = data[pos]
-        pos += 1
 
-        if marker == C.EOI:
+            if marker == C.EOI:
+                break
+            if marker == C.SOI:
+                raise JpegFormatError("unexpected second SOI")
+            if marker in C.UNSUPPORTED_SOF or marker == C.DAC:
+                name = C.SOF_MODE_NAMES.get(marker, "non-baseline mode")
+                raise JpegUnsupportedError(
+                    f"unsupported JPEG mode: {name} (marker 0xFF{marker:02X})"
+                )
+            if marker not in C.SEGMENT_MARKERS:
+                raise JpegFormatError(f"unexpected marker 0xFF{marker:02X}")
+
+            length = _read_u16(data, pos)
+            if length < 2 or pos + length > len(data):
+                raise JpegFormatError("bad segment length")
+            payload = data[pos + 2: pos + length]
+            pos += length
+
+            if marker in (C.SOF0, C.SOF2):
+                if frame is not None:
+                    raise JpegFormatError("multiple SOF0 segments")
+                frame = parse_sof0_payload(payload,
+                                           progressive=marker == C.SOF2)
+            elif marker == C.DQT:
+                for t in parse_dqt_payload(payload):
+                    quant[t.table_id] = t
+            elif marker == C.DHT:
+                for t in parse_dht_payload(payload):
+                    (dc if t.table_class == 0 else ac)[t.table_id] = t.spec
+            elif marker == C.DRI:
+                if len(payload) != 2:
+                    raise JpegFormatError("bad DRI payload")
+                restart_interval = struct.unpack(">H", payload)[0]
+            elif marker == C.COM:
+                comments.append(payload)
+            elif marker == C.APP14 and payload.startswith(b"Adobe") \
+                    and len(payload) >= 12:
+                adobe_transform = payload[11]
+            elif marker == C.SOS:
+                if frame is None:
+                    raise JpegFormatError("SOS before SOF")
+                if scans and not frame.progressive:
+                    raise JpegUnsupportedError(
+                        "multi-scan sequential JPEGs are unsupported")
+                header = parse_sos_payload(payload,
+                                           progressive=frame.progressive)
+                end = _find_scan_end(data, pos, tolerant=tolerant)
+                scans.append(ScanInfo(
+                    header=header, entropy=data[pos:end],
+                    dc_tables=dict(dc), ac_tables=dict(ac),
+                    restart_interval=restart_interval,
+                    terminated=end < len(data)))
+                pos = end
+            # APPn and other segments are skipped
+        except (JpegFormatError, JpegUnsupportedError) as exc:
+            if not (tolerant and frame is not None and scans):
+                raise
+            # Best-effort: container damage after the first complete
+            # scan ends the parse; everything recovered so far stands.
+            parse_errors.append(
+                f"header parse stopped at offset {pos}: {exc}")
             break
-        if marker == C.SOI:
-            raise JpegFormatError("unexpected second SOI")
-        if marker in C.UNSUPPORTED_SOF or marker == C.DAC:
-            raise JpegUnsupportedError(
-                f"non-baseline marker 0xFF{marker:02X}"
-            )
-        if marker not in C.SEGMENT_MARKERS:
-            raise JpegFormatError(f"unexpected marker 0xFF{marker:02X}")
-
-        length = _read_u16(data, pos)
-        if length < 2 or pos + length > len(data):
-            raise JpegFormatError("bad segment length")
-        payload = data[pos + 2: pos + length]
-        pos += length
-
-        if marker == C.SOF0:
-            if frame is not None:
-                raise JpegFormatError("multiple SOF0 segments")
-            frame = parse_sof0_payload(payload)
-        elif marker == C.DQT:
-            for t in parse_dqt_payload(payload):
-                quant[t.table_id] = t
-        elif marker == C.DHT:
-            for t in parse_dht_payload(payload):
-                (dc if t.table_class == 0 else ac)[t.table_id] = t.spec
-        elif marker == C.DRI:
-            if len(payload) != 2:
-                raise JpegFormatError("bad DRI payload")
-            restart_interval = struct.unpack(">H", payload)[0]
-        elif marker == C.COM:
-            comments.append(payload)
-        elif marker == C.SOS:
-            scan = parse_sos_payload(payload)
-            end = _find_scan_end(data, pos)
-            entropy = data[pos:end]
-            pos = end
-        # APPn and other segments are skipped
 
     if frame is None:
         raise JpegFormatError("missing SOF0")
-    if scan is None or entropy is None:
+    if not scans:
         raise JpegFormatError("missing SOS / entropy data")
     for comp in frame.components:
         if comp.quant_table_id not in quant:
@@ -298,17 +431,36 @@ def parse_jpeg(data: bytes) -> JpegImageInfo:
                 f"component {comp.component_id} references missing "
                 f"quant table {comp.quant_table_id}"
             )
-    for sc in scan.components:
-        if sc.dc_table_id not in dc or sc.ac_table_id not in ac:
-            raise JpegFormatError(
-                f"scan component {sc.component_id} references missing "
-                "Huffman table"
-            )
+    usable: list[ScanInfo] = []
+    for si in scans:
+        h = si.header
+        fault = None
+        for sc in h.components:
+            needs_dc = h.is_dc and not h.refining
+            needs_ac = h.se > 0
+            if (needs_dc and sc.dc_table_id not in si.dc_tables) \
+                    or (needs_ac and sc.ac_table_id not in si.ac_tables):
+                fault = JpegFormatError(
+                    f"scan component {sc.component_id} references missing "
+                    "Huffman table"
+                )
+                break
+        if fault is not None:
+            # Tolerant mode drops this scan and everything after it
+            # (later scans refine the same broken table state).
+            if not tolerant or not usable:
+                raise fault
+            parse_errors.append(f"scan {len(usable)} dropped: {fault}")
+            break
+        usable.append(si)
+    scans = usable
 
     return JpegImageInfo(
-        frame=frame, scan=scan, quant_tables=quant, dc_tables=dc,
+        frame=frame, scan=scans[0].header, quant_tables=quant, dc_tables=dc,
         ac_tables=ac, restart_interval=restart_interval,
-        entropy_data=entropy, file_size=len(data), comments=comments,
+        entropy_data=b"".join(si.entropy for si in scans),
+        file_size=len(data), comments=comments, scans=scans,
+        adobe_transform=adobe_transform, parse_errors=parse_errors,
     )
 
 
@@ -332,7 +484,8 @@ def build_dqt(tables: list[QuantTable]) -> bytes:
 
 
 def build_sof0(width: int, height: int,
-               components: list[FrameComponent]) -> bytes:
+               components: list[FrameComponent],
+               progressive: bool = False) -> bytes:
     payload = struct.pack(">BHHB", 8, height, width, len(components))
     for comp in components:
         payload += bytes([
@@ -340,7 +493,13 @@ def build_sof0(width: int, height: int,
             (comp.h_factor << 4) | comp.v_factor,
             comp.quant_table_id,
         ])
-    return _segment(C.SOF0, payload)
+    return _segment(C.SOF2 if progressive else C.SOF0, payload)
+
+
+def build_app14_adobe(transform: int) -> bytes:
+    """Adobe APP14 segment carrying the color-transform code."""
+    payload = b"Adobe" + struct.pack(">HHHB", 100, 0, 0, transform)
+    return _segment(C.APP14, payload)
 
 
 def build_dht(tables: list[HuffmanTableDef]) -> bytes:
@@ -356,11 +515,12 @@ def build_dri(interval: int) -> bytes:
     return _segment(C.DRI, struct.pack(">H", interval))
 
 
-def build_sos(components: list[ScanComponent]) -> bytes:
+def build_sos(components: list[ScanComponent], ss: int = 0, se: int = 63,
+              ah: int = 0, al: int = 0) -> bytes:
     payload = bytes([len(components)])
     for sc in components:
         payload += bytes([sc.component_id, (sc.dc_table_id << 4) | sc.ac_table_id])
-    payload += bytes([0, 63, 0])
+    payload += bytes([ss, se, (ah << 4) | al])
     return _segment(C.SOS, payload)
 
 

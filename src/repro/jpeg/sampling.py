@@ -14,7 +14,7 @@ import numpy as np
 from ..errors import JpegError
 
 #: Supported subsampling modes, named after the JFIF convention.
-SUBSAMPLING_MODES = ("4:4:4", "4:2:2", "4:2:0")
+SUBSAMPLING_MODES = ("4:4:4", "4:2:2", "4:2:0", "4:1:1", "4:4:0")
 
 
 def sampling_factors(mode: str) -> tuple[int, int]:
@@ -29,6 +29,10 @@ def sampling_factors(mode: str) -> tuple[int, int]:
         return 2, 1
     if mode == "4:2:0":
         return 2, 2
+    if mode == "4:1:1":
+        return 4, 1
+    if mode == "4:4:0":
+        return 1, 2
     raise JpegError(f"unsupported subsampling mode {mode!r}")
 
 
@@ -54,6 +58,29 @@ def downsample_h2v2(plane: np.ndarray) -> np.ndarray:
     q = plane.astype(np.uint16)
     s = q[0::2, 0::2] + q[0::2, 1::2] + q[1::2, 0::2] + q[1::2, 1::2]
     return ((s + 2) // 4).astype(plane.dtype)
+
+
+def downsample_h4v1(plane: np.ndarray) -> np.ndarray:
+    """Average horizontal quads (4:1:1 encoder path).
+
+    Widths not divisible by four replicate the final column, matching
+    the pair-averaging edge policy of :func:`downsample_h2v1`.
+    """
+    plane = np.asarray(plane)
+    pad = (-plane.shape[1]) % 4
+    if pad:
+        plane = np.concatenate([plane] + [plane[:, -1:]] * pad, axis=1)
+    quads = plane.reshape(plane.shape[0], -1, 4).astype(np.uint16)
+    return ((quads.sum(axis=2) + 2) // 4).astype(plane.dtype)
+
+
+def downsample_h1v2(plane: np.ndarray) -> np.ndarray:
+    """Average vertical pairs (4:4:0 encoder path)."""
+    plane = np.asarray(plane)
+    if plane.shape[0] % 2:
+        plane = np.concatenate([plane, plane[-1:, :]], axis=0)
+    pairs = plane.reshape(-1, 2, plane.shape[1]).astype(np.uint16)
+    return ((pairs[:, 0] + pairs[:, 1] + 1) // 2).astype(plane.dtype)
 
 
 def upsample_h2v1_fancy(plane: np.ndarray) -> np.ndarray:
@@ -111,6 +138,20 @@ def upsample_h2v2_fancy(plane: np.ndarray) -> np.ndarray:
     return out.astype(plane.dtype)
 
 
+def upsample_h4v1_fancy(plane: np.ndarray) -> np.ndarray:
+    """Fancy 4x horizontal upsampling: Algorithm 1 applied twice.
+
+    Two triangular-filter doublings compose to the 4x expansion, the
+    same cascade libjpeg's h2v1 upsampler performs when chained.
+    """
+    return upsample_h2v1_fancy(upsample_h2v1_fancy(plane))
+
+
+def upsample_h1v2_fancy(plane: np.ndarray) -> np.ndarray:
+    """Fancy 2x vertical upsampling: Algorithm 1 on the transpose."""
+    return upsample_h2v1_fancy(np.asarray(plane).T).T
+
+
 def upsample_plane(plane: np.ndarray, mode: str, fancy: bool = True) -> np.ndarray:
     """Upsample a chroma plane according to the subsampling *mode*."""
     if mode == "4:4:4":
@@ -121,6 +162,14 @@ def upsample_plane(plane: np.ndarray, mode: str, fancy: bool = True) -> np.ndarr
         if fancy:
             return upsample_h2v2_fancy(plane)
         return np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
+    if mode == "4:1:1":
+        if fancy:
+            return upsample_h4v1_fancy(plane)
+        return np.repeat(np.asarray(plane), 4, axis=1)
+    if mode == "4:4:0":
+        if fancy:
+            return upsample_h1v2_fancy(plane)
+        return np.repeat(np.asarray(plane), 2, axis=0)
     raise JpegError(f"unsupported subsampling mode {mode!r}")
 
 
@@ -132,4 +181,8 @@ def downsample_plane(plane: np.ndarray, mode: str) -> np.ndarray:
         return downsample_h2v1(plane)
     if mode == "4:2:0":
         return downsample_h2v2(plane)
+    if mode == "4:1:1":
+        return downsample_h4v1(plane)
+    if mode == "4:4:0":
+        return downsample_h1v2(plane)
     raise JpegError(f"unsupported subsampling mode {mode!r}")

@@ -129,6 +129,12 @@ class ImageRequest:
     #: :class:`~repro.errors.DeadlineExceededError` (HTTP 504) instead
     #: of being decoded (enforced by the session's batch forming).
     deadline_ms: float | None = None
+    #: Best-effort decode of hostile bytes: instead of ``ok=False`` on a
+    #: corrupt scan, return the pixels decoded before the failure with
+    #: :attr:`ImageResult.error_regions` marking the damage.  Salvage
+    #: requests decode whole-image on the reference path (no segment or
+    #: speculative fan-out — the error map needs one decoder's view).
+    salvage: bool = False
 
 
 @dataclass
@@ -177,6 +183,16 @@ class ImageResult:
     #: failure class lane circuit breakers count, since a corrupt JPEG
     #: fails on *any* lane but a crashing lane fails every image.
     infra_failure: bool = False
+    #: True when salvage mode recovered this image from corrupt bytes
+    #: (``ok`` stays True; the pixels are best-effort).
+    salvaged: bool = False
+    #: Salvage damage map: boolean ``(mcu_rows, mcus_per_row)`` grid,
+    #: True where decoding failed.  None for clean decodes and
+    #: non-salvage requests.
+    error_regions: np.ndarray | None = None
+    #: Canonical decode errors salvage mode recovered from (one per
+    #: failed scan), empty otherwise.
+    salvage_errors: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -245,13 +261,21 @@ def decode_image_task(request: ImageRequest,
     try:
         if fault is not None and fault.kind == "exception":
             raise RuntimeError(fault.message)
+        salvaged = False
+        error_regions = None
+        salvage_errors: list[str] = []
         if request.mode == "reference":
             decoded = decode_jpeg(request.data, DecodeOptions(
                 idct_method=request.idct_method,
                 fancy_upsampling=request.fancy_upsampling,
                 entropy_engine=request.entropy_engine,
+                salvage=request.salvage,
             ))
             rgb, simulated_us = decoded.rgb, None
+            if request.salvage:
+                salvaged = decoded.salvaged
+                error_regions = decoded.error_map
+                salvage_errors = list(decoded.errors)
         else:
             from ..core import HeterogeneousDecoder
             from ..evaluation import platforms
@@ -287,6 +311,8 @@ def decode_image_task(request: ImageRequest,
     return ImageResult(
         request_id=request.request_id, ok=True, rgb=rgb,
         width=w, height=h, simulated_us=simulated_us, plane=plane,
+        salvaged=salvaged, error_regions=error_regions,
+        salvage_errors=salvage_errors,
         spans=[WorkSpan(worker_name(), t0, perf_counter())])
 
 
@@ -623,7 +649,8 @@ class BatchDecoder:
         worker owns the parse.  Executor modes never split (they consume
         the scan in-order themselves).
         """
-        if req.mode != "reference" or req.split_segments is False:
+        if req.mode != "reference" or req.split_segments is False \
+                or req.salvage:
             return False
         if req.split_segments is True:
             return True
@@ -643,7 +670,8 @@ class BatchDecoder:
         pool.  Actual eligibility (DRI=0, no stray RSTn) is checked
         after the parse.
         """
-        if req.mode != "reference" or req.entropy_engine != "fast":
+        if req.mode != "reference" or req.entropy_engine != "fast" \
+                or req.salvage:
             return False
         if req.speculative is False:
             return False
@@ -858,9 +886,14 @@ class BatchDecoder:
                             error_type=type(exc).__name__, error=str(exc),
                             latency_s=perf_counter() - t0)
                         continue
-                    split = want_split and info.restart_interval > 0
+                    # Progressive streams decode whole-image: multi-scan
+                    # coefficient accumulation has no per-segment or
+                    # per-chunk decomposition.
+                    split = want_split and info.restart_interval > 0 \
+                        and not info.progressive
                     spec = not split and want_spec \
-                        and info.restart_interval == 0
+                        and info.restart_interval == 0 \
+                        and not info.progressive
                 if spec:
                     try:
                         scan = destuff_scan(info.entropy_data)
@@ -889,7 +922,8 @@ class BatchDecoder:
                                    prescan=scan, chunks=chunks,
                                    tables=tables, pending=len(chunks))
                     spec_jobs[i] = job
-                    geo_args = (geo.width, geo.height, geo.mode)
+                    geo_args = (geo.width, geo.height, geo.mode,
+                            geo.ncomponents)
                     payload = scan.payload
                     bpms = [c.h_factor * c.v_factor
                             for c in geo.components]
@@ -931,7 +965,8 @@ class BatchDecoder:
                                 pending=len(segments))
                 split_jobs[i] = job
                 tables = component_tables_from_info(info)
-                geo_args = (geo.width, geo.height, geo.mode)
+                geo_args = (geo.width, geo.height, geo.mode,
+                        geo.ncomponents)
                 plane_sizes: dict[int, int] = {}
                 for seg in segments:
                     nbytes = plane_sizes.get(seg.mcu_count)

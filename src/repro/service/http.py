@@ -31,7 +31,10 @@ Requests`` with a ``Retry-After`` header — the HTTP spelling of
 long the request may wait before its decode starts; a request shed at
 its deadline (:class:`~repro.errors.DeadlineExceededError`) answers
 ``504`` with ``Retry-After`` — the client should back off, the service
-is load-shedding.
+is load-shedding.  Salvage: an ``X-Salvage: 1`` request header asks for
+best-effort decode of corrupt streams — the response carries
+``X-Salvaged: 1`` (and ``salvaged``/``salvage_errors``/``damaged_mcus``
+in JSON metadata) when rows were recovered past an error.
 """
 
 from __future__ import annotations
@@ -63,7 +66,7 @@ def ppm_bytes(rgb: np.ndarray) -> bytes:
 
 def result_metadata(result: ImageResult) -> dict:
     """JSON-ready metadata of one decode outcome (no pixel payload)."""
-    return {
+    meta = {
         "request_id": result.request_id,
         "ok": result.ok,
         "width": result.width,
@@ -73,6 +76,12 @@ def result_metadata(result: ImageResult) -> dict:
         "error_type": result.error_type,
         "error": result.error,
     }
+    if result.salvaged:
+        meta["salvaged"] = True
+        meta["salvage_errors"] = list(result.salvage_errors)
+        if result.error_regions is not None:
+            meta["damaged_mcus"] = int(result.error_regions.sum())
+    return meta
 
 
 class _DecodeRequestHandler(BaseHTTPRequestHandler):
@@ -130,19 +139,25 @@ class _DecodeRequestHandler(BaseHTTPRequestHandler):
                                            "(POST the JPEG bytes)"})
             return
         data = self.rfile.read(length)
+        overrides: dict[str, Any] = {}
         deadline_header = self.headers.get("X-Deadline-Ms")
-        item: "bytes | Any" = data
         if deadline_header is not None:
             try:
-                deadline_ms = float(deadline_header)
+                overrides["deadline_ms"] = float(deadline_header)
             except ValueError:
                 self._send_json(400, {
                     "error": f"invalid X-Deadline-Ms header: "
                              f"{deadline_header!r} (want a positive "
                              f"number of milliseconds)"})
                 return
+        salvage_header = self.headers.get("X-Salvage")
+        if salvage_header is not None:
+            overrides["salvage"] = (
+                salvage_header.strip().lower() not in ("", "0", "false", "no"))
+        item: "bytes | Any" = data
+        if overrides:
             item = replace(self.server.session.decoder.defaults,
-                           data=data, deadline_ms=deadline_ms)
+                           data=data, **overrides)
         try:
             handle = self.server.session.submit(item, timeout=0)
         except QueueFullError as exc:
@@ -194,13 +209,17 @@ class _DecodeRequestHandler(BaseHTTPRequestHandler):
         if fmt == "json":
             self._send_json(200, meta)
             return
-        self._send(200, ppm_bytes(result.rgb), "image/x-portable-pixmap", {
+        headers = {
             "X-Request-Id": str(result.request_id),
             "X-Width": str(result.width),
             "X-Height": str(result.height),
             "X-Segments": str(result.segments),
             "X-Latency-Ms": f"{result.latency_s * 1e3:.3f}",
-        })
+        }
+        if result.salvaged:
+            headers["X-Salvaged"] = "1"
+        self._send(200, ppm_bytes(result.rgb), "image/x-portable-pixmap",
+                   headers)
 
 
 class _SessionHTTPServer(ThreadingHTTPServer):

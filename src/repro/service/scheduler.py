@@ -124,7 +124,16 @@ class ImagePricing:
     #: chunk fan-out (:mod:`repro.jpeg.speculative`) for marker-free
     #: scans when the scheduler runs with speculation enabled.  The
     #: dominant-image fallback consults this, not :attr:`has_restarts`.
+    #: Progressive streams are never splittable: multi-scan coefficient
+    #: accumulation has no per-segment decomposition.
     splittable: bool = False
+    #: Entropy scans in the stream (1 = baseline, > 1 = progressive).
+    scans: int = 1
+    #: True when only the whole-image reference path can decode this
+    #: image (progressive, or a component layout the simulated
+    #: executors don't model).  Every lane prices as ``inf``; the
+    #: scheduler pins these to ``mode="reference"`` instead.
+    reference_only: bool = False
     #: Predicted decode time (us) per lane name; ``inf`` = ineligible.
     costs: dict[str, float] = field(default_factory=dict)
 
@@ -420,11 +429,24 @@ def price_images(
     pricings = []
     for index, info in infos:
         sub = info.subsampling_mode
+        scans = max(1, len(info.scans))
+        reference_only = info.progressive \
+            or len(info.frame.components) != 3
         pricing = ImagePricing(
             index=index, width=info.width, height=info.height,
             density=info.file_density, subsampling=sub,
             has_restarts=info.restart_interval > 0,
-            splittable=info.restart_interval > 0 or speculative)
+            splittable=((info.restart_interval > 0 or speculative)
+                        and not info.progressive),
+            scans=scans, reference_only=reference_only)
+        if reference_only:
+            # The simulated executor lanes model 3-component baseline
+            # decoding only; these images route whole to the reference
+            # path (see ModelScheduler.apply).
+            for lane in executors:
+                pricing.costs[lane.name] = math.inf
+            pricings.append(pricing)
+            continue
         model_sub = sub if sub in MODELED_SUBSAMPLINGS else "4:2:2"
         for lane in executors:
             if not lane.eligible(sub):
@@ -432,7 +454,8 @@ def price_images(
                 continue
             model: PerformanceModel = model_for(lane.platform, model_sub)
             pricing.costs[lane.name] = model.price(
-                lane.kind, info.width, info.height, info.file_density)
+                lane.kind, info.width, info.height, info.file_density,
+                scans=scans)
         pricings.append(pricing)
     return pricings
 
@@ -748,15 +771,22 @@ class ModelScheduler:
         fallbacks pin the reference pixel path with the fan-out that
         fits the image forced on — restart-segment splitting where DRI
         permits, speculative chunk fan-out for marker-free scans.
-        Unassigned images pass through untouched.
+        Images only the reference path can decode (progressive streams,
+        grayscale/4-component layouts) are pinned to ``mode="reference"``
+        whole-image.  Unassigned images pass through untouched.
         """
         from dataclasses import replace
 
         restarts = {p.index: p.has_restarts for p in schedule.pricings}
+        ref_only = {p.index for p in schedule.pricings if p.reference_only}
         rewritten = list(requests)
         for a in schedule.assignments:
             req = rewritten[a.index]
-            if a.split:
+            if a.index in ref_only:
+                rewritten[a.index] = replace(
+                    req, mode="reference", split_segments=False,
+                    speculative=False)
+            elif a.split:
                 if restarts.get(a.index):
                     rewritten[a.index] = replace(
                         req, mode="reference", split_segments=True)

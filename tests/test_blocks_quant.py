@@ -70,7 +70,7 @@ class TestGeometry:
 
     def test_invalid_mode(self):
         with pytest.raises(JpegError):
-            ImageGeometry(10, 10, "4:1:1")
+            ImageGeometry(10, 10, "4:9:9")
 
     def test_mcu_row_pixel_span_clamps_bottom(self):
         geo = ImageGeometry(32, 20, "4:2:2")  # 3 MCU rows of 8, image 20 high

@@ -160,11 +160,11 @@ class TestModeDispatch:
 
     def test_unknown_mode_raises(self):
         with pytest.raises(JpegError):
-            sampling_factors("4:1:1")
+            sampling_factors("4:9:9")
         with pytest.raises(JpegError):
-            upsample_plane(np.zeros((8, 8)), "4:1:1")
+            upsample_plane(np.zeros((8, 8)), "4:9:9")
         with pytest.raises(JpegError):
-            downsample_plane(np.zeros((8, 8)), "4:1:1")
+            downsample_plane(np.zeros((8, 8)), "4:9:9")
 
     def test_444_passthrough(self):
         plane = np.arange(16, dtype=np.uint8).reshape(4, 4)

@@ -72,12 +72,12 @@ class TestMarkerParsing:
         with pytest.raises(JpegFormatError):
             parse_jpeg(jpeg_422[:40])
 
-    def test_progressive_rejected(self, jpeg_422):
-        # flip the SOF0 marker byte to SOF2 (progressive)
+    def test_arithmetic_coding_rejected(self, jpeg_422):
+        # flip the SOF0 marker byte to SOF9 (arithmetic sequential)
         idx = jpeg_422.find(bytes([0xFF, C.SOF0]))
         corrupted = bytearray(jpeg_422)
-        corrupted[idx + 1] = C.SOF2
-        with pytest.raises(JpegUnsupportedError):
+        corrupted[idx + 1] = C.SOF9
+        with pytest.raises(JpegUnsupportedError, match="arithmetic coding"):
             parse_jpeg(bytes(corrupted))
 
     def test_comment_preserved(self, small_rgb):

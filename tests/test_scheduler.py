@@ -226,6 +226,27 @@ class TestPricing:
         assert math.isinf(p.costs[gpu.name])
         assert math.isfinite(p.costs[simd.name])
 
+    def test_progressive_scan_surcharge(self):
+        sched = ModelScheduler(platform=platforms.GTX560)
+        model = sched._model_for(platforms.GTX560, "4:2:2")
+        w, h, d = 640, 480, 0.2
+        base = model.price("simd", w, h, d)
+        for scans in (6, 14, 18):
+            assert model.price("simd", w, h, d, scans=scans) == \
+                pytest.approx(base + (scans - 1) * model.scan_pass_factor
+                              * model.t_huff(w, h, d))
+
+    def test_progressive_priced_with_scans_not_splittable(self):
+        rgb = synthetic_photo(96, 96, seed=7, detail=0.6)
+        prog = encode_jpeg(rgb, EncoderSettings(
+            quality=85, subsampling="4:2:2", progressive=True))
+        sched = ModelScheduler(platform=platforms.GTX560)
+        p_base, p_prog = sched.price([encode(96, 96), prog])
+        assert p_base.scans == 1 and p_prog.scans == 14
+        assert not p_prog.splittable
+        simd = next(l for l in sched.executors if l.kind == "simd")
+        assert p_prog.costs[simd.name] > p_base.costs[simd.name]
+
     def test_default_executors_shape(self):
         ex = default_executors(platforms.GTX680)
         assert [l.kind for l in ex] == ["simd", "gpu"]
