@@ -12,7 +12,12 @@ Commands mirror the workflows the library supports:
 - ``serve --port N``           — HTTP decode service over a futures-based
   :class:`~repro.service.session.DecodeSession` (``POST /decode`` →
   PPM/metadata, ``GET /stats``, 429 on backpressure; see
-  :mod:`repro.service.http`)
+  :mod:`repro.service.http`); with ``--hosts host:port,...`` the
+  session shards batches across remote worker hosts (see
+  :mod:`repro.service.remote`)
+- ``serve-worker --port N``    — one shard of the sharded serving tier:
+  a decode session behind the length-prefixed TCP protocol the front
+  tier's remote lanes speak
 """
 
 from __future__ import annotations
@@ -242,28 +247,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import DecodeHTTPServer
 
-    server = DecodeHTTPServer(
-        host=args.host, port=args.port,
-        max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
-        queue_capacity=args.queue_capacity,
-        workers=args.workers, backend=args.backend,
-        scheduler=_build_scheduler(args.schedule, args.platform,
-                                   args.breaker_threshold),
-        transport=args.transport,
-        lane_pools=None if args.lane_pools == "none" else args.lane_pools,
-        retry_budget=args.retry_budget,
-        default_deadline_ms=args.default_deadline_ms,
-        speculative=args.speculative)
-    pool = server.session.decoder.pool
-    print(f"serve: listening on {server.url} "
-          f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms}ms, "
-          f"queue={args.queue_capacity}, "
-          f"{pool.workers} x {pool.backend} workers, "
-          f"transport={server.session.decoder.transport}"
-          + (f", schedule={args.schedule}" if args.schedule != "none" else "")
-          + (f", lane-pools={args.lane_pools}"
-             if args.lane_pools != "none" else "")
-          + ")", flush=True)
+    session = None
+    if args.hosts:
+        # Sharded front tier: the session's scheduler lanes are remote
+        # worker hosts; the HTTP shim rides on top unchanged.
+        from .service import LaneBreakerBoard
+        from .service.remote import ShardedDecodeSession
+
+        breakers = (LaneBreakerBoard(threshold=args.breaker_threshold)
+                    if args.breaker_threshold is not None else None)
+        policy = "roundrobin" if args.schedule == "roundrobin" else "model"
+        session = ShardedDecodeSession(
+            hosts=args.hosts, policy=policy, depth=args.shard_depth,
+            breakers=breakers,
+            max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+            queue_capacity=args.queue_capacity,
+            retry_budget=args.retry_budget,
+            default_deadline_ms=args.default_deadline_ms)
+        server = DecodeHTTPServer(session=session, host=args.host,
+                                  port=args.port)
+        print(f"serve: listening on {server.url} "
+              f"(max_batch={args.max_batch}, "
+              f"max_delay={args.max_delay_ms}ms, "
+              f"queue={args.queue_capacity}, sharded across "
+              f"{len(session.hosts)} hosts [{', '.join(session.hosts)}], "
+              f"depth={args.shard_depth}, schedule={policy})", flush=True)
+    else:
+        server = DecodeHTTPServer(
+            host=args.host, port=args.port,
+            max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+            queue_capacity=args.queue_capacity,
+            workers=args.workers, backend=args.backend,
+            scheduler=_build_scheduler(args.schedule, args.platform,
+                                       args.breaker_threshold),
+            transport=args.transport,
+            lane_pools=(None if args.lane_pools == "none"
+                        else args.lane_pools),
+            retry_budget=args.retry_budget,
+            default_deadline_ms=args.default_deadline_ms,
+            speculative=args.speculative)
+        pool = server.session.decoder.pool
+        print(f"serve: listening on {server.url} "
+              f"(max_batch={args.max_batch}, "
+              f"max_delay={args.max_delay_ms}ms, "
+              f"queue={args.queue_capacity}, "
+              f"{pool.workers} x {pool.backend} workers, "
+              f"transport={server.session.decoder.transport}"
+              + (f", schedule={args.schedule}"
+                 if args.schedule != "none" else "")
+              + (f", lane-pools={args.lane_pools}"
+                 if args.lane_pools != "none" else "")
+              + ")", flush=True)
     print("endpoints: POST /decode (JPEG in, PPM out; ?format=json for "
           "metadata), GET /stats, GET /healthz", flush=True)
 
@@ -296,9 +330,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
         # close() drains the owned session: every accepted request's
-        # handle resolves before the pool shuts down.
+        # handle resolves before the pool shuts down.  A sharded session
+        # is external to the server, so it is drained here instead.
         server.close()
+        if session is not None:
+            session.close(drain=True)
         print(f"summary: {server.session.stats.format()}")
+    return 0
+
+
+def _cmd_serve_worker(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .service.remote import DecodeWorkerHost
+
+    host = DecodeWorkerHost(
+        host=args.host, port=args.port,
+        max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+        queue_capacity=args.queue_capacity,
+        workers=args.workers, backend=args.backend,
+        scheduler=_build_scheduler(args.schedule, args.platform,
+                                   args.breaker_threshold),
+        transport=args.transport,
+        lane_pools=None if args.lane_pools == "none" else args.lane_pools,
+        retry_budget=args.retry_budget,
+        speculative=args.speculative)
+    pool = host.session.decoder.pool
+    print(f"serve-worker: listening on {host.endpoint} "
+          f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms}ms, "
+          f"queue={args.queue_capacity}, "
+          f"{pool.workers} x {pool.backend} workers"
+          + (f", schedule={args.schedule}" if args.schedule != "none" else "")
+          + (f", lane-pools={args.lane_pools}"
+             if args.lane_pools != "none" else "")
+          + ")", flush=True)
+
+    # Same graceful-drain shape as serve: shutdown() only flags the
+    # accept loop and is safe inline, but severing live connections and
+    # draining the session happens in close() on the way out.
+    draining = threading.Event()
+
+    def _graceful(signum: int, frame: object) -> None:
+        if draining.is_set():
+            return
+        draining.set()
+        print(f"received {signal.Signals(signum).name}: draining, "
+              f"no longer accepting connections", file=sys.stderr, flush=True)
+        host.shutdown()
+
+    previous: dict[int, object] = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _graceful)
+        except ValueError:
+            pass  # not the main thread (embedded use): no signal hooks
+    try:
+        host.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        host.close()
+        print(f"summary: {host.session.stats.format()}")
     return 0
 
 
@@ -493,7 +588,64 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "on", "off"],
                    help="speculative chunk fan-out for marker-free "
                         "images (see serve-batch --speculative)")
+    p.add_argument("--hosts", default=None,
+                   help="shard decode across worker hosts "
+                        "('host:port,host:port', see serve-worker); "
+                        "--workers/--backend/--transport/--lane-pools "
+                        "then apply to the hosts, not this process")
+    p.add_argument("--shard-depth", type=int, default=2,
+                   help="bounded in-flight requests per worker host "
+                        "(backpressure on placement; default: 2)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "serve-worker",
+        help="one shard of the sharded serving tier: a decode session "
+             "behind the length-prefixed TCP protocol that "
+             "'serve --hosts' fronts")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9077,
+                   help="listening port (0 = ephemeral, printed at start)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="dispatch a batch as soon as this many requests "
+                        "are pending")
+    p.add_argument("--max-delay-ms", type=float, default=2.0,
+                   help="dispatch a partial batch once its oldest request "
+                        "has waited this long")
+    p.add_argument("--queue-capacity", type=int, default=32,
+                   help="bounded submission queue")
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool size (default: all cores)")
+    p.add_argument("--backend", default=None,
+                   choices=["process", "thread", "serial"],
+                   help="worker pool backend (default: process on "
+                        "multi-core hosts, serial otherwise)")
+    p.add_argument("--schedule", default="none",
+                   choices=["none", "model", "roundrobin"],
+                   help="cross-image batch scheduling inside this host "
+                        "(see serve-batch --schedule)")
+    p.add_argument("--transport", default="auto",
+                   choices=["auto", "shm", "pickle"],
+                   help="worker→parent result transport "
+                        "(see serve-batch --transport)")
+    p.add_argument("--lane-pools", default="none",
+                   help="lane-bound executor pools "
+                        "(see serve-batch --lane-pools)")
+    p.add_argument("--platform", default="GTX 560",
+                   choices=["GT 430", "GTX 560", "GTX 680"],
+                   help="platform whose lanes a scheduler prices")
+    p.add_argument("--retry-budget", type=int, default=None,
+                   help="redispatches per image after a worker crash "
+                        "before the request fails (default: 2)")
+    p.add_argument("--breaker-threshold", type=int, default=None,
+                   help="consecutive infrastructure failures before a "
+                        "scheduler lane's circuit breaker trips open "
+                        "(requires --schedule; default: 3)")
+    p.add_argument("--speculative", default="auto",
+                   choices=["auto", "on", "off"],
+                   help="speculative chunk fan-out for marker-free "
+                        "images (see serve-batch --speculative)")
+    p.set_defaults(func=_cmd_serve_worker)
 
     return parser
 

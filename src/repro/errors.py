@@ -88,3 +88,19 @@ class WorkerCrashError(ServiceError):
 class DeadlineExceededError(ServiceError):
     """A request's deadline passed before its decode started; the
     request was shed instead of decoded (HTTP 504)."""
+
+
+class RemoteHostError(ServiceError):
+    """A remote worker host could not serve a request: connection
+    refused, connection lost mid-request, or a request timeout.  This
+    is the distributed analog of :class:`WorkerCrashError` — an
+    infrastructure failure, never a decode verdict — so the front tier
+    retries it (on another host when one exists) and charges the lane's
+    circuit breaker."""
+
+
+class RemoteProtocolError(ServiceError):
+    """A TCP frame from a remote peer was malformed: truncated
+    mid-frame, an oversized header, undecodable JSON, or an unknown
+    operation.  Distinct from :class:`RemoteHostError` because it
+    signals a software defect or version skew, not host health."""

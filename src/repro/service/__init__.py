@@ -18,7 +18,17 @@ points):
 - :class:`~repro.service.aio.AsyncDecodeSession` — the asyncio adapter
   (async submit, completion stream)
 - :class:`~repro.service.http.DecodeHTTPServer` — stdlib HTTP shim
-  (``POST /decode``, ``GET /stats``, 429 backpressure)
+  (``POST /decode``, ``GET /stats``, 429 backpressure, ``X-Priority``
+  weighted shedding classes, backlog-scaled ``Retry-After``)
+- :mod:`~repro.service.remote` — the sharded serving tier:
+  :class:`~repro.service.remote.DecodeWorkerHost` (``repro
+  serve-worker``, one session behind a length-prefixed TCP protocol),
+  :class:`~repro.service.remote.RemoteLane` /
+  :class:`~repro.service.remote.RemoteLanePool` (scheduler lanes that
+  live across a socket, bounded in-flight depth as backpressure) and
+  :class:`~repro.service.remote.ShardedDecodeSession` (``repro serve
+  --hosts``, Eq 5/6 + EWMA placement across hosts with failover and
+  breaker-guarded re-admission)
 - :class:`BatchDecoder` — decode one batch across a worker pool
 - :class:`DecodeService` — the legacy pull-driven front end, now a thin
   facade over :class:`~repro.service.session.DecodeSession`
@@ -55,16 +65,30 @@ load against a session) and ``benchmarks/bench_batch_partition.py``
 
 from .aio import AsyncDecodeSession
 from .batch import (
+    PRIORITIES,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
     BatchDecoder,
     BatchResult,
     DecodeService,
     ImageRequest,
     ImageResult,
+    parse_priority,
 )
 from .executors import ExecutorRegistry, parse_lane_pools
 from .faults import FaultDirective, FaultPlan, apply_dispatch_fault
 from .http import DecodeHTTPServer, ppm_bytes
 from .queue import SubmissionQueue
+from .remote import (
+    DecodeWorkerHost,
+    RemoteLane,
+    RemoteLanePool,
+    ShardRegistry,
+    ShardedDecodeSession,
+    parse_hosts,
+    remote_executors,
+)
 from .transport import (
     TRANSPORTS,
     PlaneArena,
@@ -88,6 +112,10 @@ from .workers import BACKENDS, WorkerPool
 
 __all__ = [
     "BACKENDS",
+    "PRIORITIES",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
     "TRANSPORTS",
     "AsyncDecodeSession",
     "BatchDecoder",
@@ -98,6 +126,7 @@ __all__ = [
     "DecodeHandle",
     "DecodeService",
     "DecodeSession",
+    "DecodeWorkerHost",
     "ExecutorLane",
     "ExecutorRegistry",
     "ExecutorUsage",
@@ -109,15 +138,22 @@ __all__ = [
     "ModelScheduler",
     "PlaneArena",
     "PlaneRef",
+    "RemoteLane",
+    "RemoteLanePool",
     "ServiceStats",
+    "ShardRegistry",
+    "ShardedDecodeSession",
     "SubmissionQueue",
     "ThroughputFeedback",
     "WorkerPool",
     "apply_dispatch_fault",
     "default_executors",
+    "parse_hosts",
     "parse_lane_pools",
+    "parse_priority",
     "percentile",
     "ppm_bytes",
+    "remote_executors",
     "resolve_transport",
     "schedule_lpt",
     "schedule_roundrobin",

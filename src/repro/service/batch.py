@@ -91,6 +91,38 @@ from .transport import (
 )
 from .workers import WorkerPool, worker_name
 
+#: The three load-shedding priority classes (higher = more important).
+PRIORITY_LOW, PRIORITY_NORMAL, PRIORITY_HIGH = 0, 1, 2
+
+#: Named spellings accepted by :func:`parse_priority` (and the HTTP
+#: ``X-Priority`` header).
+PRIORITIES = {"low": PRIORITY_LOW, "normal": PRIORITY_NORMAL,
+              "high": PRIORITY_HIGH}
+
+
+def parse_priority(value: "str | int") -> int:
+    """Normalize a priority spelling — ``"low"``/``"normal"``/``"high"``
+    or a non-negative integer (as int or digit string) — to its class
+    number; raises :class:`~repro.errors.ServiceError` otherwise."""
+    if isinstance(value, bool):
+        raise ServiceError(f"invalid priority {value!r} "
+                           f"(want low/normal/high or an integer >= 0)")
+    if isinstance(value, int):
+        priority = value
+    else:
+        text = str(value).strip().lower()
+        if text in PRIORITIES:
+            return PRIORITIES[text]
+        try:
+            priority = int(text)
+        except ValueError:
+            raise ServiceError(
+                f"invalid priority {value!r} "
+                f"(want low/normal/high or an integer >= 0)")
+    if priority < 0:
+        raise ServiceError(f"priority must be >= 0, got {priority}")
+    return priority
+
 
 @dataclass
 class ImageRequest:
@@ -135,6 +167,12 @@ class ImageRequest:
     #: requests decode whole-image on the reference path (no segment or
     #: speculative fan-out — the error map needs one decoder's view).
     salvage: bool = False
+    #: Load-shedding priority class: 0 = low, 1 = normal (default),
+    #: 2 = high.  Under overload the session sheds low classes first
+    #: (each class only admits into a fraction of the queue; see
+    #: :data:`repro.service.session.DEFAULT_SHED_FRACTIONS`) and batch
+    #: forming orders higher classes first at equal deadlines.
+    priority: int = PRIORITY_NORMAL
 
 
 @dataclass
@@ -183,6 +221,12 @@ class ImageResult:
     #: failure class lane circuit breakers count, since a corrupt JPEG
     #: fails on *any* lane but a crashing lane fails every image.
     infra_failure: bool = False
+    #: True when the image was redispatched onto a *different* pool
+    #: than its scheduled lane (a remote host failed and a sibling
+    #: absorbed the work).  Such results are excluded from the original
+    #: lane's feedback and breaker credit — the lane that was priced is
+    #: not the lane that decoded.
+    failed_over: bool = False
     #: True when salvage mode recovered this image from corrupt bytes
     #: (``ok`` stays True; the pixels are best-effort).
     salvaged: bool = False
@@ -212,6 +256,12 @@ class BatchResult:
     #: Tasks re-dispatched after an infrastructure failure (dead
     #: worker) inside this batch.
     retries: int = 0
+    #: Per-lane count of *remote dispatch* infrastructure failures this
+    #: batch (connection refused/lost/timeout on a remote lane pool),
+    #: counted even when a failover redispatch saved every image — the
+    #: scheduler charges these to the lane breakers so a dying host
+    #: trips its breaker while siblings absorb its work.
+    lane_failures: dict = field(default_factory=dict)
 
     def __iter__(self):
         """Iterate results in request order."""
@@ -494,6 +544,9 @@ class _InFlight:
     #: terminator, nbytes)``; empty for whole-image tasks (those
     #: redispatch from ``requests[index]``).
     args: tuple = ()
+    #: True when this dispatch already runs on a failover pool instead
+    #: of its scheduled lane's pool (propagated onto the result).
+    failed_over: bool = False
 
 
 class BatchDecoder:
@@ -818,6 +871,7 @@ class BatchDecoder:
         bytes_shm = 0
         bytes_pickle = 0
         retries = 0
+        lane_failures: dict[str, int] = {}
 
         def submit_with_slot(pool, fn, *args, slot=None, fault=None):
             """Submit, guaranteeing the slot is reclaimed on failure."""
@@ -831,7 +885,7 @@ class BatchDecoder:
             pools_used.add(id(pool))
             return fut
 
-        def dispatch_whole(i, pool, lane, attempts=1):
+        def dispatch_whole(i, pool, lane, attempts=1, failed_over=False):
             """(Re)dispatch one whole-image task; registers in-flight."""
             req = requests[i]
             slot = self._lease_image_slot(req, pool)
@@ -839,7 +893,7 @@ class BatchDecoder:
                                    slot=slot, fault=self._next_fault(lane))
             pending[fut] = _InFlight(
                 "whole", i, pool, pool.backend == "process",
-                attempts, slot, lane)
+                attempts, slot, lane, failed_over=failed_over)
 
         def dispatch_segment(i, pool, lane, seg, seg_bytes, geo_args,
                              tables, engine, nbytes, attempts=1):
@@ -877,6 +931,11 @@ class BatchDecoder:
                 scan = chunks = None
                 want_split = self._split_candidate(req, len(requests))
                 want_spec = self._speculative_candidate(req, len(requests))
+                if pool.backend == "remote":
+                    # Remote lanes ship whole images only: the host's
+                    # own session decides any segment/speculative
+                    # fan-out on its side of the wire.
+                    want_split = want_spec = False
                 if want_split or want_spec:
                     try:
                         info = parse_jpeg(req.data)
@@ -998,13 +1057,37 @@ class BatchDecoder:
                         # its slot — quarantine, never recycle.
                         self._quarantine_slot(task.slot, outstanding)
                         task.pool.heal()
+                        if task.pool.backend == "remote":
+                            # Charged to the lane whose pool actually
+                            # failed (the failover target when the
+                            # rescue dispatch failed too), and before
+                            # the budget check: the lane must answer
+                            # for every failed dispatch, even the one
+                            # that exhausts the budget.
+                            failed_lane = getattr(
+                                task.pool, "name", None) or task.lane
+                            if failed_lane is not None:
+                                lane_failures[failed_lane] = \
+                                    lane_failures.get(failed_lane, 0) + 1
                         if task.attempts <= self.retry_budget:
                             retries += 1
                             sleep(self.retry_backoff_s
                                   * (2 ** (task.attempts - 1)))
                             if task.kind == "whole":
-                                dispatch_whole(i, task.pool, task.lane,
-                                               attempts=task.attempts + 1)
+                                pool = task.pool
+                                failed_over = task.failed_over
+                                if (pool.backend == "remote"
+                                        and self.registry is not None):
+                                    # Prefer a surviving sibling host
+                                    # over hammering the one that just
+                                    # failed.
+                                    alt = self.registry.failover_pool(
+                                        task.lane)
+                                    if alt is not None:
+                                        pool, failed_over = alt, True
+                                dispatch_whole(i, pool, task.lane,
+                                               attempts=task.attempts + 1,
+                                               failed_over=failed_over)
                             elif task.kind == "spec":
                                 dispatch_spec(
                                     i, task.pool, task.lane, *task.args,
@@ -1024,6 +1107,7 @@ class BatchDecoder:
                                 ok=False, error_type="WorkerCrashError",
                                 error=exc_msg, infra_failure=True,
                                 attempts=task.attempts,
+                                failed_over=task.failed_over,
                                 latency_s=perf_counter() - t0)
                         elif task.kind == "spec":
                             # A chunk lost to infrastructure is just a
@@ -1057,6 +1141,7 @@ class BatchDecoder:
                     if task.kind == "whole":
                         results[i] = payload
                         payload.attempts = task.attempts
+                        payload.failed_over = task.failed_over
                         moved = self._materialize(payload, outstanding)
                         bytes_shm += moved
                         if (moved == 0 and payload.ok
@@ -1173,7 +1258,8 @@ class BatchDecoder:
             results=done, stats=stats, schedule=schedule,
             lane_pools=(self.registry.describe()
                         if self.registry is not None else None),
-            transport=self.transport, retries=retries)
+            transport=self.transport, retries=retries,
+            lane_failures=lane_failures)
 
     def _finish_split(self, job: _SplitJob) -> ImageResult:
         """Merge a split image's segments and run the pixel stages."""

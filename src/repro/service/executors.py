@@ -154,6 +154,15 @@ class ExecutorRegistry:
         key = self._pool_of.get(lane_name)
         return self._pools.get(key) if key is not None else None
 
+    def failover_pool(self, lane_name: str) -> "WorkerPool | None":
+        """An alternative pool for redispatch after *lane_name*'s pool
+        failed a task.  Local registries have no cross-host redundancy
+        — a crashed pool heals in place and the task retries on it —
+        so the base answer is None; the sharded
+        :class:`~repro.service.remote.ShardRegistry` overrides this to
+        rotate the retry onto a surviving host."""
+        return None
+
     @property
     def pools(self) -> dict[str, WorkerPool]:
         """Distinct pools keyed by pool name (gpu lane name or "cpu")."""

@@ -27,11 +27,19 @@ Endpoints:
 Backpressure: a full submission queue maps to ``429 Too Many
 Requests`` with a ``Retry-After`` header — the HTTP spelling of
 :class:`~repro.errors.QueueFullError`; a closed session maps to
-``503``.  Deadlines: an ``X-Deadline-Ms`` request header bounds how
-long the request may wait before its decode starts; a request shed at
-its deadline (:class:`~repro.errors.DeadlineExceededError`) answers
-``504`` with ``Retry-After`` — the client should back off, the service
-is load-shedding.  Salvage: an ``X-Salvage: 1`` request header asks for
+``503``.  ``Retry-After`` on 429/503/504 scales with the current
+backlog (pending requests over observed throughput, clamped to
+[1, 30] s) instead of a fixed constant.  Priorities: an ``X-Priority``
+request header (``low``/``normal``/``high`` or an integer class)
+selects the request's load-shedding class — under overload low
+classes are shed (429) while the queue still admits higher ones
+(weighted shedding; see
+:data:`~repro.service.session.DEFAULT_SHED_FRACTIONS`).  Deadlines:
+an ``X-Deadline-Ms`` request header bounds how long the request may
+wait before its decode starts; a request shed at its deadline
+(:class:`~repro.errors.DeadlineExceededError`) answers ``504`` with
+``Retry-After`` — the client should back off, the service is
+load-shedding.  Salvage: an ``X-Salvage: 1`` request header asks for
 best-effort decode of corrupt streams — the response carries
 ``X-Salvaged: 1`` (and ``salvaged``/``salvage_errors``/``damaged_mcus``
 in JSON metadata) when rows were recovered past an error.
@@ -54,7 +62,7 @@ from ..errors import (
     ServiceClosedError,
     ServiceError,
 )
-from .batch import ImageResult
+from .batch import ImageResult, parse_priority
 from .session import DecodeSession
 
 
@@ -114,6 +122,12 @@ class _DecodeRequestHandler(BaseHTTPRequestHandler):
         self._send(status, json.dumps(payload, indent=2).encode() + b"\n",
                    "application/json", extra_headers)
 
+    def _retry_after(self) -> str:
+        """``Retry-After`` header value scaled to the session's current
+        backlog (see :meth:`~repro.service.session.DecodeSession.\
+retry_after_s`)."""
+        return str(self.server.session.retry_after_s())
+
     # -- endpoints ------------------------------------------------------
 
     def do_GET(self) -> None:
@@ -154,6 +168,14 @@ class _DecodeRequestHandler(BaseHTTPRequestHandler):
         if salvage_header is not None:
             overrides["salvage"] = (
                 salvage_header.strip().lower() not in ("", "0", "false", "no"))
+        priority_header = self.headers.get("X-Priority")
+        if priority_header is not None:
+            try:
+                overrides["priority"] = parse_priority(priority_header)
+            except ServiceError as exc:
+                self._send_json(400, {
+                    "error": f"invalid X-Priority header: {exc}"})
+                return
         item: "bytes | Any" = data
         if overrides:
             item = replace(self.server.session.decoder.defaults,
@@ -161,11 +183,14 @@ class _DecodeRequestHandler(BaseHTTPRequestHandler):
         try:
             handle = self.server.session.submit(item, timeout=0)
         except QueueFullError as exc:
+            # Retry-After scales with the actual backlog: a client told
+            # to come back in N seconds should find queue space then.
             self._send_json(429, {"error": str(exc)},
-                            {"Retry-After": "1"})
+                            {"Retry-After": self._retry_after()})
             return
         except ServiceClosedError as exc:
-            self._send_json(503, {"error": str(exc)})
+            self._send_json(503, {"error": str(exc)},
+                            {"Retry-After": self._retry_after()})
             return
         except ServiceError as exc:
             # Invalid per-request knob (e.g. non-positive deadline).
@@ -179,7 +204,7 @@ class _DecodeRequestHandler(BaseHTTPRequestHandler):
             self._send_json(504, {
                 "error": str(exc),
                 "request_id": handle.request_id},
-                {"Retry-After": "1"})
+                {"Retry-After": self._retry_after()})
             return
         except TimeoutError:
             self._send_json(504, {

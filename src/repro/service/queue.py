@@ -62,7 +62,8 @@ class SubmissionQueue:
         """Number of requests currently pending."""
         return len(self._items)
 
-    def put(self, item: Any, timeout: float | None = None) -> None:
+    def put(self, item: Any, timeout: float | None = None,
+            limit: int | None = None) -> None:
         """Enqueue *item*, applying backpressure when full.
 
         ``timeout=None`` blocks until space frees up (or the queue
@@ -70,25 +71,33 @@ class SubmissionQueue:
         most that long.  Raises :class:`QueueFullError` when the bound
         holds at the deadline and :class:`ServiceClosedError` when the
         queue is (or becomes) closed.
+
+        *limit*, when given, caps this ``put``'s view of the capacity at
+        ``min(capacity, limit)`` — the weighted-shedding hook: a
+        low-priority producer admitting only into half the queue starts
+        seeing :class:`QueueFullError` while higher classes still have
+        headroom.
         """
+        capacity = self._capacity if limit is None \
+            else max(1, min(self._capacity, limit))
         with self._cond:
             if timeout == 0:
                 if self._closed:
                     raise ServiceClosedError("submission queue is closed")
-                if len(self._items) >= self._capacity:
+                if len(self._items) >= capacity:
                     raise QueueFullError(
-                        f"submission queue full ({self._capacity} pending)")
+                        f"submission queue full ({capacity} pending)")
             else:
                 ok = self._cond.wait_for(
                     lambda: self._closed
-                    or len(self._items) < self._capacity,
+                    or len(self._items) < capacity,
                     timeout=timeout,
                 )
                 if self._closed:
                     raise ServiceClosedError("submission queue is closed")
                 if not ok:
                     raise QueueFullError(
-                        f"submission queue full ({self._capacity} pending, "
+                        f"submission queue full ({capacity} pending, "
                         f"timed out after {timeout}s)")
             self._items.append(item)
             self._cond.notify_all()

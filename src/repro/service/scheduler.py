@@ -633,7 +633,11 @@ def lane_outcomes(schedule: BatchSchedule, results: "Sequence[ImageResult]"
     outcomes = []
     for i, result in enumerate(results):
         a = by_index.get(i)
-        if a is None or a.executor is None or not result.ok:
+        if a is None or a.executor is None or not result.ok \
+                or result.failed_over:
+            # failed_over: the image decoded on a different pool than
+            # its scheduled lane — its wall time describes the rescue
+            # host, not the lane that was priced.
             continue
         observed = result.wall_us if schedule.wall_time \
             else result.simulated_us
@@ -823,13 +827,15 @@ class ModelScheduler:
     # -- feedback -------------------------------------------------------
 
     def observe(self, schedule: BatchSchedule,
-                results: "Sequence[ImageResult]") -> None:
+                results: "Sequence[ImageResult]",
+                lane_failures: "dict[str, int] | None" = None) -> None:
         """Close the loop: refine lane scales from a batch's outcomes.
 
         Every successfully decoded lane-placed image contributes its
         observed vs. predicted time (see :func:`lane_outcomes` for the
-        exact definition); split fallbacks, unassigned images and
-        failures teach the feedback nothing and are skipped.
+        exact definition); split fallbacks, unassigned images, failures
+        and failed-over rescues teach the feedback nothing and are
+        skipped.
 
         The breaker board additionally sees every lane-placed image's
         *infrastructure* outcome: completed decodes (ok or decode
@@ -837,10 +843,31 @@ class ModelScheduler:
         against the lane, and the trip edge resets the lane's feedback
         scale — a sick lane's EWMA history describes the failure, not
         the device it becomes after recovery.
+
+        *lane_failures* (``BatchResult.lane_failures``) carries the
+        per-dispatch infrastructure failures of remote lanes — failures
+        a failover redispatch may have hidden from the results.  When
+        present, breaker accounting runs two-pass: per-image successes
+        first, then every dispatch failure, so a lane whose images were
+        all rescued by siblings still trips its breaker and cannot have
+        the trip masked by a success recorded after it.  Failed-over
+        results never credit their original lane.
         """
         for a, observed in lane_outcomes(schedule, results):
             self.feedback.observe(a.executor.name, a.predicted_us, observed)
         by_index = {a.index: a for a in schedule.assignments}
+        if lane_failures:
+            for i, result in enumerate(results):
+                a = by_index.get(i)
+                if a is None or a.executor is None or result.failed_over:
+                    continue
+                if result.ok or not result.infra_failure:
+                    self.breakers.record(a.executor.name, ok=True)
+            for lane, count in lane_failures.items():
+                for _ in range(count):
+                    if self.breakers.record(lane, ok=False):
+                        self.feedback.reset(lane)
+            return
         for i, result in enumerate(results):
             a = by_index.get(i)
             if a is None or a.executor is None:

@@ -50,11 +50,24 @@ from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Any, Callable
 
-from ..errors import DeadlineExceededError, ServiceClosedError, ServiceError
+from ..errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+)
 from .batch import BatchDecoder, BatchResult, ImageRequest, ImageResult
 from .queue import SubmissionQueue
 from .scheduler import ModelScheduler
 from .stats import ServiceStats
+
+#: Weighted-shedding admission fractions by priority class: the share
+#: of the submission queue each class may fill.  Low-priority requests
+#: (class 0) only admit into half the queue, normal (class 1) into 90%;
+#: high (class 2) and any higher class use the full capacity — so under
+#: overload the low classes shed first and high-priority latency is
+#: preserved.  Override per session via ``shed_fractions=``.
+DEFAULT_SHED_FRACTIONS: dict[int, float] = {0: 0.5, 1: 0.9}
 
 
 class DecodeHandle:
@@ -136,12 +149,18 @@ class _Entry:
     #: Absolute ``perf_counter`` instant the request expires (None = no
     #: deadline): submission time plus ``deadline_ms``.
     deadline_at: float | None = None
+    #: Load-shedding priority class (mirrors the request's; see
+    #: :data:`DEFAULT_SHED_FRACTIONS`).
+    priority: int = 1
 
     @property
-    def edf_key(self) -> tuple[float, float]:
-        """Earliest-deadline-first sort key (deadline, then FIFO age);
-        deadline-free requests sort after every deadlined one."""
-        return (self.deadline_at if self.deadline_at is not None
+    def edf_key(self) -> tuple[float, float, float]:
+        """Batch-forming sort key: priority class first (higher
+        classes dispatch ahead of lower ones), then earliest deadline,
+        then FIFO age; deadline-free requests sort after every
+        deadlined one of their class."""
+        return (-self.priority,
+                self.deadline_at if self.deadline_at is not None
                 else math.inf, self.handle.submitted_at)
 
 
@@ -170,8 +189,14 @@ class DecodeSession:
                  faults: "object | None" = None,
                  default_deadline_ms: float | None = None,
                  speculative: str | None = None,
+                 shed_fractions: "dict[int, float] | None" = None,
                  pump: bool = True) -> None:
         """Build queue, decoder and (unless ``pump=False``) the pump.
+
+        *shed_fractions* maps priority classes to the share of the
+        queue each may fill (weighted shedding; default
+        :data:`DEFAULT_SHED_FRACTIONS`).  Classes absent from the map
+        admit into the full capacity.
 
         *max_batch* caps one dispatched batch; *max_delay_ms* bounds how
         long the oldest pending request may wait for the batch to fill.
@@ -201,6 +226,14 @@ class DecodeSession:
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
         self.default_deadline_ms = default_deadline_ms
+        self.shed_fractions = dict(DEFAULT_SHED_FRACTIONS
+                                   if shed_fractions is None
+                                   else shed_fractions)
+        for priority, fraction in self.shed_fractions.items():
+            if not 0.0 < fraction <= 1.0:
+                raise ServiceError(
+                    f"shed fraction for priority {priority} must be in "
+                    f"(0, 1], got {fraction}")
         self.queue = SubmissionQueue(capacity=queue_capacity)
         decoder_kwargs = {}
         if shm_min_bytes is not None:
@@ -276,6 +309,11 @@ class DecodeSession:
         if req.deadline_ms is not None and req.deadline_ms <= 0:
             raise ServiceError(
                 f"deadline_ms must be positive, got {req.deadline_ms}")
+        if not isinstance(req.priority, int) or isinstance(req.priority, bool) \
+                or req.priority < 0:
+            raise ServiceError(
+                f"priority must be a non-negative integer, "
+                f"got {req.priority!r}")
         if req.request_id is None:
             with self._id_lock:
                 assigned = self._next_id
@@ -284,8 +322,20 @@ class DecodeSession:
         handle = DecodeHandle(req.request_id)
         deadline_at = (handle.submitted_at + req.deadline_ms / 1e3
                        if req.deadline_ms is not None else None)
-        self.queue.put(_Entry(request=req, handle=handle,
-                              deadline_at=deadline_at), timeout=timeout)
+        # ceil, so a fraction never shrinks a tiny queue below what an
+        # unweighted session would admit (0.9 of capacity 2 is still 2).
+        fraction = self.shed_fractions.get(req.priority)
+        limit = (None if fraction is None
+                 else max(1, math.ceil(self.queue.capacity * fraction)))
+        try:
+            self.queue.put(_Entry(request=req, handle=handle,
+                                  deadline_at=deadline_at,
+                                  priority=req.priority),
+                           timeout=timeout, limit=limit)
+        except QueueFullError:
+            with self._stats_lock:
+                self.stats.record_shed(req.priority)
+            raise
         return handle
 
     # -- the pump -------------------------------------------------------
@@ -405,7 +455,9 @@ class DecodeSession:
                                    if not r.ok and r.infra_failure),
                 pool_rebuilds=self.decoder.rebuilds)
             if batch.schedule is not None and self.decoder.scheduler is not None:
-                self.decoder.scheduler.observe(batch.schedule, batch.results)
+                self.decoder.scheduler.observe(
+                    batch.schedule, batch.results,
+                    lane_failures=batch.lane_failures)
                 self.stats.record_schedule(batch.schedule, batch.results,
                                            lane_pools=batch.lane_pools)
         for entry, result in zip(entries, batch.results):
@@ -434,9 +486,31 @@ class DecodeSession:
 
     # -- observability --------------------------------------------------
 
+    def retry_after_s(self) -> int:
+        """Suggested client back-off in whole seconds, scaled to the
+        current backlog: pending requests over the observed service
+        rate (images/s), clamped to [1, 30].  Before any batch has
+        completed the rate is unknown and the estimate assumes one
+        ``max_batch`` drains per second.  This is what HTTP 429/503/504
+        responses put in ``Retry-After``."""
+        backlog = self.pending
+        with self._stats_lock:
+            rate = self.stats.images_per_sec
+        if rate <= 0:
+            rate = float(self.max_batch)
+        return int(min(30, max(1, math.ceil(backlog / rate))))
+
     def stats_snapshot(self) -> dict:
         """JSON-ready snapshot of the running service statistics plus
-        queue occupancy and (when scheduled) per-lane feedback state."""
+        queue occupancy, (when scheduled) per-lane feedback state, and
+        (when sharded) per-host link health."""
+        registry = self.decoder.registry
+        if registry is not None and hasattr(registry, "hosts_snapshot"):
+            scheduler = self.decoder.scheduler
+            hosts = registry.hosts_snapshot(
+                scheduler.breakers if scheduler is not None else None)
+            with self._stats_lock:
+                self.stats.record_hosts(hosts)
         with self._stats_lock:
             snap = self.stats.as_dict()
         snap["pending"] = len(self.queue)

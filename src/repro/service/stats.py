@@ -181,6 +181,13 @@ class ServiceStats:
     infra_failures: int = 0
     deadline_expired: int = 0
     pool_rebuilds: int = 0
+    #: Requests refused at admission by weighted load shedding, counted
+    #: per priority class (fills under overload; empty otherwise).
+    shed_by_priority: dict = field(default_factory=dict)
+    #: Sharded serving only: latest per-host link health snapshot
+    #: (endpoint, in-flight depth, bytes over TCP, breaker state) —
+    #: the distributed mirror of :attr:`per_executor`.
+    per_host: dict = field(default_factory=dict)
     _latencies_s: deque = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
 
@@ -209,6 +216,16 @@ class ServiceStats:
         self.deadline_expired += deadline_expired
         if pool_rebuilds is not None:
             self.pool_rebuilds = pool_rebuilds
+
+    def record_shed(self, priority: int) -> None:
+        """Count one request refused at admission by weighted shedding."""
+        self.shed_by_priority[priority] = \
+            self.shed_by_priority.get(priority, 0) + 1
+
+    def record_hosts(self, hosts: dict) -> None:
+        """Replace the per-host link snapshot (sharded serving; the
+        counters inside are cumulative on the host links themselves)."""
+        self.per_host = dict(hosts)
 
     def record_schedule(self, schedule, results,
                         lane_pools: dict | None = None) -> None:
@@ -287,7 +304,13 @@ class ServiceStats:
                 "infra_failures": self.infra_failures,
                 "deadline_expired": self.deadline_expired,
                 "pool_rebuilds": self.pool_rebuilds,
+                "shed_by_priority": {
+                    str(priority): count for priority, count
+                    in sorted(self.shed_by_priority.items())
+                },
             },
+            "per_host": {name: dict(entry) for name, entry
+                         in sorted(self.per_host.items())},
             "per_executor": {
                 name: {
                     "images": u.images,
@@ -329,4 +352,16 @@ class ServiceStats:
                      f"{self.infra_failures} infra failures, "
                      f"{self.deadline_expired} deadline-expired, "
                      f"{self.pool_rebuilds} pool rebuilds")
+        if self.shed_by_priority:
+            shed = " ".join(
+                f"p{priority}={count}" for priority, count
+                in sorted(self.shed_by_priority.items()))
+            text += f"\nshed by priority: {shed}"
+        if self.per_host:
+            hosts = " ".join(
+                f"{entry.get('endpoint', name)}"
+                f"[{entry.get('breaker', '?')}]"
+                f"={entry.get('requests', 0)}"
+                for name, entry in sorted(self.per_host.items()))
+            text += f"\nhosts: {hosts}"
         return text

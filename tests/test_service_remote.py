@@ -1,0 +1,645 @@
+"""Sharded serving (PR 9): the length-prefixed wire protocol, the TCP
+worker host, remote lane pools with bounded in-flight depth, the
+sharded front tier's bit-identity / failover / breaker-canary
+contracts (including a SIGKILL'd subprocess host), priority-class
+weighted shedding and backlog-scaled ``Retry-After``."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    QueueFullError,
+    RemoteHostError,
+    RemoteProtocolError,
+    ServiceClosedError,
+    ServiceError,
+    WorkerCrashError,
+)
+from repro.jpeg import EncoderSettings, decode_jpeg, encode_jpeg
+from repro.service import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    DecodeHTTPServer,
+    DecodeSession,
+    DecodeWorkerHost,
+    FaultDirective,
+    ImageRequest,
+    LaneBreakerBoard,
+    RemoteLanePool,
+    ShardedDecodeSession,
+    parse_hosts,
+    parse_priority,
+    remote_executors,
+)
+from repro.service.batch import ImageResult, decode_image_task
+from repro.service.remote import (
+    MAX_HEADER_BYTES,
+    decode_request,
+    decode_result,
+    encode_request,
+    encode_result,
+    frame_nbytes,
+    recv_frame,
+    send_frame,
+)
+from repro.service.stats import WorkSpan
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def shm_files(prefix: str = "repro-") -> list[str]:
+    """Residual /dev/shm entries created by this subsystem."""
+    try:
+        return sorted(f for f in os.listdir("/dev/shm")
+                      if f.startswith(prefix))
+    except FileNotFoundError:  # non-Linux: nothing to check
+        return []
+
+
+@contextmanager
+def running_host(port: int = 0, **session_kwargs):
+    """An in-process :class:`DecodeWorkerHost` with its accept loop
+    running on a daemon thread."""
+    session_kwargs.setdefault("backend", "serial")
+    host = DecodeWorkerHost(port=port, **session_kwargs)
+    thread = threading.Thread(target=host.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield host
+    finally:
+        host.close()
+        thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def blob(small_rgb):
+    return encode_jpeg(small_rgb, EncoderSettings(
+        quality=85, subsampling="4:2:2"))
+
+
+@pytest.fixture(scope="module")
+def oracle(blob):
+    return decode_jpeg(blob).rgb
+
+
+# ---------------------------------------------------------------------------
+# Wire framing.
+# ---------------------------------------------------------------------------
+
+class TestFraming:
+    def test_roundtrip_and_exact_byte_accounting(self):
+        a, b = socket.socketpair()
+        try:
+            header = {"op": "decode", "n": 7}
+            blobs = [b"\x00\x01\x02", b"", b"payload"]
+            sent = send_frame(a, header, blobs)
+            assert sent == frame_nbytes(header, blobs)
+            got_header, got_blobs = recv_frame(b)
+            assert got_header == header
+            assert got_blobs == blobs
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises_protocol_error(self):
+        a, b = socket.socketpair()
+        try:
+            payload = json.dumps({"op": "ping"}).encode()
+            a.sendall(struct.pack(">I", len(payload)) + payload[:3])
+            a.close()
+            with pytest.raises(RemoteProtocolError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_header_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_HEADER_BYTES + 1))
+            with pytest.raises(RemoteProtocolError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+# ---------------------------------------------------------------------------
+# Request / result codecs.
+# ---------------------------------------------------------------------------
+
+class TestCodecs:
+    def test_request_roundtrip(self, blob):
+        req = ImageRequest(data=blob, request_id="img-1", salvage=True,
+                           priority=PRIORITY_HIGH, entropy_engine="fast")
+        rebuilt = decode_request(*encode_request(req))
+        assert bytes(rebuilt.data) == bytes(blob)
+        assert rebuilt.request_id == "img-1"
+        assert rebuilt.salvage is True
+        assert rebuilt.priority == PRIORITY_HIGH
+        assert rebuilt.entropy_engine == "fast"
+
+    def test_non_scalar_request_id_stringified(self, blob):
+        req = ImageRequest(data=blob, request_id=("batch", 3))
+        rebuilt = decode_request(*encode_request(req))
+        assert rebuilt.request_id == str(("batch", 3))
+
+    def test_request_without_blob_rejected(self):
+        with pytest.raises(RemoteProtocolError):
+            decode_request({"op": "decode", "request": {}}, [])
+
+    def test_ok_result_roundtrip_bit_identical(self, oracle):
+        result = ImageResult(
+            request_id=5, ok=True, rgb=oracle.copy(),
+            width=oracle.shape[1], height=oracle.shape[0],
+            wall_us=1234.5, attempts=1)
+        result.spans = [WorkSpan(worker="w0", started=0.5, finished=1.5)]
+        rebuilt = decode_result(*encode_result(result))
+        assert rebuilt.ok
+        assert np.array_equal(rebuilt.rgb, oracle)
+        assert rebuilt.wall_us == 1234.5
+        assert rebuilt.spans == result.spans
+
+    def test_error_result_roundtrip(self):
+        result = ImageResult(request_id="bad", ok=False,
+                             error_type="CorruptBitstreamError",
+                             error="truncated scan", attempts=3,
+                             infra_failure=False)
+        rebuilt = decode_result(*encode_result(result))
+        assert not rebuilt.ok
+        assert rebuilt.rgb is None
+        assert rebuilt.error_type == "CorruptBitstreamError"
+        assert rebuilt.error == "truncated scan"
+        assert rebuilt.attempts == 3
+
+    def test_salvage_error_regions_roundtrip(self, oracle):
+        regions = np.zeros(oracle.shape[:2], dtype=bool)
+        regions[4:, :] = True
+        result = ImageResult(request_id=0, ok=True, rgb=oracle.copy(),
+                             salvaged=True)
+        result.error_regions = regions
+        result.salvage_errors = ["marker lost at MCU 12"]
+        rebuilt = decode_result(*encode_result(result))
+        assert rebuilt.salvaged
+        assert np.array_equal(rebuilt.error_regions, regions)
+        assert rebuilt.salvage_errors == ["marker lost at MCU 12"]
+
+
+# ---------------------------------------------------------------------------
+# Host endpoint parsing.
+# ---------------------------------------------------------------------------
+
+class TestParseHosts:
+    def test_string_and_pairs(self):
+        assert parse_hosts("a:1, b:2,") == [("a", 1), ("b", 2)]
+        assert parse_hosts([("a", 1), "b:2"]) == [("a", 1), ("b", 2)]
+
+    def test_invalid(self):
+        with pytest.raises(ServiceError):
+            parse_hosts("")
+        with pytest.raises(ServiceError):
+            parse_hosts("nocolon")
+        with pytest.raises(ServiceError):
+            parse_hosts("a:notaport")
+
+    def test_duplicate_hosts_rejected(self):
+        with pytest.raises(ServiceError):
+            remote_executors("a:1,a:1")
+
+
+# ---------------------------------------------------------------------------
+# The worker host, spoken to over a raw socket.
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def worker_host():
+    with running_host() as host:
+        yield host
+
+
+def _connect(host: DecodeWorkerHost) -> socket.socket:
+    return socket.create_connection((host.host, host.port), timeout=10)
+
+
+class TestDecodeWorkerHost:
+    def test_ping_and_stats_ops(self, worker_host):
+        with _connect(worker_host) as sock:
+            send_frame(sock, {"op": "ping"})
+            reply, _ = recv_frame(sock)
+            assert reply["op"] == "pong"
+            send_frame(sock, {"op": "stats"})
+            reply, _ = recv_frame(sock)
+            assert reply["op"] == "stats"
+            assert "batches" in reply["stats"]
+
+    def test_decode_bit_identical(self, worker_host, blob, oracle):
+        with _connect(worker_host) as sock:
+            req = ImageRequest(data=blob, request_id=1)
+            send_frame(sock, *encode_request(req))
+            reply, blobs = recv_frame(sock)
+            result = decode_result(reply, blobs)
+        assert result.ok
+        assert np.array_equal(result.rgb, oracle)
+        assert worker_host.requests == 1
+        assert worker_host.bytes_rx > len(blob)
+        assert worker_host.bytes_tx > oracle.nbytes
+
+    def test_unknown_op_answers_error_and_connection_survives(
+            self, worker_host):
+        with _connect(worker_host) as sock:
+            send_frame(sock, {"op": "bogus"})
+            reply, _ = recv_frame(sock)
+            assert reply["op"] == "error"
+            assert "bogus" in reply["error"]
+            send_frame(sock, {"op": "ping"})
+            reply, _ = recv_frame(sock)
+            assert reply["op"] == "pong"
+
+    def test_decode_error_travels_as_result(self, worker_host):
+        with _connect(worker_host) as sock:
+            req = ImageRequest(data=b"not a jpeg", request_id=9)
+            send_frame(sock, *encode_request(req))
+            reply, blobs = recv_frame(sock)
+            result = decode_result(reply, blobs)
+        assert not result.ok
+        assert result.error_type
+        assert result.request_id == 9
+
+
+# ---------------------------------------------------------------------------
+# Remote lane pools.
+# ---------------------------------------------------------------------------
+
+class TestRemoteLanePool:
+    def test_submit_roundtrip_and_counters(self, worker_host, blob, oracle):
+        with RemoteLanePool(worker_host.host, worker_host.port,
+                            depth=2) as pool:
+            future = pool.submit(decode_image_task,
+                                 ImageRequest(data=blob, request_id=0),
+                                 None, None)
+            result = future.result(timeout=60)
+            assert result.ok
+            assert np.array_equal(result.rgb, oracle)
+            assert result.spans, "host spans must survive the wire"
+            assert all(s.worker.startswith(pool.endpoint)
+                       for s in result.spans)
+            snap = pool.snapshot()
+            assert snap["requests"] == 1
+            assert snap["failures"] == 0
+            assert snap["in_flight"] == 0
+            assert snap["bytes_tx"] > len(blob)
+            assert snap["bytes_rx"] > oracle.nbytes
+
+    def test_rejects_foreign_task_functions(self, blob):
+        pool = RemoteLanePool("127.0.0.1", 1, depth=1)
+        try:
+            with pytest.raises(ServiceError):
+                pool.submit(len, ImageRequest(data=blob), None, None)
+            with pytest.raises(ServiceError):
+                pool.submit(decode_image_task, ImageRequest(data=blob),
+                            "slot-0", None)
+        finally:
+            pool.close()
+
+    def test_connection_refused_is_remote_host_error(self, blob):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here now
+        with RemoteLanePool("127.0.0.1", port, depth=1,
+                            connect_timeout_s=2.0) as pool:
+            future = pool.submit(decode_image_task,
+                                 ImageRequest(data=blob), None, None)
+            with pytest.raises(RemoteHostError):
+                future.result(timeout=30)
+            assert pool.snapshot()["failures"] == 1
+
+    def test_client_side_fault_injection(self, worker_host, blob):
+        with RemoteLanePool(worker_host.host, worker_host.port,
+                            depth=1) as pool:
+            kill = pool.submit(decode_image_task, ImageRequest(data=blob),
+                               None, FaultDirective(kind="kill"))
+            with pytest.raises(WorkerCrashError):
+                kill.result(timeout=30)
+            boom = pool.submit(
+                decode_image_task, ImageRequest(data=blob, request_id=4),
+                None, FaultDirective(kind="exception", message="chaos"))
+            result = boom.result(timeout=30)
+            assert not result.ok
+            assert result.error_type == "RuntimeError"
+            assert result.error == "chaos"
+
+    def test_closed_pool_refuses_submits(self, blob):
+        pool = RemoteLanePool("127.0.0.1", 1, depth=1)
+        pool.close()
+        with pytest.raises(ServiceClosedError):
+            pool.submit(decode_image_task, ImageRequest(data=blob),
+                        None, None)
+
+
+# ---------------------------------------------------------------------------
+# The sharded front tier.
+# ---------------------------------------------------------------------------
+
+class TestShardedSession:
+    def test_two_hosts_bit_identical_and_both_served(self, blob, oracle):
+        with running_host() as h1, running_host() as h2:
+            session = ShardedDecodeSession(
+                hosts=[(h1.host, h1.port), (h2.host, h2.port)],
+                policy="roundrobin", max_batch=8, pump=False)
+            try:
+                handles = [session.submit(blob) for _ in range(8)]
+                session.run_once()
+                for handle in handles:
+                    result = handle.result(timeout=60)
+                    assert result.ok
+                    assert np.array_equal(result.rgb, oracle)
+                assert h1.requests > 0 and h2.requests > 0
+                assert h1.requests + h2.requests == 8
+            finally:
+                session.close(drain=False)
+
+    def test_per_host_stats_section(self, blob):
+        with running_host() as host:
+            session = ShardedDecodeSession(
+                hosts=[(host.host, host.port)],
+                breakers=LaneBreakerBoard(), pump=False)
+            try:
+                session.submit(blob)
+                session.run_once()
+                snapshot = session.stats_snapshot()
+            finally:
+                session.close(drain=False)
+        (entry,) = snapshot["per_host"].values()
+        assert entry["endpoint"] == f"{host.host}:{host.port}"
+        assert entry["requests"] == 1
+        assert entry["breaker"] == "closed"
+        assert entry["bytes_tx"] > 0
+
+    def test_dead_host_fails_over_and_trips_breaker(self, blob, oracle):
+        dead = DecodeWorkerHost(port=0, backend="serial")
+        dead_port = dead.port
+        dead.close()  # breaker target: nothing listens here
+        with running_host() as alive:
+            breakers = LaneBreakerBoard(threshold=2, cooldown_s=60.0)
+            session = ShardedDecodeSession(
+                hosts=[(alive.host, alive.port), ("127.0.0.1", dead_port)],
+                policy="roundrobin", breakers=breakers,
+                connect_timeout_s=2.0, max_batch=8, pump=False)
+            try:
+                handles = [session.submit(blob) for _ in range(8)]
+                batch = session.run_once()
+                results = [h.result(timeout=60) for h in handles]
+                assert all(r.ok for r in results)
+                assert all(np.array_equal(r.rgb, oracle) for r in results)
+                assert any(r.failed_over for r in results)
+                dead_lane = f"remote-127.0.0.1:{dead_port}"
+                assert batch.lane_failures.get(dead_lane, 0) > 0
+                assert breakers.state(dead_lane) == "open"
+                per_host = session.stats_snapshot()["per_host"]
+                assert per_host[dead_lane]["failures"] > 0
+                assert per_host[dead_lane]["breaker"] == "open"
+            finally:
+                session.close(drain=False)
+
+    def test_half_open_canary_readmits_restarted_host(self, blob, oracle):
+        victim = DecodeWorkerHost(port=0, backend="serial")
+        port = victim.port
+        victim.close()
+        with running_host() as alive:
+            breakers = LaneBreakerBoard(threshold=1, cooldown_s=0.2)
+            session = ShardedDecodeSession(
+                hosts=[(alive.host, alive.port), ("127.0.0.1", port)],
+                policy="roundrobin", breakers=breakers,
+                connect_timeout_s=2.0, max_batch=4, pump=False)
+            try:
+                handles = [session.submit(blob) for _ in range(4)]
+                session.run_once()
+                assert all(h.result(timeout=60).ok for h in handles)
+                lane = f"remote-127.0.0.1:{port}"
+                assert breakers.state(lane) == "open"
+
+                with running_host(port=port) as revived:
+                    time.sleep(0.3)  # past the cooldown: probe half-opens
+                    for _ in range(3):
+                        handles = [session.submit(blob) for _ in range(4)]
+                        session.run_once()
+                        assert all(h.result(timeout=60).ok
+                                   for h in handles)
+                    assert breakers.state(lane) == "closed"
+                    assert revived.requests > 0
+            finally:
+                session.close(drain=False)
+
+
+# ---------------------------------------------------------------------------
+# Kill a real host process mid-batch.
+# ---------------------------------------------------------------------------
+
+def _spawn_worker(port: int = 0) -> tuple[subprocess.Popen, int]:
+    """Start ``repro serve-worker`` as a subprocess; return it and the
+    bound port parsed from its startup line."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve-worker", "--port", str(port),
+         "--backend", "serial"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    line = proc.stdout.readline()
+    match = re.search(r"listening on [\d.]+:(\d+)", line)
+    assert match, f"no listening line from serve-worker: {line!r}"
+    return proc, int(match.group(1))
+
+
+class TestKillHostMidBatch:
+    def test_sigkill_recovery_and_canary_readmission(self, blob, oracle):
+        victim, victim_port = _spawn_worker()
+        survivor, survivor_port = _spawn_worker()
+        breakers = LaneBreakerBoard(threshold=1, cooldown_s=0.2)
+        session = ShardedDecodeSession(
+            hosts=f"127.0.0.1:{victim_port},127.0.0.1:{survivor_port}",
+            policy="roundrobin", breakers=breakers,
+            connect_timeout_s=2.0, request_timeout_s=30.0,
+            max_batch=8, pump=False)
+        restarted = None
+        victim_lane = f"remote-127.0.0.1:{victim_port}"
+        try:
+            handles = [session.submit(blob) for _ in range(8)]
+            # SIGKILL the victim mid-batch: whether the kill lands
+            # before or during its dispatches, every image must still
+            # come back ok (failover onto the survivor) and the
+            # victim's breaker must trip.
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=10)
+            batch = session.run_once()
+            results = [h.result(timeout=60) for h in handles]
+            assert all(r.ok for r in results)
+            assert all(np.array_equal(r.rgb, oracle) for r in results)
+            assert breakers.state(victim_lane) == "open"
+            assert batch.lane_failures.get(victim_lane, 0) > 0
+
+            # Restart on the same port; the half-open canary re-admits.
+            restarted, _ = _spawn_worker(port=victim_port)
+            time.sleep(0.3)
+            for _ in range(3):
+                handles = [session.submit(blob) for _ in range(4)]
+                session.run_once()
+                assert all(h.result(timeout=60).ok for h in handles)
+            assert breakers.state(victim_lane) == "closed"
+        finally:
+            session.close(drain=False)
+            for proc in (victim, survivor, restarted):
+                if proc is None:
+                    continue
+                if proc.poll() is None:
+                    proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10)
+                proc.stdout.close()
+        assert shm_files() == []
+
+
+# ---------------------------------------------------------------------------
+# Priority classes and weighted shedding.
+# ---------------------------------------------------------------------------
+
+class TestPriority:
+    def test_parse_priority(self):
+        assert parse_priority("low") == PRIORITY_LOW
+        assert parse_priority("NORMAL") == PRIORITY_NORMAL
+        assert parse_priority("high") == PRIORITY_HIGH
+        assert parse_priority("2") == 2
+        assert parse_priority(7) == 7
+        for bad in ("urgent", "-1", -1, 1.5, True, None):
+            with pytest.raises(ServiceError):
+                parse_priority(bad)
+
+    def test_weighted_shedding_by_class(self, blob):
+        session = DecodeSession(queue_capacity=10, pump=False)
+        try:
+            def fill(priority: int) -> int:
+                admitted = 0
+                while True:
+                    try:
+                        session.submit(ImageRequest(data=blob,
+                                                    priority=priority))
+                    except QueueFullError:
+                        return admitted
+                    admitted += 1
+
+            # Low sees half the queue, normal 90%, high all of it.
+            assert fill(PRIORITY_LOW) == 5
+            assert fill(PRIORITY_NORMAL) == 4   # up to 9 total
+            assert fill(PRIORITY_HIGH) == 1     # up to 10 total
+            shed = session.stats_snapshot()["faults"]["shed_by_priority"]
+            assert shed == {"0": 1, "1": 1, "2": 1}
+        finally:
+            session.close(drain=False)
+
+    def test_high_priority_dispatches_first(self, blob):
+        session = DecodeSession(max_batch=3, pump=False)
+        try:
+            session.submit(ImageRequest(data=blob, request_id="low",
+                                        priority=PRIORITY_LOW))
+            session.submit(ImageRequest(data=blob, request_id="high",
+                                        priority=PRIORITY_HIGH))
+            session.submit(ImageRequest(data=blob, request_id="normal",
+                                        priority=PRIORITY_NORMAL))
+            batch = session.run_once()
+            order = [r.request_id for r in batch.results]
+            assert order == ["high", "normal", "low"]
+        finally:
+            session.close(drain=False)
+
+    def test_invalid_priority_rejected_at_submit(self, blob):
+        with DecodeSession(pump=False) as session:
+            with pytest.raises(ServiceError):
+                session.submit(ImageRequest(data=blob, priority=-2))
+            with pytest.raises(ServiceError):
+                session.submit(ImageRequest(data=blob, priority=True))
+
+
+# ---------------------------------------------------------------------------
+# HTTP: X-Priority and backlog-scaled Retry-After.
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def serving(server: DecodeHTTPServer):
+    """Run *server*'s accept loop on a daemon thread for the block."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=30)
+        server.close()
+
+
+class TestHTTPPriorityAndRetryAfter:
+    def test_x_priority_accepted_and_invalid_rejected(self, blob):
+        with serving(DecodeHTTPServer(port=0, backend="serial")) as server:
+            req = urllib.request.Request(
+                server.url + "/decode", data=blob,
+                headers={"X-Priority": "high"})
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                assert resp.status == 200
+            bad = urllib.request.Request(
+                server.url + "/decode", data=blob,
+                headers={"X-Priority": "urgent"})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(bad, timeout=30)
+            assert excinfo.value.code == 400
+            assert "X-Priority" in json.loads(
+                excinfo.value.read())["error"]
+
+    def test_retry_after_scales_with_backlog(self, blob):
+        session = DecodeSession(queue_capacity=4, max_batch=2, pump=False)
+        try:
+            assert session.retry_after_s() == 1  # empty: floor
+            with serving(DecodeHTTPServer(session=session,
+                                          port=0)) as server:
+                for _ in range(4):
+                    session.submit(ImageRequest(data=blob,
+                                                priority=PRIORITY_HIGH))
+                req = urllib.request.Request(server.url + "/decode",
+                                             data=blob)
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(req, timeout=30)
+                assert excinfo.value.code == 429
+                retry_after = int(excinfo.value.headers["Retry-After"])
+                assert 1 <= retry_after <= 30
+                # 4 pending at a nominal max_batch=2 img/s floor: the
+                # hint must exceed the empty-queue floor.
+                assert retry_after >= 2
+        finally:
+            session.close(drain=False)
