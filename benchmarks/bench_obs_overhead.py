@@ -1,0 +1,164 @@
+"""S9 — observability overhead: tracing off / sampled / on vs an
+unobserved control.
+
+Re-runs the S1-style throughput loop through a :class:`DecodeSession`
+under the four trace modes.  The contract the PR 10 layer makes is
+that observability is *off the hot path*: with ``tracing="off"`` the
+only added work per request is one ``is None`` check and one histogram
+observe, so S1-style throughput must stay within
+``TRACE_OVERHEAD_MAX_RATIO`` (default 3%) of the ``unobserved``
+control arm, which skips even the latency histogram.
+
+The sampled and full-tracing arms are reported for scale (they pay for
+span records, the trace store, and — full tracing — per-stage decode
+hooks) but carry no floor: their cost is the price of the feature, not
+overhead on users who did not ask for it.
+
+Reconciliation: the deterministic 1-in-N counter sampler (not a PRNG)
+lets span counts reconcile *exactly* — ``traces == ceil(images / N)``
+for the sampled arm, ``traces == images`` for the full arm, and every
+started trace must have produced at least the request-level span.
+"""
+
+import math
+from time import perf_counter
+
+import numpy as np
+
+from repro.data import synthetic_photo
+from repro.evaluation import format_table
+from repro.jpeg import EncoderSettings, decode_jpeg, encode_jpeg
+from repro.service import DecodeSession
+from repro.service.obs import TRACE_OVERHEAD_ENV, trace_overhead_budget
+
+from common import write_result
+
+#: (seed, width, height, subsampling, restart_interval)
+CORPUS = (
+    (11, 320, 240, "4:2:2", 0),
+    (12, 320, 240, "4:2:2", 8),
+    (13, 256, 256, "4:4:4", 0),
+    (14, 256, 256, "4:4:4", 8),
+    (15, 384, 256, "4:2:2", 0),
+    (16, 384, 256, "4:2:2", 0),
+    (17, 320, 320, "4:4:4", 0),
+    (18, 320, 320, "4:2:2", 8),
+)
+
+ROUNDS = 4          # corpus passes per timed repetition
+REPEATS = 3         # best-of repetitions per arm
+SAMPLE_RATE = 0.1   # the "sampled" arm's 1-in-10 gate
+
+#: The four arms, in reporting order.  ``unobserved`` is the control.
+ARMS = ("unobserved", "off", "sample", "on")
+
+
+def build_corpus() -> list[bytes]:
+    """Encode the eight-image synthetic corpus."""
+    blobs = []
+    for seed, w, h, sub, dri in CORPUS:
+        rgb = synthetic_photo(h, w, seed=seed, detail=0.6)
+        blobs.append(encode_jpeg(rgb, EncoderSettings(
+            quality=85, subsampling=sub, restart_interval=dri)))
+    return blobs
+
+
+def time_arm(blobs: list[bytes], oracle: list[np.ndarray],
+             mode: str) -> tuple[float, dict]:
+    """Best-of-N images/sec for one trace mode, plus trace counters.
+
+    One long-lived session per arm (thread backend — no fork noise),
+    warm-up pass excluded from timing, first-round outputs checked
+    bit-identical to the sequential oracle.  Counters are read after
+    the timed reps so the reconciliation covers every decoded image.
+    """
+    session = DecodeSession(backend="thread", workers=2, max_batch=8,
+                            tracing=mode, trace_sample=SAMPLE_RATE,
+                            pump=False)
+    try:
+        warm = [session.submit(b) for b in blobs]
+        session.run_once()
+        for handle in warm:
+            assert handle.result(timeout=120).ok
+        best = float("inf")
+        decoded = 0
+        for rep in range(REPEATS):
+            t0 = perf_counter()
+            for _ in range(ROUNDS):
+                handles = [session.submit(b) for b in blobs]
+                session.run_once()
+                results = [h.result(timeout=120) for h in handles]
+                decoded += len(results)
+                if rep == 0:
+                    for idx, res in enumerate(results):
+                        assert res.ok, f"image {idx}: {res.error}"
+                        assert np.array_equal(res.rgb, oracle[idx]), (
+                            f"image {idx}: traced output differs from "
+                            f"sequential decode (mode={mode})")
+            best = min(best, perf_counter() - t0)
+        counters = dict(session.obs.counters())
+        counters["images"] = decoded + len(blobs)  # + warm-up pass
+    finally:
+        session.close(drain=False)
+    return (ROUNDS * len(blobs)) / best, counters
+
+
+def reconcile(mode: str, counters: dict) -> None:
+    """Span counts must reconcile exactly with decoded-image counts."""
+    images = counters["images"]
+    traces = counters["traces_started"]
+    if mode in ("unobserved", "off"):
+        assert traces == 0, (mode, counters)
+        assert counters["spans_recorded"] == 0, (mode, counters)
+        return
+    if mode == "on":
+        expected = images
+    else:  # deterministic 1-in-N counter gate over every submit
+        expected = math.ceil(images * SAMPLE_RATE)
+    assert traces == expected, (
+        f"{mode}: traces_started={traces}, expected exactly {expected} "
+        f"for {images} images (deterministic sampler)")
+    # Each started trace produced at least its request-level span.
+    assert counters["spans_recorded"] >= traces, counters
+
+
+def render() -> str:
+    """Run the four arms, assert the overhead floor, format the table."""
+    budget = trace_overhead_budget()
+    blobs = build_corpus()
+    oracle = [decode_jpeg(b).rgb for b in blobs]
+
+    throughput: dict[str, float] = {}
+    counters: dict[str, dict] = {}
+    for mode in ARMS:
+        throughput[mode], counters[mode] = time_arm(blobs, oracle, mode)
+        reconcile(mode, counters[mode])
+
+    control = throughput["unobserved"]
+    rows = []
+    for mode in ARMS:
+        ips = throughput[mode]
+        rows.append([mode, f"{ips:.2f}", f"{ips / control:.3f}x",
+                     f"{counters[mode]['traces_started']}",
+                     f"{counters[mode]['spans_recorded']}"])
+
+    ratio = throughput["off"] / control
+    assert ratio >= 1.0 - budget, (
+        f"tracing=off throughput is {(1.0 - ratio) * 100:.1f}% below the "
+        f"unobserved control — exceeds the {budget * 100:.0f}% budget "
+        f"({TRACE_OVERHEAD_ENV} tunes the floor)")
+    note = (f"off-mode overhead {(1.0 - min(ratio, 1.0)) * 100:.1f}% "
+            f"(budget {budget * 100:.0f}%); spans reconcile exactly")
+    return format_table(
+        ["Tracing", "img/s", "vs unobserved", "traces", "spans"], rows,
+        title=(f"S9: observability overhead, {len(blobs)}-image corpus x "
+               f"{ROUNDS} rounds, thread pool ({note})"))
+
+
+def test_obs_overhead():
+    """Pytest entry point: run the arms and persist the table."""
+    write_result("obs_overhead", render())
+
+
+if __name__ == "__main__":
+    write_result("obs_overhead", render())

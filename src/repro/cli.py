@@ -18,11 +18,23 @@ Commands mirror the workflows the library supports:
 - ``serve-worker --port N``    — one shard of the sharded serving tier:
   a decode session behind the length-prefixed TCP protocol the front
   tier's remote lanes speak
+- ``trace TRACE_ID``           — render one collected trace from a
+  ``--trace-log`` JSON-lines file as an ASCII Gantt + span tree (the
+  measured counterpart of the paper's Figure 5/8 timelines)
+- ``timeline --last N``        — render the N most recent traces from a
+  ``--trace-log`` file
+
+The serving commands (``serve``, ``serve-worker``, ``serve-batch``)
+share the tracing flags: ``--tracing off|on|sample`` gates per-request
+trace spans, ``--trace-sample`` sets the sampled fraction, and
+``--trace-log FILE`` appends every completed span as one JSON object
+per line (rotation-safe) for ``repro trace`` / ``repro timeline``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -173,7 +185,9 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                        lane_pools=lane_pools,
                        retry_budget=args.retry_budget,
                        default_deadline_ms=args.default_deadline_ms,
-                       speculative=args.speculative) as svc:
+                       speculative=args.speculative,
+                       tracing=args.tracing, trace_sample=args.trace_sample,
+                       trace_log=args.trace_log) as svc:
         print(f"serve-batch: {len(blobs)} inputs x{args.repeat}, "
               f"batch={args.batch_size}, queue={args.queue_capacity}, "
               f"{svc.decoder.pool.workers} x {svc.decoder.pool.backend} "
@@ -263,7 +277,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
             queue_capacity=args.queue_capacity,
             retry_budget=args.retry_budget,
-            default_deadline_ms=args.default_deadline_ms)
+            default_deadline_ms=args.default_deadline_ms,
+            tracing=args.tracing, trace_sample=args.trace_sample,
+            trace_log=args.trace_log)
         server = DecodeHTTPServer(session=session, host=args.host,
                                   port=args.port)
         print(f"serve: listening on {server.url} "
@@ -285,7 +301,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         else args.lane_pools),
             retry_budget=args.retry_budget,
             default_deadline_ms=args.default_deadline_ms,
-            speculative=args.speculative)
+            speculative=args.speculative,
+            tracing=args.tracing, trace_sample=args.trace_sample,
+            trace_log=args.trace_log)
         pool = server.session.decoder.pool
         print(f"serve: listening on {server.url} "
               f"(max_batch={args.max_batch}, "
@@ -299,7 +317,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                  if args.lane_pools != "none" else "")
               + ")", flush=True)
     print("endpoints: POST /decode (JPEG in, PPM out; ?format=json for "
-          "metadata), GET /stats, GET /healthz", flush=True)
+          "metadata), GET /stats, GET /metrics, GET /healthz", flush=True)
 
     # Graceful drain on SIGTERM/SIGINT: stop accepting connections,
     # decode everything already accepted, exit 0.  The handler must not
@@ -355,7 +373,9 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
         transport=args.transport,
         lane_pools=None if args.lane_pools == "none" else args.lane_pools,
         retry_budget=args.retry_budget,
-        speculative=args.speculative)
+        speculative=args.speculative,
+        tracing=args.tracing, trace_sample=args.trace_sample,
+        trace_log=args.trace_log)
     pool = host.session.decoder.pool
     print(f"serve-worker: listening on {host.endpoint} "
           f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms}ms, "
@@ -395,6 +415,83 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
         host.close()
         print(f"summary: {host.session.stats.format()}")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .service.obs import format_trace, read_trace_log
+
+    path = Path(args.trace_log)
+    if not path.exists():
+        print(f"no trace log at {path} (run a serving command with "
+              f"--trace-log {path})", file=sys.stderr)
+        return 2
+    traces = read_trace_log(path)
+    spans = traces.get(args.trace_id)
+    if not spans:
+        # Prefix match, so operators can paste a truncated id.
+        matches = [tid for tid in traces if tid.startswith(args.trace_id)]
+        if len(matches) == 1:
+            spans = traces[matches[0]]
+        elif matches:
+            print(f"ambiguous trace id {args.trace_id!r}: "
+                  + ", ".join(matches), file=sys.stderr)
+            return 2
+    if not spans:
+        print(f"trace {args.trace_id!r} not found in {path} "
+              f"({len(traces)} trace(s) logged)", file=sys.stderr)
+        return 2
+    _print_clipped(format_trace(spans[0].trace_id, spans,
+                                width=args.width))
+    return 0
+
+
+def _print_clipped(text: str) -> None:
+    """Print, tolerating a downstream pager/head closing the pipe."""
+    try:
+        print(text)
+    except BrokenPipeError:
+        # The reader (e.g. `| head`) closed stdout; silence the late
+        # flush at interpreter shutdown and stop emitting.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0)
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from .service.obs import format_trace, read_trace_log
+
+    path = Path(args.trace_log)
+    if not path.exists():
+        print(f"no trace log at {path} (run a serving command with "
+              f"--trace-log {path})", file=sys.stderr)
+        return 2
+    traces = read_trace_log(path)
+    if not traces:
+        print(f"{path} holds no complete spans yet", file=sys.stderr)
+        return 2
+    recent = list(traces.items())[-args.last:]
+    _print_clipped(f"{len(traces)} trace(s) in {path}; "
+                   f"showing last {len(recent)}")
+    for trace_id, spans in recent:
+        _print_clipped("\n" + format_trace(trace_id, spans,
+                                           width=args.width))
+    return 0
+
+
+def _add_tracing_args(p: argparse.ArgumentParser) -> None:
+    """The shared tracing flags of serve / serve-worker / serve-batch."""
+    p.add_argument("--tracing", default="off",
+                   choices=["off", "on", "sample"],
+                   help="per-request trace spans: 'on' traces every "
+                        "request, 'sample' a deterministic 1-in-N "
+                        "fraction (--trace-sample), 'off' keeps the "
+                        "no-op fast path (default)")
+    p.add_argument("--trace-sample", type=float, default=0.1,
+                   help="sampled fraction for --tracing sample "
+                        "(default: 0.1)")
+    p.add_argument("--trace-log", default=None,
+                   help="append completed spans to this JSON-lines file "
+                        "(one object per span, rotation-safe; feeds "
+                        "'repro trace' and 'repro timeline')")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -533,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="best-effort decode of corrupt streams: damaged "
                         "images resolve ok with an error-region map "
                         "instead of failing the request")
+    _add_tracing_args(p)
     p.set_defaults(func=_cmd_serve_batch)
 
     p = sub.add_parser(
@@ -596,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-depth", type=int, default=2,
                    help="bounded in-flight requests per worker host "
                         "(backpressure on placement; default: 2)")
+    _add_tracing_args(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -645,7 +744,34 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "on", "off"],
                    help="speculative chunk fan-out for marker-free "
                         "images (see serve-batch --speculative)")
+    _add_tracing_args(p)
     p.set_defaults(func=_cmd_serve_worker)
+
+    p = sub.add_parser(
+        "trace",
+        help="render one collected trace as an ASCII Gantt + span tree")
+    p.add_argument("trace_id",
+                   help="trace id (or unique prefix) from an X-Trace-Id "
+                        "response header or the trace log")
+    p.add_argument("--trace-log", default="traces.jsonl",
+                   help="JSON-lines span log a serving command wrote "
+                        "(default: traces.jsonl)")
+    p.add_argument("--width", type=int, default=78,
+                   help="Gantt chart width in characters (default: 78)")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "timeline",
+        help="render the most recent collected traces as ASCII Gantts")
+    p.add_argument("--last", type=int, default=5,
+                   help="how many of the most recent traces to render "
+                        "(default: 5)")
+    p.add_argument("--trace-log", default="traces.jsonl",
+                   help="JSON-lines span log a serving command wrote "
+                        "(default: traces.jsonl)")
+    p.add_argument("--width", type=int, default=78,
+                   help="Gantt chart width in characters (default: 78)")
+    p.set_defaults(func=_cmd_timeline)
 
     return parser
 

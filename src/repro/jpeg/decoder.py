@@ -15,6 +15,8 @@ all executors must produce bit-identical RGB output to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable
 
 import numpy as np
 
@@ -54,12 +56,21 @@ class DecodeOptions:
     coefficient decoded before the failure, renders the image anyway
     (undeocded blocks stay zero — mid-gray), and reports the damage in
     :attr:`DecodedImage.error_map` / :attr:`DecodedImage.errors`.
+
+    ``stage_hook``, when set, is called as ``hook(stage, t0, t1)`` with
+    ``perf_counter`` bounds at each pipeline stage boundary ("parse",
+    "entropy", "idct" — dequantize included — "upsample", "color").
+    This is the tracing tap of :mod:`repro.service.obs`; it is only
+    ever set in-process (never pickled) and costs a single ``None``
+    check per stage when unset.
     """
 
     idct_method: str = "aan"
     fancy_upsampling: bool = True
     entropy_engine: str = "fast"
     salvage: bool = False
+    stage_hook: Callable[[str, float, float], None] | None = field(
+        default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -177,20 +188,34 @@ class PostprocessingController:
     def process(self, planes: list[np.ndarray],
                 out_width: int, out_height: int) -> np.ndarray:
         """Upsample chroma to luma resolution, convert, crop to size."""
+        hook = self.options.stage_hook
         mode = self.geometry.mode
         y = planes[0][:out_height, :out_width]
         if len(planes) == 1:
-            return gray_to_rgb(y)
+            t0 = perf_counter() if hook else 0.0
+            rgb = gray_to_rgb(y)
+            if hook:
+                hook("color", t0, perf_counter())
+            return rgb
+        t0 = perf_counter() if hook else 0.0
         cb = upsample_plane(planes[1], mode, self.options.fancy_upsampling)
         cr = upsample_plane(planes[2], mode, self.options.fancy_upsampling)
         cb = cb[:out_height, :out_width]
         cr = cr[:out_height, :out_width]
+        if hook:
+            hook("upsample", t0, perf_counter())
+        t0 = perf_counter() if hook else 0.0
         if len(planes) == 3:
-            return ycbcr_to_rgb_float(y, cb, cr)
-        k = planes[3][:out_height, :out_width]
-        if self.adobe_transform == 2:
-            return ycck_to_rgb(y, cb, cr, k)
-        return cmyk_inverted_to_rgb(y, cb, cr, k)
+            rgb = ycbcr_to_rgb_float(y, cb, cr)
+        else:
+            k = planes[3][:out_height, :out_width]
+            if self.adobe_transform == 2:
+                rgb = ycck_to_rgb(y, cb, cr, k)
+            else:
+                rgb = cmyk_inverted_to_rgb(y, cb, cr, k)
+        if hook:
+            hook("color", t0, perf_counter())
+        return rgb
 
 
 def pixels_from_coefficients(
@@ -207,10 +232,12 @@ def pixels_from_coefficients(
     restart-segment-parallel entropy decoding).
     """
     options = options or DecodeOptions()
+    hook = options.stage_hook
     geo = info.geometry
     idct = IDCT_METHODS[options.idct_method]
     quants = quant_tables_from_info(info)
     planes = []
+    t0 = perf_counter() if hook else 0.0
     for comp, coefs, quant in zip(geo.components, coefficients.planes, quants):
         deq = dequantize_blocks(coefs, quant)
         samples = samples_from_idct(idct(deq))
@@ -218,6 +245,8 @@ def pixels_from_coefficients(
             blocks_to_plane(samples, comp.blocks_wide,
                             geo.mcu_rows * comp.v_factor)
         )
+    if hook:
+        hook("idct", t0, perf_counter())
     post = PostprocessingController(geo, options, info.adobe_transform)
     return post.process(planes, info.width, info.height)
 
@@ -227,6 +256,8 @@ def _decode_progressive(info: JpegImageInfo,
     """Whole-image progressive decode, optionally salvaging bad scans."""
     dec = ProgressiveDecoder(info)
     geo = dec.geometry
+    hook = options.stage_hook
+    t_entropy = perf_counter() if hook else 0.0
     errors: list[str] = list(info.parse_errors)
     error_map = None
     if options.salvage:
@@ -251,6 +282,8 @@ def _decode_progressive(info: JpegImageInfo,
             dec.scans_done += 1
     else:
         dec.decode()
+    if hook:
+        hook("entropy", t_entropy, perf_counter())
     rgb = pixels_from_coefficients(info, dec.coefficients, options)
     return DecodedImage(
         rgb=rgb,
@@ -266,6 +299,8 @@ def _decode_baseline_salvage(info: JpegImageInfo,
     """Row-at-a-time baseline decode keeping everything before a failure."""
     coef = CoefficientController(info, options)
     geo = coef.geometry
+    hook = options.stage_hook
+    t_entropy = perf_counter() if hook else 0.0
     error_map = np.zeros((geo.mcu_rows, geo.mcus_per_row), dtype=bool)
     errors: list[str] = list(info.parse_errors)
     try:
@@ -288,6 +323,8 @@ def _decode_baseline_salvage(info: JpegImageInfo,
                     first_bad = min(first_bad, i - 1)
                     break
             error_map[first_bad:, :] = True
+    if hook:
+        hook("entropy", t_entropy, perf_counter())
     rgb = pixels_from_coefficients(info, coef.entropy.coefficients, options)
     return DecodedImage(
         rgb=rgb,
@@ -308,9 +345,13 @@ def decode_jpeg(data: bytes, options: DecodeOptions | None = None) -> DecodedIma
     shared pixel stages.
     """
     options = options or DecodeOptions()
+    hook = options.stage_hook
     # Salvage parses tolerantly: a stream truncated mid-scan still
     # yields headers plus the partial entropy data to recover from.
+    t0 = perf_counter() if hook else 0.0
     info = parse_jpeg(data, tolerant=options.salvage)
+    if hook:
+        hook("parse", t0, perf_counter())
     if info.progressive:
         return _decode_progressive(info, options)
     if options.salvage:
@@ -318,7 +359,10 @@ def decode_jpeg(data: bytes, options: DecodeOptions | None = None) -> DecodedIma
     coef = CoefficientController(info, options)
 
     geo = coef.geometry
+    t0 = perf_counter() if hook else 0.0
     coef.decode_rows(geo.mcu_rows)
+    if hook:
+        hook("entropy", t0, perf_counter())
     rgb = pixels_from_coefficients(info, coef.entropy.coefficients, options)
     return DecodedImage(
         rgb=rgb,

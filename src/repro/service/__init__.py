@@ -53,6 +53,14 @@ points):
 - :class:`~repro.service.stats.BatchStats` /
   :class:`~repro.service.stats.ServiceStats` — latency percentiles,
   images/sec, worker utilization, per-lane placement totals
+- :mod:`~repro.service.obs` — the observability layer (PR 10):
+  :class:`~repro.service.obs.TraceContext` /
+  :class:`~repro.service.obs.SpanRecord` per-request trace spans
+  threaded submit → queue → scheduler → lane dispatch → worker stages
+  (and across the TCP wire into remote hosts),
+  :class:`~repro.service.obs.ObsHub` (sampler + trace store + JSON-lines
+  log + latency histogram) and
+  :func:`~repro.service.obs.render_prometheus` behind ``GET /metrics``
 
 CLI: ``repro serve`` (HTTP front end) and ``repro serve-batch``
 (pull-driven batch loop; ``--schedule model|roundrobin`` turns the
@@ -79,6 +87,20 @@ from .batch import (
 from .executors import ExecutorRegistry, parse_lane_pools
 from .faults import FaultDirective, FaultPlan, apply_dispatch_fault
 from .http import DecodeHTTPServer, ppm_bytes
+from .obs import (
+    TRACE_MODES,
+    ObsHub,
+    SpanRecord,
+    SpanRing,
+    TraceContext,
+    TraceLog,
+    TraceStore,
+    format_trace,
+    map_remote_spans,
+    read_trace_log,
+    render_prometheus,
+    spans_to_timeline,
+)
 from .queue import SubmissionQueue
 from .remote import (
     DecodeWorkerHost,
@@ -136,6 +158,7 @@ __all__ = [
     "ImageResult",
     "LaneBreakerBoard",
     "ModelScheduler",
+    "ObsHub",
     "PlaneArena",
     "PlaneRef",
     "RemoteLane",
@@ -143,19 +166,30 @@ __all__ = [
     "ServiceStats",
     "ShardRegistry",
     "ShardedDecodeSession",
+    "SpanRecord",
+    "SpanRing",
     "SubmissionQueue",
+    "TRACE_MODES",
     "ThroughputFeedback",
+    "TraceContext",
+    "TraceLog",
+    "TraceStore",
     "WorkerPool",
     "apply_dispatch_fault",
     "default_executors",
+    "format_trace",
+    "map_remote_spans",
     "parse_hosts",
     "parse_lane_pools",
     "parse_priority",
     "percentile",
     "ppm_bytes",
+    "read_trace_log",
     "remote_executors",
+    "render_prometheus",
     "resolve_transport",
     "schedule_lpt",
     "schedule_roundrobin",
     "shm_available",
+    "spans_to_timeline",
 ]

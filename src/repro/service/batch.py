@@ -75,6 +75,14 @@ from ..jpeg.speculative import (
     _sequential as _decode_sequential_prescanned,
 )
 from .faults import FaultDirective, FaultPlan, apply_dispatch_fault
+from .obs import (
+    SpanRecord,
+    TraceContext,
+    child_span,
+    drain_worker_spans,
+    make_span,
+    record_worker_span,
+)
 from .queue import SubmissionQueue
 from .scheduler import BatchSchedule, ModelScheduler
 from .stats import BatchStats, WorkSpan
@@ -173,6 +181,11 @@ class ImageRequest:
     #: :data:`repro.service.session.DEFAULT_SHED_FRACTIONS`) and batch
     #: forming orders higher classes first at equal deadlines.
     priority: int = PRIORITY_NORMAL
+    #: Tracing context (PR 10): set by ``DecodeSession.submit`` when
+    #: the request is sampled for tracing.  ``None`` (the default)
+    #: keeps every observability hook dormant — the entire tracing
+    #: layer hangs off this single attribute check.
+    trace: TraceContext | None = None
 
 
 @dataclass
@@ -237,6 +250,10 @@ class ImageResult:
     #: Canonical decode errors salvage mode recovered from (one per
     #: failed scan), empty otherwise.
     salvage_errors: list[str] = field(default_factory=list)
+    #: Trace spans for this image (PR 10): worker-side stage spans
+    #: shipped back piggybacked on the result, plus parent-side
+    #: schedule/attempt spans.  Empty when the request was not traced.
+    trace_spans: list[SpanRecord] = field(default_factory=list)
 
 
 @dataclass
@@ -282,6 +299,24 @@ class BatchResult:
 # them by reference).
 # ---------------------------------------------------------------------------
 
+#: Decoder stage name → Timeline glyph kind for worker stage spans.
+_STAGE_KINDS = {"parse": "dispatch", "entropy": "huffman",
+                "idct": "kernel", "upsample": "cpu-parallel",
+                "color": "cpu-parallel", "shm_publish": "write"}
+
+
+def _stage_recorder(ctx: TraceContext, resource: str):
+    """A :attr:`DecodeOptions.stage_hook` that records each decode
+    stage into this worker process's lock-free span ring (drained and
+    shipped back on the result by the task function)."""
+    def hook(stage: str, t0: float, t1: float) -> None:
+        """Record one completed decoder stage as a child span."""
+        record_worker_span(child_span(
+            ctx, stage, resource, _STAGE_KINDS.get(stage, "dispatch"),
+            t0, t1))
+    return hook
+
+
 def decode_image_task(request: ImageRequest,
                       slot: PlaneSlot | None = None,
                       fault: FaultDirective | None = None) -> ImageResult:
@@ -308,6 +343,8 @@ def decode_image_task(request: ImageRequest,
     """
     apply_dispatch_fault(fault)
     t0 = perf_counter()
+    ctx = request.trace
+    resource = worker_name()
     try:
         if fault is not None and fault.kind == "exception":
             raise RuntimeError(fault.message)
@@ -315,12 +352,15 @@ def decode_image_task(request: ImageRequest,
         error_regions = None
         salvage_errors: list[str] = []
         if request.mode == "reference":
-            decoded = decode_jpeg(request.data, DecodeOptions(
+            options = DecodeOptions(
                 idct_method=request.idct_method,
                 fancy_upsampling=request.fancy_upsampling,
                 entropy_engine=request.entropy_engine,
                 salvage=request.salvage,
-            ))
+            )
+            if ctx is not None:
+                options.stage_hook = _stage_recorder(ctx, resource)
+            decoded = decode_jpeg(request.data, options)
             rgb, simulated_us = decoded.rgb, None
             if request.salvage:
                 salvaged = decoded.salvaged
@@ -335,26 +375,44 @@ def decode_image_task(request: ImageRequest,
             decoder = HeterogeneousDecoder.for_platform(
                 plat, entropy_engine=request.entropy_engine,
                 fancy_upsampling=request.fancy_upsampling)
+            t_dec = perf_counter()
             result = decoder.decode(request.data, request.mode)
             rgb, simulated_us = result.rgb, result.total_us
+            if ctx is not None:
+                # Simulated-executor decodes have no per-stage hooks;
+                # one span covers the whole decode, tagged with the
+                # lane's mode so the Gantt still names the work.
+                record_worker_span(child_span(
+                    ctx, "decode", resource, "kernel",
+                    t_dec, perf_counter(), mode=str(request.mode),
+                    platform=str(request.platform)))
     except KeyError:
         return ImageResult(
             request_id=request.request_id, ok=False,
             error_type="KeyError",
             error=f"unknown platform {request.platform!r}",
-            spans=[WorkSpan(worker_name(), t0, perf_counter())])
+            spans=[WorkSpan(worker_name(), t0, perf_counter())],
+            trace_spans=(drain_worker_spans(ctx.trace_id)
+                         if ctx is not None else []))
     except Exception as exc:  # ANY failure stays on this image's result
         return ImageResult(
             request_id=request.request_id, ok=False,
             error_type=type(exc).__name__, error=str(exc),
-            spans=[WorkSpan(worker_name(), t0, perf_counter())])
+            spans=[WorkSpan(worker_name(), t0, perf_counter())],
+            trace_spans=(drain_worker_spans(ctx.trace_id)
+                         if ctx is not None else []))
     h, w = rgb.shape[:2]
     plane = None
     if slot is not None:
         try:
             if fault is not None and fault.kind == "shm_fail":
                 raise ServiceError(fault.message)
+            t_pub = perf_counter()
             plane = publish_plane(slot, rgb)
+            if ctx is not None:
+                record_worker_span(child_span(
+                    ctx, "shm_publish", resource, "write",
+                    t_pub, perf_counter(), nbytes=plane.nbytes))
             rgb = None
         except Exception:
             plane = None  # slot too small / segment gone: pickle instead
@@ -363,7 +421,9 @@ def decode_image_task(request: ImageRequest,
         width=w, height=h, simulated_us=simulated_us, plane=plane,
         salvaged=salvaged, error_regions=error_regions,
         salvage_errors=salvage_errors,
-        spans=[WorkSpan(worker_name(), t0, perf_counter())])
+        spans=[WorkSpan(worker_name(), t0, perf_counter())],
+        trace_spans=(drain_worker_spans(ctx.trace_id)
+                     if ctx is not None else []))
 
 
 def decode_segment_task(
@@ -547,6 +607,12 @@ class _InFlight:
     #: True when this dispatch already runs on a failover pool instead
     #: of its scheduled lane's pool (propagated onto the result).
     failed_over: bool = False
+    #: Attempt trace context (``request.trace.child()``) when the image
+    #: is traced — each dispatch attempt records under its own span so
+    #: redispatches appear as sibling attempt spans.
+    ctx: TraceContext | None = None
+    #: ``perf_counter`` at dispatch: the attempt span's start.
+    dispatched_at: float = 0.0
 
 
 class BatchDecoder:
@@ -848,9 +914,30 @@ class BatchDecoder:
         requests = self._normalize(items)
         schedule = None
         lane_by_index: dict[int, str] = {}
+        #: Parent-side spans per batch index for traced requests
+        #: (schedule placement, dispatch attempts, breaker exclusions).
+        trace_parent: dict[int, list[SpanRecord]] = {}
+        traced = [i for i, r in enumerate(requests) if r.trace is not None]
         if self.scheduler is not None and requests:
+            t_plan0 = perf_counter()
             schedule = self.scheduler.plan(requests)
+            t_plan1 = perf_counter()
             requests = self.scheduler.apply(requests, schedule)
+            if traced:
+                lane_of = {a.index: a.executor.name
+                           for a in schedule.assignments
+                           if a.executor is not None}
+                for i in traced:
+                    root = requests[i].trace
+                    spans = trace_parent.setdefault(i, [])
+                    spans.append(child_span(
+                        root, "schedule", "scheduler", "dispatch",
+                        t_plan0, t_plan1, lane=lane_of.get(i, "")))
+                    for lane in getattr(schedule, "excluded", ()):
+                        spans.append(child_span(
+                            root, "lane_excluded", lane, "dispatch",
+                            t_plan1, t_plan1, lane=lane,
+                            reason="breaker_open"))
             if self.registry is not None:
                 schedule.wall_time = True
                 lane_by_index = {
@@ -888,16 +975,25 @@ class BatchDecoder:
         def dispatch_whole(i, pool, lane, attempts=1, failed_over=False):
             """(Re)dispatch one whole-image task; registers in-flight."""
             req = requests[i]
+            ctx = None
+            t_disp = perf_counter()
+            if req.trace is not None:
+                ctx = req.trace.child()
+                req = replace(req, trace=ctx)
             slot = self._lease_image_slot(req, pool)
             fut = submit_with_slot(pool, decode_image_task, req,
                                    slot=slot, fault=self._next_fault(lane))
             pending[fut] = _InFlight(
                 "whole", i, pool, pool.backend == "process",
-                attempts, slot, lane, failed_over=failed_over)
+                attempts, slot, lane, failed_over=failed_over,
+                ctx=ctx, dispatched_at=t_disp)
 
         def dispatch_segment(i, pool, lane, seg, seg_bytes, geo_args,
                              tables, engine, nbytes, attempts=1):
             """(Re)dispatch one restart-segment task."""
+            root = requests[i].trace
+            ctx = root.child() if root is not None else None
+            t_disp = perf_counter()
             slot = self._lease_segment_slot(nbytes, pool)
             fut = submit_with_slot(pool, decode_segment_task, seg,
                                    seg_bytes, geo_args, tables, engine,
@@ -905,11 +1001,15 @@ class BatchDecoder:
             pending[fut] = _InFlight(
                 "segment", i, pool, pool.backend == "process",
                 attempts, slot, lane,
-                (seg, seg_bytes, geo_args, tables, engine, nbytes))
+                (seg, seg_bytes, geo_args, tables, engine, nbytes),
+                ctx=ctx, dispatched_at=t_disp)
 
         def dispatch_spec(i, pool, lane, chunk, chunk_bytes, geo_args,
                           tables, terminator, nbytes, attempts=1):
             """(Re)dispatch one speculative-chunk task."""
+            root = requests[i].trace
+            ctx = root.child() if root is not None else None
+            t_disp = perf_counter()
             slot = self._lease_segment_slot(nbytes, pool)
             fut = submit_with_slot(pool, decode_speculative_chunk_task,
                                    chunk, chunk_bytes, geo_args, tables,
@@ -918,7 +1018,8 @@ class BatchDecoder:
             pending[fut] = _InFlight(
                 "spec", i, pool, pool.backend == "process",
                 attempts, slot, lane,
-                (chunk, chunk_bytes, geo_args, tables, terminator, nbytes))
+                (chunk, chunk_bytes, geo_args, tables, terminator, nbytes),
+                ctx=ctx, dispatched_at=t_disp)
 
         gather_complete = False
         try:
@@ -1052,6 +1153,19 @@ class BatchDecoder:
                         # it: BrokenProcessPool (worker SIGKILLed/OOMed)
                         # or an injected WorkerCrashError.
                         payload, failure = None, exc
+                    if task.ctx is not None:
+                        # The attempt span uses the child context's OWN
+                        # identity so worker stage spans (parented on
+                        # that same context) nest under it; retries of
+                        # one request become sibling attempt spans under
+                        # the shared request span.
+                        trace_parent.setdefault(i, []).append(make_span(
+                            task.ctx, "attempt",
+                            task.lane or task.pool.backend, "cpu-parallel",
+                            task.dispatched_at, perf_counter(),
+                            attempt=task.attempts, task=task.kind,
+                            outcome=("crashed" if failure is not None
+                                     else "ok")))
                     if failure is not None:
                         # The dead worker may still hold a view into
                         # its slot — quarantine, never recycle.
@@ -1238,6 +1352,12 @@ class BatchDecoder:
                     outstanding.pop(slot.name, None)
                     self.arena.discard(slot)
 
+        for i, extra in trace_parent.items():
+            # Parent-side spans (schedule, lane_excluded, attempts) ride
+            # in front of the worker-side spans already on the result.
+            if results[i] is not None:
+                results[i].trace_spans = extra + results[i].trace_spans
+
         wall_s = perf_counter() - t0
         done = [r for r in results if r is not None]
         spans = [s for r in done for s in r.spans]
@@ -1279,12 +1399,18 @@ class BatchDecoder:
             idct_method=req.idct_method,
             fancy_upsampling=req.fancy_upsampling,
             entropy_engine=req.entropy_engine))
-        job.spans.append(WorkSpan(worker_name(), t0, perf_counter()))
+        t1 = perf_counter()
+        job.spans.append(WorkSpan(worker_name(), t0, t1))
+        trace_spans = []
+        if req.trace is not None:
+            trace_spans.append(child_span(
+                req.trace, "merge", worker_name(), "cpu-parallel",
+                t0, t1, segments=len(job.planes_by_seg)))
         return ImageResult(
             request_id=req.request_id, ok=True, rgb=rgb,
             width=info.width, height=info.height,
             segments=len(job.planes_by_seg), spans=job.spans,
-            attempts=job.attempts)
+            attempts=job.attempts, trace_spans=trace_spans)
 
     def _finish_speculative(self, job: _SpecJob) -> ImageResult:
         """Stitch a speculative image's chunk traces and run the pixel
@@ -1334,14 +1460,21 @@ class BatchDecoder:
             idct_method=req.idct_method,
             fancy_upsampling=req.fancy_upsampling,
             entropy_engine=req.entropy_engine))
-        job.spans.append(WorkSpan(worker_name(), t0, perf_counter()))
+        t1 = perf_counter()
+        job.spans.append(WorkSpan(worker_name(), t0, t1))
+        trace_spans = []
+        if req.trace is not None:
+            trace_spans.append(child_span(
+                req.trace, "stitch", worker_name(), "cpu-parallel",
+                t0, t1, chunks=len(job.chunks),
+                misspeculated=len(report.misspeculated)))
         return ImageResult(
             request_id=req.request_id, ok=True, rgb=rgb,
             width=info.width, height=info.height,
             segments=len(job.chunks), spans=job.spans,
             speculative=report.ok,
             misspeculated=len(report.misspeculated),
-            attempts=job.attempts)
+            attempts=job.attempts, trace_spans=trace_spans)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -1401,7 +1534,9 @@ class DecodeService:
                  retry_budget: int | None = None,
                  faults: FaultPlan | None = None,
                  default_deadline_ms: float | None = None,
-                 speculative: str | None = None) -> None:
+                 speculative: str | None = None,
+                 tracing: str = "off", trace_sample: float = 0.1,
+                 trace_log: "str | None" = None) -> None:
         """Build the underlying pump-less session; *batch_size* caps one
         drain step.
 
@@ -1428,7 +1563,8 @@ class DecodeService:
             scheduler=scheduler, transport=transport,
             lane_pools=lane_pools, retry_budget=retry_budget,
             faults=faults, default_deadline_ms=default_deadline_ms,
-            speculative=speculative, pump=False)
+            speculative=speculative, tracing=tracing,
+            trace_sample=trace_sample, trace_log=trace_log, pump=False)
 
     @property
     def batch_size(self) -> int:

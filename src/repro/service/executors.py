@@ -198,6 +198,15 @@ class ExecutorRegistry:
             }
         return out
 
+    def metric_labels(self) -> "list[dict]":
+        """Stable per-lane label sets for the Prometheus exporter: one
+        ``{lane, pool, backend, kind}`` dict per lane, sorted by lane
+        name so scraped series never flap order between polls."""
+        described = self.describe()
+        return [{"lane": name, "pool": info["pool"],
+                 "backend": info["backend"], "kind": info["kind"]}
+                for name, info in sorted(described.items())]
+
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:

@@ -22,7 +22,17 @@ Endpoints:
 - ``GET /stats`` — JSON snapshot of the running
   :class:`~repro.service.stats.ServiceStats` (plus queue occupancy and
   scheduler feedback when attached).
+- ``GET /metrics`` — the same state in Prometheus text exposition
+  format (``text/plain; version=0.0.4``), rendered by
+  :func:`~repro.service.obs.render_prometheus`: queue depth, shed /
+  retry / deadline counters, per-lane EWMA scale and breaker state,
+  per-host link counters, and the decode-latency histogram.
 - ``GET /healthz`` — liveness probe.
+
+Tracing: an ``X-Trace: 1`` request header forces a trace for that
+request regardless of the session's sampling mode; traced responses
+carry the trace id in an ``X-Trace-Id`` header (feed it to
+``repro trace <id>``).
 
 Backpressure: a full submission queue maps to ``429 Too Many
 Requests`` with a ``Retry-After`` header — the HTTP spelling of
@@ -63,6 +73,7 @@ from ..errors import (
     ServiceError,
 )
 from .batch import ImageResult, parse_priority
+from .obs import render_prometheus
 from .session import DecodeSession
 
 
@@ -89,6 +100,8 @@ def result_metadata(result: ImageResult) -> dict:
         meta["salvage_errors"] = list(result.salvage_errors)
         if result.error_regions is not None:
             meta["damaged_mcus"] = int(result.error_regions.sum())
+    if result.trace_spans:
+        meta["trace_id"] = result.trace_spans[0].trace_id
     return meta
 
 
@@ -131,10 +144,15 @@ retry_after_s`)."""
     # -- endpoints ------------------------------------------------------
 
     def do_GET(self) -> None:
-        """``/stats`` and ``/healthz``."""
+        """``/stats``, ``/metrics`` and ``/healthz``."""
         path = urlparse(self.path).path
         if path == "/stats":
             self._send_json(200, self.server.session.stats_snapshot())
+        elif path == "/metrics":
+            body = render_prometheus(self.server.session.stats_snapshot(),
+                                     self.server.session.obs)
+            self._send(200, body.encode(),
+                       "text/plain; version=0.0.4; charset=utf-8")
         elif path == "/healthz":
             self._send_json(200, {"status": "ok",
                                   "closed": self.server.session.closed})
@@ -176,6 +194,11 @@ retry_after_s`)."""
                 self._send_json(400, {
                     "error": f"invalid X-Priority header: {exc}"})
                 return
+        trace_header = self.headers.get("X-Trace")
+        if trace_header is not None and trace_header.strip().lower() \
+                not in ("", "0", "false", "no"):
+            # Force a trace for this request, bypassing the sampler.
+            overrides["trace"] = self.server.session.obs.start_trace()
         item: "bytes | Any" = data
         if overrides:
             item = replace(self.server.session.decoder.defaults,
@@ -243,6 +266,8 @@ retry_after_s`)."""
         }
         if result.salvaged:
             headers["X-Salvaged"] = "1"
+        if result.trace_spans:
+            headers["X-Trace-Id"] = result.trace_spans[0].trace_id
         self._send(200, ppm_bytes(result.rgb), "image/x-portable-pixmap",
                    headers)
 

@@ -1,0 +1,727 @@
+"""Low-overhead observability for the decode service (PR 10).
+
+Three pieces, all stdlib-only:
+
+1. **Trace spans** — a :class:`TraceContext` (trace id + span id) is
+   created at ``DecodeSession.submit`` and rides the
+   :class:`~repro.service.batch.ImageRequest` through queue wait,
+   scheduler placement, lane dispatch, the worker-side decode stages
+   (entropy / IDCT / upsample / color, the same boundaries
+   ``core/profiling`` instruments), shm publish and — across the PR 9
+   TCP wire — remote worker hosts, whose spans are mapped back into
+   the client's clock domain.  Workers record :class:`SpanRecord`\\ s
+   into a bounded drop-oldest :class:`SpanRing` and ship them back
+   piggybacked on the result, so the hot path never blocks on I/O.
+
+2. **Metrics** — :class:`Histogram` (explicit buckets) plus counters
+   aggregated by :class:`ObsHub`; :func:`render_prometheus` turns a
+   ``stats_snapshot()`` dict into Prometheus text exposition format
+   for the HTTP server's ``GET /metrics``.
+
+3. **Timeline reconstruction** — :func:`spans_to_timeline` replays
+   collected spans through the simulated-schedule
+   :class:`~repro.core.timeline.Timeline` ASCII-Gantt renderer
+   (the paper's Figure 5/8 view, measured instead of simulated), and
+   :func:`read_trace_log` feeds it from the rotation-safe JSON-lines
+   event log (``--trace-log``).
+
+The whole layer is gated on ``request.trace is not None``: with
+tracing off (the default) the per-image cost is a single attribute
+check, enforced by ``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import uuid
+from bisect import bisect_right
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter, time
+
+from ..core.timeline import Timeline
+from ..errors import ServiceError
+
+#: Trace modes accepted by :class:`ObsHub` / ``DecodeSession(tracing=...)``.
+#: ``off`` records nothing but keeps the metrics histogram live;
+#: ``on`` traces every request; ``sample`` traces a deterministic
+#: 1-in-N subset; ``unobserved`` additionally skips the metrics
+#: histogram — the benchmark control arm that stands in for the
+#: pre-observability build.
+TRACE_MODES = ("unobserved", "off", "on", "sample")
+
+#: Explicit latency histogram buckets (seconds), Prometheus-style.
+LATENCY_BUCKETS_S = (0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                     0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Default bound on the worker-side span ring (drop-oldest beyond it).
+RING_CAPACITY = 2048
+
+#: Default bound on the number of traces the in-memory store retains.
+TRACE_CAPACITY = 256
+
+
+def parse_trace_mode(mode: str) -> str:
+    """Validate a tracing mode string, returning it normalized."""
+    normalized = str(mode).strip().lower()
+    if normalized not in TRACE_MODES:
+        raise ServiceError(
+            f"unknown tracing mode {mode!r}; expected one of {TRACE_MODES}")
+    return normalized
+
+
+def _new_id(nbytes: int = 8) -> str:
+    """A random lowercase-hex identifier (*nbytes* bytes of entropy)."""
+    return uuid.uuid4().hex[: nbytes * 2]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one span within one trace, propagated on requests.
+
+    Frozen, picklable and JSON-friendly: it crosses process-pool
+    pickling and the PR 9 TCP header unchanged.  ``child()`` derives
+    the context a sub-operation should record under.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    @classmethod
+    def new_root(cls) -> "TraceContext":
+        """Start a fresh trace (new trace id, root span, no parent)."""
+        return cls(trace_id=_new_id(), span_id=_new_id(), parent_id=None)
+
+    def child(self) -> "TraceContext":
+        """A context for a sub-operation parented to this span."""
+        return TraceContext(trace_id=self.trace_id, span_id=_new_id(),
+                            parent_id=self.span_id)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for the remote wire header."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "parent_id": self.parent_id}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceContext":
+        """Rebuild a context from :meth:`to_dict` output."""
+        return cls(trace_id=str(payload["trace_id"]),
+                   span_id=str(payload["span_id"]),
+                   parent_id=(None if payload.get("parent_id") is None
+                              else str(payload["parent_id"])))
+
+
+@dataclass
+class SpanRecord:
+    """One completed operation inside a trace.
+
+    Timestamps are ``time.perf_counter()`` seconds — system-wide
+    monotonic on Linux, so spans recorded by forked pool workers are
+    directly comparable with the parent's; spans from *remote* hosts
+    live in a foreign clock domain until
+    :func:`map_remote_spans` shifts them into the client's.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str          # "request", "queue", "entropy", "shm_publish", ...
+    resource: str      # "client", lane name, worker name, endpoint/worker
+    kind: str          # a Timeline glyph kind: huffman/dispatch/...
+    start: float       # perf_counter seconds (client clock domain)
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Span length in seconds."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (one object per line in the trace log)."""
+        out = {"trace_id": self.trace_id, "span_id": self.span_id,
+               "parent_id": self.parent_id, "name": self.name,
+               "resource": self.resource, "kind": self.kind,
+               "start": self.start, "end": self.end}
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(trace_id=str(payload["trace_id"]),
+                   span_id=str(payload["span_id"]),
+                   parent_id=payload.get("parent_id"),
+                   name=str(payload["name"]),
+                   resource=str(payload.get("resource", "?")),
+                   kind=str(payload.get("kind", "dispatch")),
+                   start=float(payload["start"]),
+                   end=float(payload["end"]),
+                   attrs=dict(payload.get("attrs") or {}))
+
+
+def make_span(ctx: TraceContext, name: str, resource: str, kind: str,
+              start: float, end: float, **attrs) -> SpanRecord:
+    """Build a :class:`SpanRecord` carrying *ctx*'s own span identity."""
+    return SpanRecord(trace_id=ctx.trace_id, span_id=ctx.span_id,
+                      parent_id=ctx.parent_id, name=name, resource=resource,
+                      kind=kind, start=start, end=end, attrs=attrs)
+
+
+def child_span(ctx: TraceContext, name: str, resource: str, kind: str,
+               start: float, end: float, **attrs) -> SpanRecord:
+    """Build a span for a sub-operation parented to *ctx*'s span."""
+    return SpanRecord(trace_id=ctx.trace_id, span_id=_new_id(),
+                      parent_id=ctx.span_id, name=name, resource=resource,
+                      kind=kind, start=start, end=end, attrs=attrs)
+
+
+class SpanRing:
+    """Bounded drop-oldest span buffer for one worker process.
+
+    Built on :class:`collections.deque` with ``maxlen``: ``append`` is
+    atomic under the GIL, so recording never takes a lock — the only
+    synchronization is the drain, which swaps the visible batch out.
+    """
+
+    def __init__(self, capacity: int = RING_CAPACITY):
+        """Create a ring holding at most *capacity* spans."""
+        self._ring: deque[SpanRecord] = deque(maxlen=capacity)
+        self._recorded = 0
+        self._drained = 0
+
+    def record(self, span: SpanRecord) -> None:
+        """Append one span, silently evicting the oldest when full."""
+        self._ring.append(span)
+        self._recorded += 1
+
+    def drain(self) -> list[SpanRecord]:
+        """Remove and return every buffered span (oldest first)."""
+        out: list[SpanRecord] = []
+        while True:
+            try:
+                out.append(self._ring.popleft())
+            except IndexError:
+                self._drained += len(out)
+                return out
+
+    def drain_trace(self, trace_id: str) -> list[SpanRecord]:
+        """Remove and return the buffered spans of one trace only."""
+        keep, out = [], []
+        for span in self.drain():
+            (out if span.trace_id == trace_id else keep).append(span)
+        for span in keep:
+            self._ring.append(span)
+        self._drained -= len(keep)
+        return out
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the drop-oldest bound since creation."""
+        return max(0, self._recorded - self._drained - len(self._ring))
+
+    def __len__(self) -> int:
+        """Number of spans currently buffered."""
+        return len(self._ring)
+
+
+#: Per-process worker ring.  Module-level so picklable task functions
+#: (``decode_image_task`` and friends) reach it without carrying state.
+_WORKER_RING = SpanRing()
+
+
+def worker_ring() -> SpanRing:
+    """This process's span ring (one per pool worker after fork)."""
+    return _WORKER_RING
+
+
+def record_worker_span(span: SpanRecord) -> None:
+    """Record *span* into this process's ring (lock-free append)."""
+    _WORKER_RING.record(span)
+
+
+def drain_worker_spans(trace_id: str) -> list[SpanRecord]:
+    """Pull the current process's buffered spans for *trace_id*."""
+    return _WORKER_RING.drain_trace(trace_id)
+
+
+class Histogram:
+    """Prometheus-style histogram with explicit upper bounds.
+
+    ``observe`` is a bisect plus two adds under a lock — cheap against
+    millisecond-scale decode latencies.  ``snapshot`` returns
+    *cumulative* bucket counts, ready for text exposition.
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = LATENCY_BUCKETS_S):
+        """Create a histogram over ascending *buckets* (seconds)."""
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        idx = bisect_right(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> dict:
+        """Cumulative ``{le: count}`` buckets plus sum and count."""
+        with self._lock:
+            counts = list(self._counts)
+            total, n = self._sum, self._count
+        cumulative: list[tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            cumulative.append((repr(bound), running))
+        cumulative.append(("+Inf", n))
+        return {"buckets": cumulative, "sum": total, "count": n}
+
+
+class TraceStore:
+    """Bounded in-memory map of ``trace_id -> spans`` (drop-oldest)."""
+
+    def __init__(self, capacity: int = TRACE_CAPACITY):
+        """Retain at most *capacity* traces, evicting the oldest."""
+        self.capacity = capacity
+        self._traces: OrderedDict[str, list[SpanRecord]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def add(self, spans: list[SpanRecord]) -> None:
+        """File *spans* under their trace ids, evicting old traces."""
+        with self._lock:
+            for span in spans:
+                bucket = self._traces.get(span.trace_id)
+                if bucket is None:
+                    bucket = self._traces[span.trace_id] = []
+                bucket.append(span)
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> list[SpanRecord]:
+        """Spans of one trace (empty when unknown or evicted)."""
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
+
+    def last(self, n: int) -> list[tuple[str, list[SpanRecord]]]:
+        """The *n* most recently started traces, oldest first."""
+        with self._lock:
+            ids = list(self._traces.keys())[-n:]
+            return [(tid, list(self._traces[tid])) for tid in ids]
+
+    def __len__(self) -> int:
+        """Number of retained traces."""
+        return len(self._traces)
+
+
+class TraceLog:
+    """Rotation-safe JSON-lines span log (one object per span).
+
+    Every flush reopens the file in append mode, so an external
+    ``mv`` + recreate rotation is picked up on the next batch without
+    signal handling, and concurrent writers interleave whole lines
+    (O_APPEND semantics).
+    """
+
+    def __init__(self, path: str | Path):
+        """Append spans to *path* (created on first write)."""
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self.written = 0
+
+    def append(self, spans: list[SpanRecord]) -> None:
+        """Serialize and append *spans*, one JSON object per line."""
+        if not spans:
+            return
+        payload = "".join(
+            json.dumps(s.to_dict(), separators=(",", ":")) + "\n"
+            for s in spans)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(payload)
+            self.written += len(spans)
+
+
+def read_trace_log(path: str | Path) -> "OrderedDict[str, list[SpanRecord]]":
+    """Parse a :class:`TraceLog` file into ``trace_id -> spans``.
+
+    Tolerates a torn final line (a writer mid-append or mid-rotation):
+    undecodable lines are skipped, never fatal.
+    """
+    traces: OrderedDict[str, list[SpanRecord]] = OrderedDict()
+    log_path = Path(path)
+    if not log_path.exists():
+        return traces
+    with open(log_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = SpanRecord.from_dict(json.loads(line))
+            except (ValueError, KeyError, TypeError):
+                continue
+            traces.setdefault(span.trace_id, []).append(span)
+    return traces
+
+
+class ObsHub:
+    """Per-session observability root: sampler, metrics, trace sinks.
+
+    Owned by ``DecodeSession``.  ``maybe_start_trace`` implements the
+    mode gate (``off`` / ``on`` / ``sample``); ``record_spans`` files
+    completed spans into the bounded :class:`TraceStore` and, when
+    configured, the JSON-lines :class:`TraceLog`.  The latency
+    :class:`Histogram` stays live in every mode except ``unobserved``
+    (the benchmark control arm).
+    """
+
+    def __init__(self, mode: str = "off", sample_rate: float = 0.1,
+                 log_path: str | Path | None = None,
+                 trace_capacity: int = TRACE_CAPACITY):
+        """Configure the hub; *sample_rate* applies to ``sample`` mode."""
+        self.mode = parse_trace_mode(mode)
+        if not (0.0 < sample_rate <= 1.0):
+            raise ServiceError(
+                f"trace sample rate must be in (0, 1], got {sample_rate}")
+        self.sample_period = max(1, round(1.0 / sample_rate))
+        self.latency = Histogram()
+        self.store = TraceStore(capacity=trace_capacity)
+        self.log = TraceLog(log_path) if log_path else None
+        self.started_at = time()
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._counters = {"traces_started": 0, "spans_recorded": 0}
+
+    @property
+    def enabled(self) -> bool:
+        """True when any request may be traced (``on`` or ``sample``)."""
+        return self.mode in ("on", "sample")
+
+    def maybe_start_trace(self) -> TraceContext | None:
+        """A fresh root context per the mode gate, or ``None``.
+
+        ``sample`` mode uses a deterministic 1-in-N counter (not a
+        PRNG) so benchmark span counts reconcile exactly.
+        """
+        if self.mode == "on":
+            return self.start_trace()
+        if self.mode == "sample":
+            with self._lock:
+                seq = self._seq
+                self._seq += 1
+            if seq % self.sample_period == 0:
+                return self.start_trace()
+        return None
+
+    def start_trace(self) -> TraceContext:
+        """Unconditionally start a trace (e.g. HTTP ``X-Trace: 1``)."""
+        with self._lock:
+            self._counters["traces_started"] += 1
+        return TraceContext.new_root()
+
+    def observe_latency(self, seconds: float) -> None:
+        """Feed the decode-latency histogram (no-op when unobserved)."""
+        if self.mode != "unobserved":
+            self.latency.observe(seconds)
+
+    def record_spans(self, spans: list[SpanRecord]) -> None:
+        """File completed spans into the store and the optional log."""
+        if not spans:
+            return
+        self.store.add(spans)
+        if self.log is not None:
+            self.log.append(spans)
+        with self._lock:
+            self._counters["spans_recorded"] += len(spans)
+
+    def counters(self) -> dict:
+        """Current counter values (copied)."""
+        with self._lock:
+            return dict(self._counters)
+
+
+def map_remote_spans(spans: list[SpanRecord], endpoint: str,
+                     t0: float, t1: float, host_recv: float,
+                     host_send: float) -> list[SpanRecord]:
+    """Shift remote-host spans into the client's clock domain.
+
+    The offset is estimated from the request/response pair the same
+    way NTP does: the midpoint of the client window ``[t0, t1]`` is
+    assumed simultaneous with the midpoint of the host's
+    ``[host_recv, host_send]`` service window.  Mapped timestamps are
+    then clamped into ``[t0, t1]`` so a skewed host clock can never
+    make a stitched timeline show negative queue waits.  Resources are
+    prefixed with ``endpoint/`` so Gantt rows name the host.
+    """
+    offset = ((t0 + t1) / 2.0) - ((host_recv + host_send) / 2.0)
+    mapped = []
+    for span in spans:
+        start = min(max(span.start + offset, t0), t1)
+        end = min(max(span.end + offset, start), t1)
+        mapped.append(SpanRecord(
+            trace_id=span.trace_id, span_id=span.span_id,
+            parent_id=span.parent_id, name=span.name,
+            resource=f"{endpoint}/{span.resource}", kind=span.kind,
+            start=start, end=end,
+            attrs={**span.attrs, "clock_offset_s": offset}))
+    return mapped
+
+
+# ---------------------------------------------------------------------------
+# Timeline reconstruction (the measured Figure 5/8 view).
+# ---------------------------------------------------------------------------
+
+def spans_to_timeline(spans: list[SpanRecord]) -> Timeline:
+    """Replay collected spans through the ASCII-Gantt renderer.
+
+    Times are normalized to the trace start and expressed in
+    microseconds, matching :class:`~repro.core.timeline.Timeline`'s
+    simulated-time units so its renderer and metrics apply unchanged.
+    """
+    timeline = Timeline()
+    if not spans:
+        return timeline
+    origin = min(s.start for s in spans)
+    for span in sorted(spans, key=lambda s: s.start):
+        start_us = (span.start - origin) * 1e6
+        end_us = max(start_us, (span.end - origin) * 1e6)
+        timeline.add(span.resource, span.name, span.kind, start_us, end_us)
+    return timeline
+
+
+def format_trace(trace_id: str, spans: list[SpanRecord],
+                 width: int = 78) -> str:
+    """Render one trace: Gantt chart plus an indented span tree."""
+    if not spans:
+        return f"trace {trace_id}: no spans"
+    lines = [f"trace {trace_id} — {len(spans)} span(s), "
+             f"{(max(s.end for s in spans) - min(s.start for s in spans)) * 1e3:.2f} ms",
+             "", spans_to_timeline(spans).render(width=width), ""]
+    by_parent: dict[str | None, list[SpanRecord]] = {}
+    known = {s.span_id for s in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in known else None
+        by_parent.setdefault(parent, []).append(span)
+    origin = min(s.start for s in spans)
+
+    def walk(parent: str | None, depth: int) -> None:
+        """Append one tree level, sorted by start time."""
+        for span in sorted(by_parent.get(parent, ()), key=lambda s: s.start):
+            attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items()
+                             if k != "clock_offset_s")
+            lines.append(
+                f"  {'  ' * depth}{span.name:<14} "
+                f"+{(span.start - origin) * 1e3:8.2f} ms "
+                f"{span.duration_s * 1e3:8.2f} ms  "
+                f"[{span.resource}]{'  ' + attrs if attrs else ''}")
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (dependency-free).
+# ---------------------------------------------------------------------------
+
+def _escape_label(value: object) -> str:
+    """Escape a label value per the exposition format."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+class _PromWriter:
+    """Accumulates one exposition document with HELP/TYPE headers."""
+
+    def __init__(self):
+        """Start an empty document."""
+        self.lines: list[str] = []
+
+    def header(self, name: str, kind: str, help_text: str) -> None:
+        """Emit the ``# HELP`` / ``# TYPE`` pair for a metric family."""
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, labels: dict | None, value: object) -> None:
+        """Emit one sample line."""
+        try:
+            numeric = float(value)
+        except (TypeError, ValueError):
+            return
+        if labels:
+            body = ",".join(f'{k}="{_escape_label(v)}"'
+                            for k, v in labels.items())
+            self.lines.append(f"{name}{{{body}}} {numeric:g}")
+        else:
+            self.lines.append(f"{name} {numeric:g}")
+
+    def render(self) -> str:
+        """The finished document (trailing newline included)."""
+        return "\n".join(self.lines) + "\n"
+
+
+def render_prometheus(snapshot: dict, hub: ObsHub | None = None) -> str:
+    """Render a session ``stats_snapshot()`` as Prometheus text.
+
+    Defensive against shape drift: every section is optional, so the
+    exporter keeps working if a stats key disappears.  Produces
+    counters (``_total``), gauges, and the decode-latency histogram
+    with explicit buckets; per-lane and per-host series carry
+    ``lane`` / ``host`` labels.
+    """
+    w = _PromWriter()
+
+    w.header("repro_images_total", "counter", "Images decoded (lifetime).")
+    w.sample("repro_images_total", {"outcome": "ok"},
+             snapshot.get("images_ok", 0))
+    w.sample("repro_images_total", {"outcome": "failed"},
+             snapshot.get("images_failed", 0))
+    w.sample("repro_images_total", {"outcome": "split"},
+             snapshot.get("images_split", 0))
+    w.header("repro_batches_total", "counter", "Batches decoded (lifetime).")
+    w.sample("repro_batches_total", None, snapshot.get("batches", 0))
+
+    w.header("repro_queue_depth", "gauge", "Requests waiting in the queue.")
+    w.sample("repro_queue_depth", None, snapshot.get("pending", 0))
+    w.header("repro_queue_capacity", "gauge", "Bounded queue capacity.")
+    w.sample("repro_queue_capacity", None, snapshot.get("queue_capacity", 0))
+
+    faults = snapshot.get("faults", {})
+    w.header("repro_retries_total", "counter", "Per-image dispatch retries.")
+    w.sample("repro_retries_total", None, faults.get("retries", 0))
+    w.header("repro_infra_failures_total", "counter",
+             "Worker crashes / infrastructure failures.")
+    w.sample("repro_infra_failures_total", None,
+             faults.get("infra_failures", 0))
+    w.header("repro_deadline_expired_total", "counter",
+             "Requests shed by deadline.")
+    w.sample("repro_deadline_expired_total", None,
+             faults.get("deadline_expired", 0))
+    w.header("repro_pool_rebuilds_total", "counter",
+             "Broken worker pools rebuilt in place.")
+    w.sample("repro_pool_rebuilds_total", None, faults.get("pool_rebuilds", 0))
+    w.header("repro_shed_total", "counter",
+             "Admissions refused, by priority class.")
+    for priority, count in sorted(
+            (faults.get("shed_by_priority") or {}).items()):
+        w.sample("repro_shed_total", {"priority": priority}, count)
+
+    transport = snapshot.get("transport", {})
+    w.header("repro_transport_bytes_total", "counter",
+             "Result plane bytes by transport mode.")
+    w.sample("repro_transport_bytes_total", {"mode": "shm"},
+             transport.get("shm_bytes", 0))
+    w.sample("repro_transport_bytes_total", {"mode": "pickle"},
+             transport.get("pickle_bytes", 0))
+
+    per_executor = {lane: usage for lane, usage
+                    in sorted((snapshot.get("per_executor") or {}).items())
+                    if isinstance(usage, dict)}
+    # One family's header must precede ALL its samples (the exposition
+    # format forbids reopening a family), so the lane loop runs once
+    # per family rather than once with interleaved samples.
+    w.header("repro_lane_images_total", "counter",
+             "Images decoded per executor lane.")
+    for lane, usage in per_executor.items():
+        w.sample("repro_lane_images_total", {"lane": lane},
+                 usage.get("images", 0))
+    w.header("repro_lane_busy_seconds_total", "counter",
+             "Busy wall-clock per executor lane.")
+    for lane, usage in per_executor.items():
+        w.sample("repro_lane_busy_seconds_total", {"lane": lane},
+                 usage.get("busy_s", usage.get("wall_s", 0)))
+
+    scheduler = snapshot.get("scheduler") or {}
+    feedback = scheduler.get("feedback") or {}
+    scales = (feedback.get("scales") if isinstance(feedback, dict) else None) \
+        or scheduler.get("scales") or {}
+    w.header("repro_lane_ewma_scale", "gauge",
+             "EWMA feedback scale per scheduler lane.")
+    if isinstance(scales, dict):
+        for lane, scale in sorted(scales.items()):
+            w.sample("repro_lane_ewma_scale", {"lane": lane}, scale)
+    breakers = scheduler.get("breakers") or {}
+    w.header("repro_lane_breaker_state", "gauge",
+             "Circuit breaker state per lane (1 = in this state).")
+    states = ("closed", "open", "half_open")
+    if isinstance(breakers, dict):
+        for lane, info in sorted(breakers.items()):
+            current = info.get("state") if isinstance(info, dict) else info
+            for state in states:
+                w.sample("repro_lane_breaker_state",
+                         {"lane": lane, "state": state},
+                         1 if current == state else 0)
+
+    per_host = {entry.get("endpoint", lane): entry for lane, entry
+                in sorted((snapshot.get("per_host") or {}).items())
+                if isinstance(entry, dict)}
+    w.header("repro_host_requests_total", "counter",
+             "Requests dispatched per remote host.")
+    for host, entry in per_host.items():
+        w.sample("repro_host_requests_total", {"host": host},
+                 entry.get("requests", 0))
+    w.header("repro_host_failures_total", "counter",
+             "Failed dispatches per remote host.")
+    for host, entry in per_host.items():
+        w.sample("repro_host_failures_total", {"host": host},
+                 entry.get("failures", 0))
+    w.header("repro_host_bytes_total", "counter",
+             "Wire bytes per remote host, by direction.")
+    for host, entry in per_host.items():
+        w.sample("repro_host_bytes_total", {"host": host, "direction": "tx"},
+                 entry.get("bytes_tx", 0))
+        w.sample("repro_host_bytes_total", {"host": host, "direction": "rx"},
+                 entry.get("bytes_rx", 0))
+
+    if hub is not None:
+        hist = hub.latency.snapshot()
+        w.header("repro_decode_latency_seconds", "histogram",
+                 "End-to-end decode latency (submit to result).")
+        for le, count in hist["buckets"]:
+            w.sample("repro_decode_latency_seconds_bucket", {"le": le}, count)
+        w.sample("repro_decode_latency_seconds_sum", None, hist["sum"])
+        w.sample("repro_decode_latency_seconds_count", None, hist["count"])
+        counters = hub.counters()
+        w.header("repro_traces_started_total", "counter",
+                 "Trace contexts created by the sampler gate.")
+        w.sample("repro_traces_started_total", None,
+                 counters.get("traces_started", 0))
+        w.header("repro_spans_recorded_total", "counter",
+                 "Spans filed into the trace store.")
+        w.sample("repro_spans_recorded_total", None,
+                 counters.get("spans_recorded", 0))
+        w.header("repro_obs_uptime_seconds", "gauge",
+                 "Seconds since the observability hub started.")
+        w.sample("repro_obs_uptime_seconds", None,
+                 max(0.0, time() - hub.started_at))
+
+    w.header("repro_process_start_unixtime", "gauge",
+             "Unix time this process's exporter first rendered.")
+    w.sample("repro_process_start_unixtime", None, _PROCESS_EPOCH)
+    return w.render()
+
+
+#: Stamped at import so repeated scrapes expose a stable start marker.
+_PROCESS_EPOCH = time()
+
+#: Re-exported so worker tasks can stamp spans without importing time.
+now = perf_counter
+
+#: Environment knob honored by the S9 benchmark and the CI obs job.
+TRACE_OVERHEAD_ENV = "TRACE_OVERHEAD_MAX_RATIO"
+
+
+def trace_overhead_budget(default: float = 0.03) -> float:
+    """The allowed tracing-off throughput overhead fraction."""
+    return float(os.environ.get(TRACE_OVERHEAD_ENV, str(default)))

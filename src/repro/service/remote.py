@@ -49,6 +49,7 @@ import threading
 import queue as queue_module
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -62,6 +63,7 @@ from ..errors import (
 from .batch import ImageRequest, ImageResult, decode_image_task
 from .executors import ExecutorRegistry
 from .faults import FaultDirective, apply_dispatch_fault
+from .obs import SpanRecord, TraceContext, child_span, map_remote_spans
 from .scheduler import ExecutorLane, LaneBreakerBoard, ModelScheduler
 from .session import DecodeSession
 from .stats import WorkSpan
@@ -217,7 +219,13 @@ def encode_request(request: ImageRequest) -> tuple[dict, list[bytes]]:
                                            type(None))):
             value = str(value)
         fields[name] = value
-    return {"op": "decode", "request": fields}, [bytes(request.data)]
+    header: dict[str, Any] = {"op": "decode", "request": fields}
+    if request.trace is not None:
+        # The trace context rides the header so host-side spans stitch
+        # into the client's trace (the host honors any propagated
+        # context regardless of its own tracing mode).
+        header["trace"] = request.trace.to_dict()
+    return header, [bytes(request.data)]
 
 
 def decode_request(header: dict, blobs: Sequence[bytes]) -> ImageRequest:
@@ -230,6 +238,12 @@ def decode_request(header: dict, blobs: Sequence[bytes]) -> ImageRequest:
         raise RemoteProtocolError("decode frame carries no request header")
     known = {name: fields[name] for name in _REQUEST_FIELDS
              if name in fields}
+    trace = header.get("trace")
+    if isinstance(trace, dict):
+        try:
+            known["trace"] = TraceContext.from_dict(trace)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RemoteProtocolError(f"malformed trace context: {exc}")
     try:
         return ImageRequest(data=blobs[0], **known)
     except TypeError as exc:
@@ -250,6 +264,8 @@ def encode_result(result: ImageResult) -> tuple[dict, list[bytes]]:
     header["salvage_errors"] = list(result.salvage_errors)
     header["spans"] = [[s.worker, s.started, s.finished]
                        for s in result.spans]
+    if result.trace_spans:
+        header["trace_spans"] = [s.to_dict() for s in result.trace_spans]
     blobs: list[bytes] = []
     if result.rgb is not None:
         header["plane"] = _array_descriptor(result.rgb, len(blobs))
@@ -274,6 +290,11 @@ def decode_result(header: dict, blobs: Sequence[bytes]) -> ImageResult:
     result.spans = [WorkSpan(worker=str(w), started=float(a),
                              finished=float(b))
                     for w, a, b in header.get("spans", ())]
+    try:
+        result.trace_spans = [SpanRecord.from_dict(d)
+                              for d in header.get("trace_spans", ())]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RemoteProtocolError(f"malformed trace spans: {exc}")
     if "plane" in header:
         result.rgb = _array_from_descriptor(header["plane"], blobs)
     if "error_regions" in header:
@@ -398,12 +419,24 @@ class DecodeWorkerHost:
                     "requests": self.requests,
                     "stats": self.session.stats_snapshot()}, []
         if op == "decode":
+            host_recv = perf_counter()
             request = decode_request(header, blobs)
+            if request.trace is not None:
+                # Fork a child context so the host's own "request" span
+                # nests under the client's attempt span instead of
+                # reusing its span identity.
+                request = replace(request, trace=request.trace.child())
             handle = self.session.submit(request, timeout=None)
             result = handle.result()
             with self._lock:
                 self.requests += 1
-            return encode_result(result)
+            reply, out_blobs = encode_result(result)
+            # Host-clock receive/send stamps: the client estimates the
+            # clock offset from these plus its own request/response
+            # window (NTP-style midpoints) to stitch host spans into
+            # its trace without negative queue waits.
+            reply["clock"] = {"recv": host_recv, "send": perf_counter()}
+            return reply, out_blobs
         raise RemoteProtocolError(f"unknown operation {op!r}")
 
     def shutdown(self) -> None:
@@ -715,6 +748,7 @@ class RemoteLanePool:
                    request: ImageRequest) -> ImageResult:
         """Send one decode request, receive and rebuild its result."""
         header, blobs = encode_request(request)
+        t0 = perf_counter()
         try:
             sent = send_frame(sock, header, blobs)
             frame = recv_frame(sock)
@@ -736,11 +770,23 @@ class RemoteLanePool:
             raise RemoteHostError(
                 f"host {self.endpoint} refused the request: "
                 f"{reply.get('error_type')}: {reply.get('error')}")
+        t1 = perf_counter()
         result = decode_result(reply, reply_blobs)
         # Attribute busy spans to the host so utilization math and the
         # stats per-worker view name where the time was really spent.
         result.spans = [replace(s, worker=f"{self.endpoint}/{s.worker}")
                         for s in result.spans]
+        if result.trace_spans:
+            clock = reply.get("clock") or {}
+            result.trace_spans = map_remote_spans(
+                result.trace_spans, self.endpoint, t0, t1,
+                host_recv=float(clock.get("recv", t0)),
+                host_send=float(clock.get("send", t1)))
+        if request.trace is not None:
+            result.trace_spans.append(child_span(
+                request.trace, "remote_roundtrip", self.endpoint, "read",
+                t0, t1, bytes_tx=sent,
+                bytes_rx=frame_nbytes(reply, reply_blobs)))
         return result
 
     # -- lifecycle ------------------------------------------------------

@@ -173,6 +173,10 @@ class BatchSchedule:
     #: Per-lane placement caps the batch was planned under
     #: (:meth:`LaneBreakerBoard.limits`); empty = no breakers active.
     lane_limits: dict = field(default_factory=dict)
+    #: Lane names excluded from this plan by an open circuit breaker
+    #: (limit 0) — surfaced so traced requests can record a
+    #: ``lane_excluded`` event.
+    excluded: tuple = ()
     #: True when the batch executed on lane-bound pools
     #: (:mod:`repro.service.executors`): observed per-lane times are
     #: then real wall-clock (``ImageResult.wall_us``) rather than the
@@ -764,6 +768,8 @@ class ModelScheduler:
         for i in unparsable:
             schedule.assignments.append(Assignment(index=i, executor=None))
         schedule.assignments.sort(key=lambda a: a.index)
+        schedule.excluded = tuple(
+            sorted(name for name, cap in limits.items() if cap == 0))
         return schedule
 
     def apply(self, requests: "list[ImageRequest]",

@@ -57,6 +57,7 @@ from ..errors import (
     ServiceError,
 )
 from .batch import BatchDecoder, BatchResult, ImageRequest, ImageResult
+from .obs import ObsHub, child_span, make_span
 from .queue import SubmissionQueue
 from .scheduler import ModelScheduler
 from .stats import ServiceStats
@@ -190,6 +191,9 @@ class DecodeSession:
                  default_deadline_ms: float | None = None,
                  speculative: str | None = None,
                  shed_fractions: "dict[int, float] | None" = None,
+                 tracing: str = "off", trace_sample: float = 0.1,
+                 trace_log: "str | None" = None,
+                 trace_capacity: int | None = None,
                  pump: bool = True) -> None:
         """Build queue, decoder and (unless ``pump=False``) the pump.
 
@@ -213,6 +217,15 @@ class DecodeSession:
         :class:`~repro.service.batch.BatchDecoder` (including the
         shared-memory *transport* selection and lane-bound executor
         *lane_pools*) / :class:`~repro.service.queue.SubmissionQueue`.
+
+        *tracing* (``"off"``/``"on"``/``"sample"``/``"unobserved"``)
+        gates whether :meth:`submit` creates a root
+        :class:`~repro.service.obs.TraceContext` for requests that do
+        not already carry one — a request submitted *with* a context
+        (a remote host replaying a client's trace) is always honored
+        regardless of the local mode.  *trace_sample* is the sampled
+        fraction in ``sample`` mode, *trace_log* an optional JSON-lines
+        span log path, *trace_capacity* the in-memory trace retention.
         """
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -250,6 +263,11 @@ class DecodeSession:
                                     defaults=defaults, scheduler=scheduler,
                                     transport=transport,
                                     lane_pools=lane_pools, **decoder_kwargs)
+        obs_kwargs = {"mode": tracing, "sample_rate": trace_sample,
+                      "log_path": trace_log}
+        if trace_capacity is not None:
+            obs_kwargs["trace_capacity"] = trace_capacity
+        self.obs = ObsHub(**obs_kwargs)
         self.stats = ServiceStats()
         self._stats_lock = threading.Lock()
         #: EDF window: entries pulled off the queue but not yet
@@ -319,6 +337,13 @@ class DecodeSession:
                 assigned = self._next_id
                 self._next_id += 1
             req = replace(req, request_id=assigned)
+        if req.trace is None:
+            # Mode gate applies only to trace *creation*; a propagated
+            # context (remote host replaying a client trace) is always
+            # honored, so hosts need no tracing configuration.
+            ctx = self.obs.maybe_start_trace()
+            if ctx is not None:
+                req = replace(req, trace=ctx)
         handle = DecodeHandle(req.request_id)
         deadline_at = (handle.submitted_at + req.deadline_ms / 1e3
                        if req.deadline_ms is not None else None)
@@ -430,6 +455,7 @@ class DecodeSession:
         scheduler feedback.  Returns the batch result (pull-mode callers
         surface it; the pump discards it)."""
         requests = [e.request for e in entries]
+        t_dispatch = perf_counter()
         try:
             batch = self.decoder.decode_batch(requests)
         except BaseException as exc:
@@ -443,6 +469,24 @@ class DecodeSession:
             # True submit-to-completion latency (the batch loop only
             # measured from dispatch).
             result.latency_s = now - entry.handle.submitted_at
+            self.obs.observe_latency(result.latency_s)
+            ctx = entry.request.trace
+            if ctx is not None:
+                # Root span carries the context's own identity; the
+                # queue span covers submit -> batch dispatch.  Prepended
+                # so the root leads the batch — downstream consumers
+                # (remote host wire encoding, the trace store) see one
+                # self-contained span list per result.
+                result.trace_spans = [
+                    make_span(ctx, "request", "session", "dispatch",
+                              entry.handle.submitted_at, now,
+                              request_id=str(entry.request.request_id),
+                              ok=result.ok),
+                    child_span(ctx, "queue", "session", "dispatch",
+                               entry.handle.submitted_at, t_dispatch,
+                               priority=entry.priority),
+                ] + result.trace_spans
+                self.obs.record_spans(result.trace_spans)
         # Stats and scheduler feedback fold in *before* handles resolve,
         # so a completion observer (done callback, HTTP /stats poll
         # right after a response) always sees its own batch counted.
@@ -521,6 +565,7 @@ class DecodeSession:
         snap["default_deadline_ms"] = self.default_deadline_ms
         snap["retry_budget"] = self.decoder.retry_budget
         snap["closed"] = self._closed
+        snap["tracing"] = {"mode": self.obs.mode, **self.obs.counters()}
         snap["transport"]["mode"] = self.decoder.transport
         if self.decoder.scheduler is not None:
             snap["scheduler"] = self.decoder.scheduler.snapshot()

@@ -278,8 +278,14 @@ class ServiceStats:
         The shape the HTTP shim's ``GET /stats`` endpoint returns (via
         :meth:`~repro.service.session.DecodeSession.stats_snapshot`,
         which adds queue occupancy and scheduler feedback on top).
-        Latency percentiles are 0.0 before the first image completes
-        and cover the most recent :data:`LATENCY_WINDOW` images.
+        Latency percentiles are 0.0 before the first image completes.
+
+        The two time horizons are labeled explicitly so ``/stats`` and
+        ``/metrics`` consumers can't silently mix them: latency
+        percentiles cover only the most recent :data:`LATENCY_WINDOW`
+        images (``latency_ms.horizon == "window"``), while the image
+        counters and ``images_per_sec`` are exact lifetime totals
+        (``throughput.horizon == "lifetime"``).
         """
         lat = [s * 1e3 for s in self._latencies_s] or [0.0]
         return {
@@ -289,7 +295,16 @@ class ServiceStats:
             "images_split": self.images_split,
             "total_wall_s": self.total_wall_s,
             "images_per_sec": self.images_per_sec,
+            "throughput": {
+                "horizon": "lifetime",
+                "images_per_sec": self.images_per_sec,
+                "images": self.images_ok + self.images_failed,
+                "total_wall_s": self.total_wall_s,
+            },
             "latency_ms": {
+                "horizon": "window",
+                "window_size": len(self._latencies_s),
+                "window_capacity": LATENCY_WINDOW,
                 "p50": percentile(lat, 50),
                 "p90": percentile(lat, 90),
                 "p99": percentile(lat, 99),

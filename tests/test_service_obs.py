@@ -1,0 +1,479 @@
+"""Observability layer (PR 10): trace contexts and span records,
+the worker span ring, the deterministic sampler, Prometheus rendering
+(validated by ``tools/check_prom_format.py``), end-to-end traced
+decodes through a session, trace propagation under injected faults
+(retry attempts, breaker-excluded lanes), the JSON-lines trace log,
+the ``repro trace`` / ``repro timeline`` CLI, and ``GET /metrics`` /
+``X-Trace`` over a live HTTP server."""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.jpeg import EncoderSettings, encode_jpeg
+from repro.service import (
+    BatchDecoder,
+    DecodeHTTPServer,
+    DecodeSession,
+    FaultPlan,
+    ImageRequest,
+    LaneBreakerBoard,
+    ModelScheduler,
+    ObsHub,
+    SpanRecord,
+    SpanRing,
+    TraceContext,
+    format_trace,
+    read_trace_log,
+    render_prometheus,
+    spans_to_timeline,
+)
+from repro.errors import ServiceError
+from repro.service.obs import (
+    Histogram,
+    child_span,
+    make_span,
+    map_remote_spans,
+    trace_overhead_budget,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_prom_format  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def blob(small_rgb):
+    return encode_jpeg(small_rgb, EncoderSettings(
+        quality=85, subsampling="4:2:2"))
+
+
+def _span(ctx, name="work", start=1.0, end=2.0, **attrs):
+    return child_span(ctx, name, "res", "cpu-parallel", start, end, **attrs)
+
+
+# ---------------------------------------------------------------------------
+# TraceContext / SpanRecord primitives.
+# ---------------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_new_roots_are_unique(self):
+        a, b = TraceContext.new_root(), TraceContext.new_root()
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+        assert a.parent_id is None
+
+    def test_child_keeps_trace_and_parents_on_span(self):
+        root = TraceContext.new_root()
+        kid = root.child()
+        assert kid.trace_id == root.trace_id
+        assert kid.parent_id == root.span_id
+        assert kid.span_id != root.span_id
+
+    def test_wire_roundtrip(self):
+        ctx = TraceContext.new_root().child()
+        back = TraceContext.from_dict(ctx.to_dict())
+        assert back == ctx
+        assert json.loads(json.dumps(ctx.to_dict())) == ctx.to_dict()
+
+    def test_make_span_uses_own_identity_child_span_forks(self):
+        ctx = TraceContext.new_root()
+        own = make_span(ctx, "attempt", "lane", "cpu-parallel", 0.0, 1.0)
+        assert own.span_id == ctx.span_id
+        assert own.parent_id == ctx.parent_id
+        kid = child_span(ctx, "stage", "lane", "kernel", 0.0, 1.0)
+        assert kid.parent_id == ctx.span_id
+        assert kid.span_id != ctx.span_id
+
+
+class TestSpanRecord:
+    def test_roundtrip_preserves_attrs(self):
+        ctx = TraceContext.new_root()
+        span = _span(ctx, attempt=2, outcome="ok")
+        back = SpanRecord.from_dict(json.loads(json.dumps(span.to_dict())))
+        assert back == span
+        assert back.attrs == {"attempt": 2, "outcome": "ok"}
+        assert back.duration_s == pytest.approx(1.0)
+
+
+class TestSpanRing:
+    def test_drop_oldest_at_capacity(self):
+        ring = SpanRing(capacity=3)
+        ctx = TraceContext.new_root()
+        for i in range(5):
+            ring.record(_span(ctx, name=f"s{i}"))
+        assert len(ring) == 3
+        assert ring.dropped == 2
+        names = [s.name for s in ring.drain()]
+        assert names == ["s2", "s3", "s4"]
+        assert len(ring) == 0
+
+    def test_drain_trace_filters_other_traces(self):
+        ring = SpanRing(capacity=16)
+        mine, other = TraceContext.new_root(), TraceContext.new_root()
+        ring.record(_span(mine, name="keep"))
+        ring.record(_span(other, name="skip"))
+        got = ring.drain_trace(mine.trace_id)
+        assert [s.name for s in got] == ["keep"]
+        # The other trace's span is still in the ring.
+        assert [s.name for s in ring.drain()] == ["skip"]
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_with_inf(self):
+        hist = Histogram(buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        counts = [count for _, count in snap["buckets"]]
+        assert counts == [1, 2, 3, 4]
+        assert snap["buckets"][-1][0] == "+Inf"
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(5.555)
+
+
+# ---------------------------------------------------------------------------
+# ObsHub: mode gate, deterministic sampler, counters.
+# ---------------------------------------------------------------------------
+
+
+class TestObsHub:
+    def test_off_never_starts(self):
+        hub = ObsHub(mode="off")
+        assert all(hub.maybe_start_trace() is None for _ in range(20))
+        assert hub.counters()["traces_started"] == 0
+
+    def test_on_always_starts(self):
+        hub = ObsHub(mode="on")
+        assert all(hub.maybe_start_trace() is not None for _ in range(5))
+        assert hub.counters()["traces_started"] == 5
+
+    def test_sampler_is_deterministic_1_in_n(self):
+        hub = ObsHub(mode="sample", sample_rate=0.25)
+        hits = [hub.maybe_start_trace() is not None for _ in range(12)]
+        assert hits == [i % 4 == 0 for i in range(12)]
+        assert hub.counters()["traces_started"] == 3
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(ServiceError):
+            ObsHub(mode="loud")
+        with pytest.raises(ServiceError):
+            ObsHub(mode="sample", sample_rate=0.0)
+
+    def test_overhead_budget_env_floor(self, monkeypatch):
+        monkeypatch.delenv("TRACE_OVERHEAD_MAX_RATIO", raising=False)
+        assert trace_overhead_budget() == pytest.approx(0.03)
+        monkeypatch.setenv("TRACE_OVERHEAD_MAX_RATIO", "0.5")
+        assert trace_overhead_budget() == pytest.approx(0.5)
+
+
+class TestMapRemoteSpans:
+    def test_offset_clamps_into_client_window(self):
+        ctx = TraceContext.new_root()
+        # Host clock runs 100 s ahead of the client's.
+        host = [_span(ctx, name="decode", start=1100.0, end=1100.5)]
+        mapped = map_remote_spans(host, "h:1", t0=1.0, t1=2.0,
+                                  host_recv=1100.0, host_send=1100.6)
+        (span,) = mapped
+        assert span.resource == "h:1/res"
+        assert 1.0 - 1e-6 <= span.start <= span.end <= 2.0 + 1e-6
+        assert span.duration_s == pytest.approx(0.5, abs=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus rendering, validated by the in-repo parser.
+# ---------------------------------------------------------------------------
+
+
+class TestPrometheus:
+    def test_live_session_render_is_valid_exposition(self, blob):
+        session = DecodeSession(backend="serial", scheduler="model",
+                                tracing="on", pump=False)
+        try:
+            handles = [session.submit(blob) for _ in range(3)]
+            session.run_once()
+            for handle in handles:
+                assert handle.result(timeout=60).ok
+            text = render_prometheus(session.stats_snapshot(), session.obs)
+        finally:
+            session.close(drain=False)
+        violations = check_prom_format.validate(text)
+        assert violations == []
+        samples, _ = check_prom_format.parse_samples(text)
+        names = {s.name for s in samples}
+        assert "repro_images_total" in names
+        assert "repro_queue_depth" in names
+        assert "repro_decode_latency_seconds_bucket" in names
+        assert "repro_traces_started_total" in names
+        by_key = {(s.name, tuple(sorted(s.labels.items()))): s.value
+                  for s in samples}
+        assert by_key[("repro_images_total",
+                       (("outcome", "ok"),))] == 3
+
+    def test_checker_rejects_bad_documents(self):
+        assert check_prom_format.validate(
+            "# TYPE a counter\na 1\n")  # counter w/o _total
+        assert check_prom_format.validate(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 1\n")  # no +Inf
+        assert check_prom_format.validate(
+            "x 1\ny 2\nx 3\n")  # family reopened
+        assert check_prom_format.validate("foo{bar=baz} 1\n")
+
+
+# ---------------------------------------------------------------------------
+# End-to-end traced decode through a session.
+# ---------------------------------------------------------------------------
+
+
+def _trace_of(result):
+    spans = result.trace_spans
+    assert spans, "traced result carries no spans"
+    trace_ids = {s.trace_id for s in spans}
+    assert len(trace_ids) == 1
+    return spans
+
+
+class TestEndToEndTrace:
+    def test_reference_decode_emits_stage_hierarchy(self, blob):
+        session = DecodeSession(backend="serial", tracing="on", pump=False)
+        try:
+            handle = session.submit(ImageRequest(data=blob,
+                                                 mode="reference"))
+            session.run_once()
+            result = handle.result(timeout=60)
+        finally:
+            session.close(drain=False)
+        assert result.ok
+        spans = _trace_of(result)
+        names = {s.name for s in spans}
+        assert {"request", "queue", "attempt", "parse", "entropy",
+                "idct", "upsample", "color"} <= names
+        by_name = {s.name: s for s in spans}
+        root = by_name["request"]
+        assert root.parent_id is None
+        # Every non-root span parents onto a span in the same trace.
+        ids = {s.span_id for s in spans}
+        for span in spans:
+            assert span.end >= span.start
+            if span is not root:
+                assert span.parent_id in ids
+        # Queue wait precedes the attempt; nothing outruns the root.
+        assert by_name["queue"].start <= by_name["attempt"].start + 1e-9
+        for span in spans:
+            assert span.start >= root.start - 1e-6
+            assert span.end <= root.end + 1e-6
+
+    def test_trace_lands_in_store_and_renders(self, blob):
+        session = DecodeSession(backend="serial", tracing="on", pump=False)
+        try:
+            handle = session.submit(blob)
+            session.run_once()
+            result = handle.result(timeout=60)
+            trace_id = result.trace_spans[0].trace_id
+            stored = session.obs.store.get(trace_id)
+        finally:
+            session.close(drain=False)
+        assert stored
+        text = format_trace(trace_id, stored)
+        assert trace_id in text
+        assert "request" in text and "attempt" in text
+        timeline = spans_to_timeline(stored)
+        assert timeline.render()
+
+    def test_untraced_requests_carry_no_spans(self, blob):
+        session = DecodeSession(backend="serial", tracing="off", pump=False)
+        try:
+            handle = session.submit(blob)
+            session.run_once()
+            result = handle.result(timeout=60)
+        finally:
+            session.close(drain=False)
+        assert result.ok
+        assert result.trace_spans == []
+
+
+# ---------------------------------------------------------------------------
+# Satellite 3: trace propagation under faults.
+# ---------------------------------------------------------------------------
+
+
+class TestTraceUnderFaults:
+    def test_killed_dispatch_yields_sibling_attempt_spans(self, blob):
+        """A FaultPlan kill on attempt 1 must surface as two ``attempt``
+        child spans of the same request trace, attempt=1 crashed and
+        attempt=2 ok."""
+        plan = FaultPlan(kill_at={0})
+        ctx = TraceContext.new_root()
+        with BatchDecoder(workers=2, backend="thread",
+                          retry_backoff_s=0.0, faults=plan,
+                          speculative="off") as dec:
+            batch = dec.decode_batch(
+                [ImageRequest(data=blob, trace=ctx)])
+        (result,) = batch.results
+        assert result.ok and result.attempts == 2
+        attempts = sorted(
+            (s for s in result.trace_spans if s.name == "attempt"),
+            key=lambda s: s.attrs["attempt"])
+        assert [s.attrs["attempt"] for s in attempts] == [1, 2]
+        assert [s.attrs["outcome"] for s in attempts] == ["crashed", "ok"]
+        # Siblings: both parent directly on the request context.
+        assert {s.parent_id for s in attempts} == {ctx.span_id}
+        assert attempts[0].trace_id == attempts[1].trace_id == ctx.trace_id
+        assert attempts[1].start >= attempts[0].start
+
+    def test_breaker_open_lane_emits_lane_excluded_event(self, blob):
+        """An open circuit breaker excludes its lane from the plan and
+        the traced batch records a zero-length ``lane_excluded`` event
+        naming it."""
+        board = LaneBreakerBoard(threshold=1, cooldown_s=60.0)
+        sched = ModelScheduler(policy="model", breakers=board)
+        victim = sched.executors[0].name
+        board.record(victim, ok=False)
+        assert board.state(victim) == "open"
+        ctx = TraceContext.new_root()
+        with BatchDecoder(backend="serial", scheduler=sched) as dec:
+            batch = dec.decode_batch([ImageRequest(data=blob, trace=ctx)])
+        (result,) = batch.results
+        assert result.ok
+        excluded = [s for s in result.trace_spans
+                    if s.name == "lane_excluded"]
+        assert excluded, [s.name for s in result.trace_spans]
+        (event,) = excluded
+        assert event.resource == victim
+        assert event.attrs["reason"] == "breaker_open"
+        assert event.duration_s == 0.0
+        # And no attempt ran on the excluded lane.
+        lanes = [s.resource for s in result.trace_spans
+                 if s.name == "attempt"]
+        assert victim not in lanes
+
+
+# ---------------------------------------------------------------------------
+# Trace log file + CLI reconstruction.
+# ---------------------------------------------------------------------------
+
+
+class TestTraceLogAndCLI:
+    def _decode_with_log(self, blob, path, n=2):
+        session = DecodeSession(backend="serial", tracing="on",
+                                trace_log=str(path), pump=False)
+        try:
+            handles = [session.submit(blob) for _ in range(n)]
+            session.run_once()
+            return [h.result(timeout=60) for h in handles]
+        finally:
+            session.close(drain=False)
+
+    def test_log_is_one_json_object_per_span(self, blob, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        results = self._decode_with_log(blob, path)
+        lines = path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            payload = json.loads(line)
+            assert {"trace_id", "span_id", "name", "start",
+                    "end"} <= payload.keys()
+        total = sum(len(r.trace_spans) for r in results)
+        assert len(lines) == total
+
+    def test_read_trace_log_groups_by_trace(self, blob, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        results = self._decode_with_log(blob, path)
+        traces = read_trace_log(path)
+        assert len(traces) == len(results)
+        for result in results:
+            trace_id = result.trace_spans[0].trace_id
+            assert trace_id in traces
+
+    def test_cli_trace_and_timeline(self, blob, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "traces.jsonl"
+        results = self._decode_with_log(blob, path)
+        trace_id = results[0].trace_spans[0].trace_id
+        assert main(["trace", trace_id, "--trace-log", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert trace_id in out and "attempt" in out
+        # Unique-prefix match resolves too.
+        assert main(["trace", trace_id[:8],
+                     "--trace-log", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["timeline", "--last", "2",
+                     "--trace-log", str(path)]) == 0
+        out = capsys.readouterr().out
+        for result in results:
+            assert result.trace_spans[0].trace_id in out
+
+    def test_cli_trace_unknown_id_fails(self, blob, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "traces.jsonl"
+        self._decode_with_log(blob, path, n=1)
+        assert main(["trace", "ffffffffffffffff",
+                     "--trace-log", str(path)]) == 2
+        assert main(["trace", "deadbeef",
+                     "--trace-log", str(tmp_path / "absent.jsonl")]) == 2
+
+
+# ---------------------------------------------------------------------------
+# /metrics and X-Trace over a live HTTP server.
+# ---------------------------------------------------------------------------
+
+
+class TestHTTPObservability:
+    @pytest.fixture()
+    def server(self):
+        srv = DecodeHTTPServer(port=0, backend="thread", workers=2,
+                               max_batch=4, max_delay_ms=1.0,
+                               tracing="off")
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        yield srv
+        srv.shutdown()
+        thread.join(timeout=30)
+        srv.close()
+
+    def test_metrics_endpoint_is_valid_prometheus(self, server, blob):
+        req = urllib.request.Request(server.url + "/decode", data=blob,
+                                     method="POST")
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            assert resp.status == 200
+        with urllib.request.urlopen(server.url + "/metrics",
+                                    timeout=30) as resp:
+            assert resp.status == 200
+            ctype = resp.headers["Content-Type"]
+            body = resp.read().decode()
+        assert ctype.startswith("text/plain")
+        assert "version=0.0.4" in ctype
+        assert check_prom_format.validate(body) == []
+        samples, _ = check_prom_format.parse_samples(body)
+        by_key = {(s.name, tuple(sorted(s.labels.items()))): s.value
+                  for s in samples}
+        assert by_key[("repro_images_total",
+                       (("outcome", "ok"),))] >= 1
+
+    def test_x_trace_header_forces_a_trace(self, server, blob):
+        req = urllib.request.Request(
+            server.url + "/decode", data=blob, method="POST",
+            headers={"X-Trace": "1"})
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            assert resp.status == 200
+            trace_id = resp.headers["X-Trace-Id"]
+        assert trace_id
+        spans = server.session.obs.store.get(trace_id)
+        assert {"request", "queue", "attempt"} <= {s.name for s in spans}
+
+    def test_untraced_decode_has_no_trace_header(self, server, blob):
+        req = urllib.request.Request(server.url + "/decode", data=blob,
+                                     method="POST")
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            assert resp.status == 200
+            assert resp.headers.get("X-Trace-Id") is None

@@ -643,3 +643,75 @@ class TestHTTPPriorityAndRetryAfter:
                 assert retry_after >= 2
         finally:
             session.close(drain=False)
+
+
+class TestTraceStitching:
+    """PR 10 satellite: remote-host spans must land on the client's
+    clock — offsets estimated from the request/response pair — so the
+    stitched timeline is monotonic and never shows negative waits."""
+
+    def test_remote_spans_are_client_clock_mapped(self, blob):
+        with running_host() as host:
+            session = ShardedDecodeSession(
+                hosts=[(host.host, host.port)], tracing="on", pump=False)
+            try:
+                handle = session.submit(blob)
+                session.run_once()
+                result = handle.result(timeout=60)
+            finally:
+                session.close(drain=False)
+        assert result.ok
+        spans = result.trace_spans
+        assert spans
+        assert len({s.trace_id for s in spans}) == 1
+        by_name: dict[str, list] = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        # The client-side skeleton plus the host-side decode stages all
+        # stitch into one trace.
+        for name in ("request", "queue", "attempt", "remote_roundtrip",
+                     "parse", "entropy", "idct", "upsample", "color"):
+            assert name in by_name, sorted(by_name)
+        endpoint = f"{host.host}:{host.port}"
+        remote = [s for s in spans if s.resource.startswith(endpoint)]
+        assert remote, "no spans attributed to the remote host"
+        # Every span — local or clock-mapped remote — has non-negative
+        # duration and stays inside the client's root request window.
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "request"
+        for span in spans:
+            assert span.end >= span.start, span.name
+            assert span.start >= root.start - 1e-6, span.name
+            assert span.end <= root.end + 1e-6, span.name
+        # Host-side spans sit inside the client's measured round-trip.
+        (trip,) = by_name["remote_roundtrip"]
+        for span in remote:
+            assert span.start >= trip.start - 1e-6, span.name
+            assert span.end <= trip.end + 1e-6, span.name
+        # No negative queue waits anywhere in the stitched trace: each
+        # queue span starts at/after its submission parent started.
+        ids = {s.span_id: s for s in spans}
+        for queue_span in by_name["queue"]:
+            assert queue_span.duration_s >= 0.0
+            parent = ids[queue_span.parent_id]
+            assert queue_span.start >= parent.start - 1e-6
+
+    def test_remote_spans_ride_result_and_land_in_client_store(self, blob):
+        with running_host() as host:
+            session = ShardedDecodeSession(
+                hosts=[(host.host, host.port)], tracing="on", pump=False)
+            try:
+                handle = session.submit(blob)
+                session.run_once()
+                result = handle.result(timeout=60)
+                trace_id = result.trace_spans[0].trace_id
+                stored = session.obs.store.get(trace_id)
+            finally:
+                session.close(drain=False)
+        assert {s.span_id for s in stored} == {
+            s.span_id for s in result.trace_spans}
+        trip = next(s for s in stored if s.name == "remote_roundtrip")
+        assert trip.attrs["bytes_tx"] > 0
+        assert trip.attrs["bytes_rx"] > 0

@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format (version 0.0.4).
+
+A tiny dependency-free parser for CI and tests: reads an exposition
+document from a file argument (or stdin) and checks the invariants a
+real Prometheus scraper enforces:
+
+- every sample line parses as ``name{labels} value [timestamp]`` with a
+  legal metric name, legal label names, properly quoted/escaped label
+  values, and a float-parsable value;
+- ``# TYPE`` declares a known type (counter/gauge/histogram/summary/
+  untyped) and appears at most once per metric family, *before* any of
+  that family's samples;
+- a family's samples are contiguous — a family is never "reopened"
+  after another family's samples started (the format forbids it);
+- counter sample names end in ``_total`` (``_bucket``/``_sum``/
+  ``_count`` suffixes attach histogram/summary series to their family);
+- histograms carry an ``le="+Inf"`` bucket with cumulative,
+  non-decreasing bucket counts consistent with ``_count``;
+- no duplicate sample (same name + label set).
+
+Usage::
+
+    python tools/check_prom_format.py metrics.txt
+    curl -s localhost:8077/metrics | python tools/check_prom_format.py
+
+Exit status 0 when the document is valid, 1 with one line per
+violation otherwise.  Importable: :func:`validate` returns the list of
+violations, :func:`parse_samples` the parsed samples.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass, field
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+#: Sample-name suffixes that attach to a histogram/summary family.
+FAMILY_SUFFIXES = ("_bucket", "_sum", "_count", "_total")
+
+
+@dataclass
+class Sample:
+    """One parsed sample line."""
+
+    name: str
+    labels: dict = field(default_factory=dict)
+    value: float = 0.0
+    line_no: int = 0
+
+
+def family_of(sample_name: str, types: dict) -> str:
+    """The metric family a sample line belongs to.
+
+    Histogram/summary series (``x_bucket``/``x_sum``/``x_count``) fold
+    into family ``x`` when ``x`` was TYPE-declared; otherwise the
+    sample name is its own family.
+    """
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return sample_name
+
+
+def _parse_labels(text: str, line_no: int,
+                  errors: list) -> "dict | None":
+    """Parse the ``{...}`` label block; None on malformed input."""
+    labels: dict = {}
+    i = 0
+    while i < len(text):
+        match = re.match(r'\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"', text[i:])
+        if not match:
+            errors.append(f"line {line_no}: malformed label pair at "
+                          f"{text[i:][:30]!r}")
+            return None
+        name = match.group(1)
+        i += match.end()
+        value_chars: list = []
+        closed = False
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= len(text):
+                    break
+                esc = text[i + 1]
+                if esc not in ('"', "\\", "n"):
+                    errors.append(f"line {line_no}: bad escape "
+                                  f"\\{esc} in label {name}")
+                    return None
+                value_chars.append({"n": "\n"}.get(esc, esc))
+                i += 2
+                continue
+            if ch == '"':
+                closed = True
+                i += 1
+                break
+            value_chars.append(ch)
+            i += 1
+        if not closed:
+            errors.append(f"line {line_no}: unterminated label value "
+                          f"for {name}")
+            return None
+        if name in labels:
+            errors.append(f"line {line_no}: duplicate label {name}")
+            return None
+        labels[name] = "".join(value_chars)
+        rest = text[i:].lstrip()
+        if rest.startswith(","):
+            i = len(text) - len(rest) + 1
+            continue
+        if rest == "":
+            return labels
+        errors.append(f"line {line_no}: trailing garbage in label "
+                      f"block: {rest!r}")
+        return None
+    return labels
+
+
+def parse_samples(text: str) -> "tuple[list[Sample], list[str]]":
+    """Parse an exposition document; returns (samples, violations)."""
+    errors: list = []
+    samples: list = []
+    types: dict = {}
+    helped: set = set()
+    family_order: list = []
+    closed_families: set = set()
+    current_family: "str | None" = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # plain comment: legal, skipped
+            kind, name = parts[1], parts[2]
+            if not METRIC_NAME_RE.match(name):
+                errors.append(f"line {line_no}: illegal metric name "
+                              f"{name!r} in # {kind}")
+                continue
+            if kind == "TYPE":
+                declared = parts[3].strip() if len(parts) > 3 else ""
+                if declared not in TYPES:
+                    errors.append(f"line {line_no}: unknown TYPE "
+                                  f"{declared!r} for {name}")
+                if name in types:
+                    errors.append(f"line {line_no}: duplicate TYPE for "
+                                  f"{name}")
+                if name in closed_families or any(
+                        family_of(s.name, types) == name for s in samples):
+                    errors.append(f"line {line_no}: TYPE for {name} after "
+                                  f"its samples")
+                types[name] = declared
+            else:
+                if name in helped:
+                    errors.append(f"line {line_no}: duplicate HELP for "
+                                  f"{name}")
+                helped.add(name)
+            continue
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)"
+                         r"(\s+-?\d+)?\s*$", line)
+        if not match:
+            errors.append(f"line {line_no}: unparsable sample: {line!r}")
+            continue
+        name, _, label_text, value_text = match.group(1, 2, 3, 4)
+        labels = {}
+        if label_text is not None:
+            parsed = _parse_labels(label_text, line_no, errors)
+            if parsed is None:
+                continue
+            labels = parsed
+        for label in labels:
+            if not LABEL_NAME_RE.match(label) or label.startswith("__"):
+                errors.append(f"line {line_no}: illegal label name "
+                              f"{label!r}")
+        try:
+            if value_text in ("NaN", "+Inf", "-Inf"):
+                value = float(value_text.replace("Inf", "inf"))
+            else:
+                value = float(value_text)
+        except ValueError:
+            errors.append(f"line {line_no}: unparsable value "
+                          f"{value_text!r}")
+            continue
+        family = family_of(name, types)
+        if family != current_family:
+            if family in closed_families:
+                errors.append(f"line {line_no}: family {family} reopened "
+                              f"(its samples must be contiguous)")
+            if current_family is not None:
+                closed_families.add(current_family)
+            current_family = family
+            family_order.append(family)
+        if types.get(family) == "counter" and not name.endswith("_total"):
+            errors.append(f"line {line_no}: counter sample {name} does "
+                          f"not end in _total")
+        samples.append(Sample(name=name, labels=labels, value=value,
+                              line_no=line_no))
+
+    seen: set = set()
+    for sample in samples:
+        key = (sample.name, tuple(sorted(sample.labels.items())))
+        if key in seen:
+            errors.append(f"line {sample.line_no}: duplicate sample "
+                          f"{sample.name}{sorted(sample.labels.items())}")
+        seen.add(key)
+
+    errors.extend(_check_histograms(samples, types))
+    return samples, errors
+
+
+def _check_histograms(samples: "list[Sample]", types: dict) -> "list[str]":
+    """Histogram invariants: +Inf bucket, cumulative counts, _count."""
+    errors: list = []
+    for family, declared in types.items():
+        if declared != "histogram":
+            continue
+        buckets = [s for s in samples if s.name == f"{family}_bucket"]
+        if not buckets:
+            continue
+
+        def group_key(s: Sample) -> tuple:
+            return tuple(sorted((k, v) for k, v in s.labels.items()
+                                if k != "le"))
+
+        groups: dict = {}
+        for s in buckets:
+            groups.setdefault(group_key(s), []).append(s)
+        for key, group in groups.items():
+            les = [s.labels.get("le") for s in group]
+            if "+Inf" not in les:
+                errors.append(f"histogram {family}{dict(key)}: no "
+                              f"le=\"+Inf\" bucket")
+                continue
+            counts = [s.value for s in group]
+            if any(b > a for a, b in zip(counts[1:], counts)):
+                errors.append(f"histogram {family}{dict(key)}: bucket "
+                              f"counts are not cumulative")
+            total = [s for s in samples if s.name == f"{family}_count"
+                     and group_key(s) == key]
+            if total and total[0].value != group[les.index("+Inf")].value:
+                errors.append(f"histogram {family}{dict(key)}: _count "
+                              f"!= +Inf bucket")
+    return errors
+
+
+def validate(text: str) -> "list[str]":
+    """All format violations in *text* (empty list = valid)."""
+    _, errors = parse_samples(text)
+    return errors
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry: validate a file argument or stdin."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        with open(argv[0], encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("empty exposition document", file=sys.stderr)
+        return 1
+    errors = validate(text)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"INVALID: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    samples, _ = parse_samples(text)
+    print(f"OK: {len(samples)} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
